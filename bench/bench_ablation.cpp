@@ -1,0 +1,138 @@
+// Ablation studies on design choices the paper calls out:
+//  1. Criticality Threshold sweep (Section 3.5.2: "a CT of 8 gives the best
+//     outcome") on the CDS-friendly workload.
+//  2. TEP geometry sweep (table size / history bits).
+//  3. Recovery model comparison: squash-refetch vs RazorII-style micro
+//     stall for unpredicted faults.
+//  4. Sensor gating on/off (Section 2.1.1's thermal/voltage gating).
+#include "bench/bench_util.hpp"
+
+using namespace vasim;
+
+int main() {
+  core::RunnerConfig rc = bench::runner_config_from_env();
+  rc.instructions = env_u64("VASIM_INSTR", 100'000);
+  bench::print_run_header("Ablations: CT sweep, TEP geometry, recovery model, sensor gating",
+                          rc);
+  const auto libq = workload::spec2006_profile("libquantum");
+  const auto bzip2 = workload::spec2006_profile("bzip2");
+
+  {
+    TextTable t({"CT", "CDS perf-ovh% (libquantum @0.97V)", "TEP accuracy"});
+    for (const int ct : {2, 4, 8, 12, 16}) {
+      core::RunnerConfig c = rc;
+      core::ExperimentRunner runner(c);
+      cpu::SchemeConfig cds = cpu::scheme_cds();
+      cds.criticality_threshold = ct;
+      const core::RunResult ff = runner.run_fault_free(libq, 0.97);
+      const core::RunResult r = runner.run(libq, cds, 0.97);
+      t.add_row({std::to_string(ct), TextTable::fmt(core::overhead_vs(ff, r).perf_pct, 3),
+                 TextTable::fmt(r.predictor_accuracy, 3)});
+    }
+    std::cout << t.render("Ablation 1: Criticality Threshold (paper: CT = 8 best)") << "\n";
+  }
+
+  {
+    TextTable t({"entries", "hist-bits", "ABS perf-ovh% (bzip2 @0.97V)", "TEP accuracy"});
+    for (const int entries : {256, 1024, 4096}) {
+      for (const int hist : {0, 8}) {
+        core::RunnerConfig c = rc;
+        c.tep.entries = entries;
+        c.tep.history_bits = hist;
+        core::ExperimentRunner runner(c);
+        const core::RunResult ff = runner.run_fault_free(bzip2, 0.97);
+        const core::RunResult r = runner.run(bzip2, cpu::scheme_abs(), 0.97);
+        t.add_row({std::to_string(entries), std::to_string(hist),
+                   TextTable::fmt(core::overhead_vs(ff, r).perf_pct, 3),
+                   TextTable::fmt(r.predictor_accuracy, 3)});
+      }
+    }
+    std::cout << t.render("Ablation 2: TEP geometry (Section 2.1.1)") << "\n";
+  }
+
+  {
+    TextTable t({"recovery", "Razor perf-ovh% (bzip2 @0.97V)", "replays"});
+    core::ExperimentRunner runner(rc);
+    const core::RunResult ff = runner.run_fault_free(bzip2, 0.97);
+    for (const auto rec : {cpu::RecoveryModel::kSquashRefetch, cpu::RecoveryModel::kMicroStall}) {
+      cpu::SchemeConfig razor = cpu::scheme_razor();
+      razor.recovery = rec;
+      const core::RunResult r = runner.run(bzip2, razor, 0.97);
+      t.add_row({rec == cpu::RecoveryModel::kSquashRefetch ? "squash-refetch" : "micro-stall",
+                 TextTable::fmt(core::overhead_vs(ff, r).perf_pct, 2),
+                 TextTable::fmt(r.replays, 0)});
+    }
+    std::cout << t.render("Ablation 3: replay recovery model (Section 2.1.2)") << "\n";
+  }
+
+  {
+    // VTE benefit vs machine width: narrower machines have less slack to
+    // hide the faulty instruction's extra cycle.
+    TextTable t({"width", "EP perf-ovh%", "ABS perf-ovh%", "ABS/EP"});
+    for (const int width : {2, 4, 8}) {
+      core::RunnerConfig c = rc;
+      c.core.issue_width = width;
+      c.core.fetch_width = width;
+      c.core.dispatch_width = width;
+      c.core.commit_width = width;
+      c.core.simple_alus = width / 2;
+      core::ExperimentRunner runner(c);
+      const core::RunResult ff = runner.run_fault_free(bzip2, 0.97);
+      const core::RunResult ep = runner.run(bzip2, cpu::scheme_error_padding(), 0.97);
+      const core::RunResult abs = runner.run(bzip2, cpu::scheme_abs(), 0.97);
+      const double oep = core::overhead_vs(ff, ep).perf_pct;
+      const double oabs = core::overhead_vs(ff, abs).perf_pct;
+      t.add_row({std::to_string(width), TextTable::fmt(oep, 2), TextTable::fmt(oabs, 2),
+                 TextTable::fmt(bench::normalized_to_ep(oabs, oep), 3)});
+    }
+    std::cout << t.render("Ablation 5: machine width (bzip2 @0.97V)") << "\n";
+  }
+
+  {
+    // Prefetching shrinks memory slack: does the VTE's hidden cycle emerge?
+    TextTable t({"prefetch", "FF IPC", "ABS perf-ovh% (libquantum @0.97V)"});
+    for (const bool pf : {false, true}) {
+      core::RunnerConfig c = rc;
+      c.core.l2_next_line_prefetch = pf;
+      core::ExperimentRunner runner(c);
+      const core::RunResult ff = runner.run_fault_free(libq, 0.97);
+      const core::RunResult abs = runner.run(libq, cpu::scheme_abs(), 0.97);
+      t.add_row({pf ? "on" : "off", TextTable::fmt(ff.ipc, 3),
+                 TextTable::fmt(core::overhead_vs(ff, abs).perf_pct, 3)});
+    }
+    std::cout << t.render("Ablation 6: next-line prefetch vs architectural slack") << "\n";
+  }
+
+  {
+    // Energy cost of mispredicted-path execution (unmodeled in the
+    // baseline): how much does wrong-path work inflate ED overheads?
+    TextTable t({"wrong-path", "FF IPC (gcc)", "razor ED-ovh% @0.97V"});
+    for (const bool wp : {false, true}) {
+      core::RunnerConfig c = rc;
+      c.core.model_wrong_path = wp;
+      core::ExperimentRunner runner(c);
+      const auto gcc = workload::spec2006_profile("gcc");
+      const core::RunResult ff = runner.run_fault_free(gcc, 0.97);
+      const core::RunResult r = runner.run(gcc, cpu::scheme_razor(), 0.97);
+      t.add_row({wp ? "on" : "off", TextTable::fmt(ff.ipc, 3),
+                 TextTable::fmt(core::overhead_vs(ff, r).ed_pct, 2)});
+    }
+    std::cout << t.render("Ablation 7: wrong-path execution energy") << "\n";
+  }
+
+  {
+    TextTable t({"sensor-gating", "EP perf-ovh% (bzip2 @0.97V)", "TEP accuracy", "false-pos"});
+    for (const bool gating : {true, false}) {
+      core::RunnerConfig c = rc;
+      c.tep.sensor_gating = gating;
+      core::ExperimentRunner runner(c);
+      const core::RunResult ff = runner.run_fault_free(bzip2, 0.97);
+      const core::RunResult r = runner.run(bzip2, cpu::scheme_error_padding(), 0.97);
+      t.add_row({gating ? "on" : "off", TextTable::fmt(core::overhead_vs(ff, r).perf_pct, 3),
+                 TextTable::fmt(r.predictor_accuracy, 3),
+                 std::to_string(r.stats.count("fault.false_positive"))});
+    }
+    std::cout << t.render("Ablation 4: thermal/voltage sensor gating (Section 2.1.1)") << "\n";
+  }
+  return 0;
+}

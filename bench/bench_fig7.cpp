@@ -1,0 +1,65 @@
+// Reproduces Figure 7 (Supplement S1.3): commonality in sensitized paths for
+// four microprocessor components across six SPEC2000-integer-like
+// benchmarks, via two-value gate simulation of many dynamic instances per
+// static PC.
+#include <iostream>
+
+#include "src/circuit/builders.hpp"
+#include "src/circuit/gatesim.hpp"
+#include "src/common/env.hpp"
+#include "src/common/table.hpp"
+#include "src/workload/inputs.hpp"
+#include "src/workload/profiles.hpp"
+
+using namespace vasim;
+using namespace vasim::circuit;
+
+int main() {
+  const int pcs = static_cast<int>(env_u64("VASIM_FIG7_PCS", 40));
+  const int instances = static_cast<int>(env_u64("VASIM_FIG7_INSTANCES", 24));
+  std::cout << "=== Figure 7: Commonality in sensitized paths ===\n"
+            << "(" << pcs << " static PCs x " << instances
+            << " dynamic instances per component; commonality = |phi| / |psi| over\n"
+            << "toggled gates, weighted uniformly across PCs)\n\n";
+
+  struct Comp {
+    const char* name;
+    Component comp;
+    double paper_avg;
+  };
+  Comp comps[] = {
+      {"IssueQSelect", build_issue_select(32, 4), 0.874},
+      {"AGen", build_agen(32, 16), 0.890},
+      {"ForwardCheck", build_forward_check(4, 4, 7), 0.924},
+      {"ALU", build_simple_alu(32), 0.900},
+  };
+
+  const auto profiles = workload::spec2000_profiles();
+  TextTable t({"component", "bzip", "gap", "gzip", "mcf", "parser", "vortex", "avg", "(paper)"});
+  for (Comp& c : comps) {
+    std::vector<std::string> row = {c.name};
+    double sum = 0;
+    for (const auto& prof : profiles) {
+      const workload::ComponentInputGen gen(prof, input_width(c.comp));
+      double acc = 0;
+      for (int p = 0; p < pcs; ++p) {
+        const Pc pc = 0x1000 + static_cast<Pc>(p) * 4;
+        const auto inst = gen.instances(pc, instances);
+        acc += measure_commonality(c.comp, inst).ratio;
+      }
+      const double avg = acc / pcs;
+      row.push_back(TextTable::fmt(avg, 3));
+      sum += avg;
+    }
+    row.push_back(TextTable::fmt(sum / static_cast<double>(profiles.size()), 3));
+    row.push_back("(" + TextTable::fmt(c.paper_avg, 3) + ")");
+    t.add_row(row);
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Paper reference (Figure 7): 87.4% (IQ select), 89% (AGen), 92.4%\n"
+               "(ForwardCheck), 90% (ALU) average commonality; vortex highest (~96% in\n"
+               "the issue queue).  Expected shape: high commonality everywhere, vortex\n"
+               "on top -- the property that makes per-PC timing-violation prediction\n"
+               "work (S1.4).\n";
+  return 0;
+}

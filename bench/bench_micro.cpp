@@ -1,0 +1,112 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: TEP lookup/train, gate simulation, statistical STA, cache
+// access, trace generation, and whole-pipeline throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/circuit/builders.hpp"
+#include "src/circuit/gatesim.hpp"
+#include "src/circuit/sta.hpp"
+#include "src/core/tep.hpp"
+#include "src/cpu/cache.hpp"
+#include "src/cpu/pipeline.hpp"
+#include "src/workload/profiles.hpp"
+#include "src/workload/trace_generator.hpp"
+
+namespace {
+
+using namespace vasim;
+
+void BM_TepPredict(benchmark::State& state) {
+  core::TimingErrorPredictor tep;
+  for (Pc pc = 0; pc < 1024; ++pc) tep.train(0x1000 + pc * 4, 0, true, timing::OooStage::kIssueSelect);
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tep.predict(0x1000 + (i % 4096) * 4, i, i));
+    ++i;
+  }
+}
+BENCHMARK(BM_TepPredict);
+
+void BM_TepTrain(benchmark::State& state) {
+  core::TimingErrorPredictor tep;
+  u64 i = 0;
+  for (auto _ : state) {
+    tep.train(0x1000 + (i % 4096) * 4, i, (i & 3) == 0, timing::OooStage::kExecute);
+    ++i;
+  }
+  benchmark::DoNotOptimize(tep.predictions());
+}
+BENCHMARK(BM_TepTrain);
+
+void BM_GateSimAlu(benchmark::State& state) {
+  const circuit::Component alu = circuit::build_simple_alu(32);
+  circuit::GateSim sim(&alu.netlist);
+  std::vector<u8> in(static_cast<std::size_t>(circuit::input_width(alu)), 0);
+  u64 i = 0;
+  for (auto _ : state) {
+    in[i % in.size()] ^= 1;
+    ++i;
+    benchmark::DoNotOptimize(sim.evaluate(in));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<u64>(alu.netlist.num_signals()));
+}
+BENCHMARK(BM_GateSimAlu);
+
+void BM_StatisticalSta(benchmark::State& state) {
+  const circuit::Component agen = circuit::build_agen(32, 16);
+  const timing::ProcessVariation pv;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::analyze_statistical(agen.netlist, pv, 8));
+  }
+}
+BENCHMARK(BM_StatisticalSta);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cpu::Cache cache(cpu::CacheConfig{32 * 1024, 4, 64, 1});
+  Pcg32 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.next_u64() & 0xFFFFF));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto prof = workload::spec2006_profile("gcc");
+  workload::TraceGenerator gen(prof);
+  isa::DynInst d;
+  for (auto _ : state) {
+    gen.next(d);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_PipelineThroughput(benchmark::State& state) {
+  const auto prof = workload::spec2006_profile("sjeng");
+  for (auto _ : state) {
+    workload::TraceGenerator gen(prof);
+    cpu::CoreConfig cfg;
+    cpu::Pipeline p(cfg, cpu::scheme_fault_free(), &gen, nullptr, nullptr);
+    benchmark::DoNotOptimize(p.run(10'000));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_PipelineThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineWithFaultsAbs(benchmark::State& state) {
+  const auto prof = workload::spec2006_profile("sjeng");
+  timing::PathModelConfig pcfg{prof.seed, prof.fr_high_pct / 100.0, prof.fr_low_pct / 100.0};
+  const timing::FaultModel fm(pcfg, 0.97);
+  for (auto _ : state) {
+    workload::TraceGenerator gen(prof);
+    core::TimingErrorPredictor tep({}, &fm.environment());
+    cpu::CoreConfig cfg;
+    cpu::Pipeline p(cfg, cpu::scheme_abs(), &gen, &fm, &tep);
+    benchmark::DoNotOptimize(p.run(10'000));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_PipelineWithFaultsAbs)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Cross-layer extension of Figure 7 / Section S1: per-PC sensitized-path
+// *delay* stability, measured at gate level.
+//
+// For each SPEC2000-like workload and each studied component, the dynamic
+// instances of a static PC are replayed through the gate-level netlist; the
+// per-instance sensitized-path delay gives a per-PC mu + 2 sigma (the fault
+// criterion's quantity, Section 4.3) and a coefficient of variation.  Low
+// CoV means one PC's instances keep hitting near-identical path delays --
+// the delay-domain restatement of the commonality property that makes the
+// TEP work.
+#include <iostream>
+
+#include "src/circuit/dynamic.hpp"
+#include "src/common/env.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/table.hpp"
+#include "src/workload/inputs.hpp"
+#include "src/workload/profiles.hpp"
+
+using namespace vasim;
+using namespace vasim::circuit;
+
+int main() {
+  const int pcs = static_cast<int>(env_u64("VASIM_FIG7_PCS", 24));
+  const int instances = static_cast<int>(env_u64("VASIM_FIG7_INSTANCES", 16));
+  std::cout << "=== Per-PC sensitized-path delay stability (S1 extension) ===\n"
+            << "(" << pcs << " static PCs x " << instances
+            << " instances; CoV = sigma/mu of the per-instance sensitized delay;\n"
+            << "spread = per-PC (mu+2sigma)/max-over-PCs, showing which PCs sit near\n"
+            << "the critical budget)\n\n";
+
+  struct Comp {
+    const char* name;
+    Component comp;
+  };
+  Comp comps[] = {
+      {"AGen", build_agen(32, 16)},
+      {"ALU", build_simple_alu(32)},
+      {"LsqCam", build_lsq_cam(24, 12)},
+  };
+
+  for (Comp& c : comps) {
+    TextTable t({"workload", "mean CoV", "max CoV", "PCs>90% budget", "mean mu+2s (ps)"});
+    for (const auto& prof : workload::spec2000_profiles()) {
+      const workload::ComponentInputGen gen(prof, input_width(c.comp));
+      RunningStat cov_stat;
+      std::vector<double> mu2s;
+      double max_cov = 0;
+      for (int p = 0; p < pcs; ++p) {
+        const Pc pc = 0x1000 + static_cast<Pc>(p) * 4;
+        const auto inst = gen.instances(pc, instances);
+        const InstanceDelayStats s = instance_delay_stats(c.comp, inst);
+        if (s.mu_ps <= 0) continue;
+        const double cov = s.sigma_ps / s.mu_ps;
+        cov_stat.add(cov);
+        max_cov = std::max(max_cov, cov);
+        mu2s.push_back(s.mu_plus_2sigma_ps);
+      }
+      double budget = 0;
+      for (const double d : mu2s) budget = std::max(budget, d);
+      int near_critical = 0;
+      double mean_mu2s = 0;
+      for (const double d : mu2s) {
+        near_critical += d > 0.9 * budget;
+        mean_mu2s += d;
+      }
+      mean_mu2s /= static_cast<double>(mu2s.size());
+      t.add_row({prof.name, TextTable::fmt(cov_stat.mean(), 3), TextTable::fmt(max_cov, 3),
+                 std::to_string(near_critical) + "/" + std::to_string(mu2s.size()),
+                 TextTable::fmt(mean_mu2s, 0)});
+    }
+    std::cout << t.render(std::string(c.name)) << "\n";
+  }
+  std::cout << "Reading: per-PC delay CoV well below the across-PC spread means each\n"
+               "static instruction re-sensitizes nearly the same-length path on every\n"
+               "instance, so a PC that violates timing once keeps violating -- the\n"
+               "delay-domain basis of PC-indexed timing-violation prediction.\n";
+  return 0;
+}

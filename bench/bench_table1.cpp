@@ -1,0 +1,39 @@
+// Reproduces Table 1: per-benchmark fault-free IPC, OoO-engine fault rates
+// at VDD = 0.97 V and 1.04 V, and the (performance %, ED %) overhead tuples
+// of the Razor and Error Padding baselines.
+#include "bench/bench_util.hpp"
+
+using namespace vasim;
+
+int main() {
+  const core::RunnerConfig rc = bench::runner_config_from_env();
+  const core::ExperimentRunner runner(rc);
+  bench::print_run_header("Table 1: Benchmark Fault Rates and Razor/EP overheads", rc);
+
+  TextTable t({"benchmark", "FF-IPC", "(paper)", "FR%@0.97", "Razor(perf,ED)%", "EP(perf,ED)%",
+               "FR%@1.04", "Razor(perf,ED)%", "EP(perf,ED)%"});
+
+  for (const auto& prof : workload::spec2006_profiles()) {
+    const core::RunResult ff = runner.run_fault_free(prof, timing::SupplyPoints::kNominal);
+    std::vector<std::string> row = {prof.name, TextTable::fmt(ff.ipc, 2),
+                                    "(" + TextTable::fmt(prof.paper_ipc, 2) + ")"};
+    for (const double vdd : {timing::SupplyPoints::kHighFault, timing::SupplyPoints::kLowFault}) {
+      const core::RunResult base = runner.run_fault_free(prof, vdd);
+      const core::RunResult razor = runner.run(prof, cpu::scheme_razor(), vdd);
+      const core::RunResult ep = runner.run(prof, cpu::scheme_error_padding(), vdd);
+      const core::Overheads orz = core::overhead_vs(base, razor);
+      const core::Overheads oep = core::overhead_vs(base, ep);
+      row.push_back(TextTable::fmt(razor.fault_rate_pct, 2));
+      row.push_back("(" + TextTable::fmt(orz.perf_pct, 1) + "," + TextTable::fmt(orz.ed_pct, 1) +
+                    ")");
+      row.push_back("(" + TextTable::fmt(oep.perf_pct, 2) + "," + TextTable::fmt(oep.ed_pct, 2) +
+                    ")");
+    }
+    t.add_row(row);
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Paper reference (Table 1): FR 5.6-10.5% @0.97V and 1.4-2.3% @1.04V;\n"
+               "Razor overhead 25-59% @0.97V, 7-25% @1.04V; EP overhead 2-15% @0.97V,\n"
+               "0.5-3.8% @1.04V.  Expected shape: Razor >> EP at both supplies.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table 2 (Supplement S3): area and power overhead of the
+// proposed Violation Tolerant Enhancements, at scheduler level and scaled to
+// core level by the scheduler's share of the core (paper: 3.9% area, 8.9%
+// dynamic power, 1.2% leakage power).
+#include <iostream>
+
+#include "src/circuit/power.hpp"
+#include "src/circuit/scheduler_blocks.hpp"
+#include "src/common/table.hpp"
+
+using namespace vasim;
+using namespace vasim::circuit;
+
+namespace {
+
+// Scheduler share of the whole core, as reported in Supplement S3.
+constexpr double kSchedAreaShare = 0.039;
+constexpr double kSchedDynShare = 0.089;
+constexpr double kSchedLeakShare = 0.012;
+
+std::string pct(double v) { return TextTable::fmt(v * 100.0, 2) + "%"; }
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table 2: Area and Power overhead of the proposed VTE ===\n"
+            << "(gate-level scheduler models, 45 nm-style cell library)\n\n";
+
+  const SchedulerShape shape;
+  const auto base = build_scheduler(SchedulerVariant::kBaseline, shape);
+  const auto absffs = build_scheduler(SchedulerVariant::kAbsFfs, shape);
+  const auto cds = build_scheduler(SchedulerVariant::kCds, shape);
+
+  const PowerReport pb = roll_up(std::span<const Component>(base.blocks));
+  const PowerReport pa = roll_up(std::span<const Component>(absffs.blocks));
+  const PowerReport pc = roll_up(std::span<const Component>(cds.blocks));
+
+  std::cout << "Baseline scheduler: " << pb.gate_count << " gates, " << pb.flop_count
+            << " flops, " << TextTable::fmt(pb.area_um2, 0) << " um^2, "
+            << TextTable::fmt(pb.dynamic_power_uw, 0) << " uW dynamic, "
+            << TextTable::fmt(pb.leakage_power_uw, 1) << " uW leakage\n\n";
+
+  TextTable t({"scheme", "sched-area", "sched-dyn", "sched-leak", "core-area", "core-dyn",
+               "core-leak"});
+  const struct {
+    const char* name;
+    const PowerReport* rep;
+  } rows[] = {{"ABS", &pa}, {"FFS", &pa}, {"CDS", &pc}};
+  for (const auto& row : rows) {
+    const OverheadReport o = overhead(pb, *row.rep);
+    t.add_row({row.name, pct(o.area), pct(o.dynamic_power), pct(o.leakage_power),
+               pct(o.area * kSchedAreaShare), pct(o.dynamic_power * kSchedDynShare),
+               pct(o.leakage_power * kSchedLeakShare)});
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Paper reference (Table 2): ABS/FFS 0.77%/0.57%/0.87% scheduler-level,\n"
+               "CDS 6.35%/1.56%/6.80%; core-level overheads all below 0.25%.\n"
+               "Expected shape: ABS == FFS << CDS; core-level fractions of a percent.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 3 (Supplement S1.2.2): characteristics of the four
+// synthesized processor components -- gate count and logic depth -- plus the
+// statistical timing summary (mu + 2 sigma) the fault model is seeded from.
+#include <iostream>
+
+#include "src/circuit/builders.hpp"
+#include "src/circuit/power.hpp"
+#include "src/circuit/sta.hpp"
+#include "src/common/env.hpp"
+#include "src/common/table.hpp"
+#include "src/timing/process_variation.hpp"
+
+using namespace vasim;
+using namespace vasim::circuit;
+
+int main() {
+  const int dies = static_cast<int>(env_u64("VASIM_STA_DIES", 64));
+  std::cout << "=== Table 3: Details of Synthesized Processor Components ===\n"
+            << "(structural netlists; statistical STA over " << dies << " Monte-Carlo dies)\n\n";
+
+  struct Row {
+    const char* name;
+    Component comp;
+    int paper_gates;
+    int paper_depth;
+  };
+  Row rows[] = {
+      {"IssueQSelect", build_issue_select(32, 4), 189, 33},
+      {"ALU", build_simple_alu(32), 4728, 46},
+      {"AGEN", build_agen(32, 16), 491, 43},
+      {"ForwardCheck", build_forward_check(4, 4, 7), 428, 15},
+  };
+
+  const timing::ProcessVariation pv;
+  TextTable t({"module", "#gates", "(paper)", "depth", "(paper)", "nominal-ps", "mu-ps",
+               "mu+2sigma-ps", "area-um2"});
+  for (Row& r : rows) {
+    const StaResult sta = analyze_nominal(r.comp.netlist);
+    const StatisticalStaResult ssta = analyze_statistical(r.comp.netlist, pv, dies);
+    const PowerReport power = roll_up(r.comp);
+    t.add_row({r.name, std::to_string(r.comp.netlist.num_logic_gates()),
+               "(" + std::to_string(r.paper_gates) + ")", std::to_string(sta.logic_depth),
+               "(" + std::to_string(r.paper_depth) + ")", TextTable::fmt(sta.critical_delay_ps, 0),
+               TextTable::fmt(ssta.mu_ps, 0), TextTable::fmt(ssta.mu_plus_2sigma_ps, 0),
+               TextTable::fmt(power.area_um2, 0)});
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Expected shape: ALU is the largest and among the deepest blocks;\n"
+               "ForwardCheck has by far the smallest logic depth (15 in the paper).\n"
+               "Absolute counts differ from Synopsys DC synthesis of Fabscalar RTL; the\n"
+               "size ordering and depth contrast are the reproduced properties.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Run length is controlled by environment variables so CI can shrink and
+// archival runs can grow the experiments:
+//   VASIM_INSTR   measured committed instructions per run (default 150000)
+//   VASIM_WARMUP  warmup instructions per run              (default 150000)
+#ifndef VASIM_BENCH_BENCH_UTIL_HPP
+#define VASIM_BENCH_BENCH_UTIL_HPP
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "src/common/env.hpp"
+#include "src/common/table.hpp"
+#include "src/core/runner.hpp"
+#include "src/workload/profiles.hpp"
+
+namespace vasim::bench {
+
+inline core::RunnerConfig runner_config_from_env() {
+  core::RunnerConfig rc;
+  rc.instructions = env_u64("VASIM_INSTR", 150'000);
+  rc.warmup = env_u64("VASIM_WARMUP", 150'000);
+  return rc;
+}
+
+/// All scheme results for one benchmark at one supply.
+struct SupplyResults {
+  core::RunResult fault_free;
+  std::map<std::string, core::RunResult> schemes;  // razor/ep/abs/ffs/cds
+};
+
+inline SupplyResults run_all_schemes(const core::ExperimentRunner& runner,
+                                     const workload::BenchmarkProfile& prof, double vdd) {
+  SupplyResults out;
+  out.fault_free = runner.run_fault_free(prof, vdd);
+  for (const auto& scheme : core::comparative_schemes()) {
+    out.schemes.emplace(scheme.name, runner.run(prof, scheme, vdd));
+  }
+  return out;
+}
+
+/// Overhead of one scheme relative to fault-free execution.
+inline core::Overheads scheme_overhead(const SupplyResults& r, const std::string& scheme) {
+  return core::overhead_vs(r.fault_free, r.schemes.at(scheme));
+}
+
+/// Ratio of a scheme's overhead to EP's overhead (the normalization of
+/// Figures 4/5/8/9); clamped at zero when the scheme beats fault-free
+/// execution outright (scheduling-slack artifact, see EXPERIMENTS.md).
+inline double normalized_to_ep(double scheme_pct, double ep_pct) {
+  if (ep_pct <= 0.0) return 0.0;
+  return std::max(0.0, scheme_pct) / ep_pct;
+}
+
+inline void print_run_header(const std::string& what, const core::RunnerConfig& rc) {
+  std::cout << "=== " << what << " ===\n"
+            << "(vasim reproduction; " << rc.instructions << " measured instructions after "
+            << rc.warmup << " warmup per run; override with VASIM_INSTR / VASIM_WARMUP)\n\n";
+}
+
+}  // namespace vasim::bench
+
+#endif  // VASIM_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,65 @@
+// Example: the cross-layer path-sensitization study in miniature (S1).
+//
+// Builds the 32-bit ALU at gate level, replays dynamic instances of a few
+// static PCs against it, and shows (a) how sensitized-path commonality
+// emerges from input locality and (b) how the statistical STA's mu+2sigma
+// delay compares with the cycle time at each supply point -- the chain of
+// reasoning behind the per-PC fault model.
+#include <iostream>
+
+#include "src/circuit/builders.hpp"
+#include "src/circuit/gatesim.hpp"
+#include "src/circuit/sta.hpp"
+#include "src/common/table.hpp"
+#include "src/timing/path_model.hpp"
+#include "src/timing/process_variation.hpp"
+#include "src/timing/voltage.hpp"
+#include "src/workload/inputs.hpp"
+#include "src/workload/profiles.hpp"
+
+int main() {
+  using namespace vasim;
+  using namespace vasim::circuit;
+
+  const Component alu = build_simple_alu(32);
+  std::cout << "32-bit ALU: " << alu.netlist.num_logic_gates() << " gates, depth "
+            << analyze_nominal(alu.netlist).logic_depth << "\n\n";
+
+  // (a) Commonality vs input locality.
+  TextTable t({"input locality", "commonality |phi|/|psi|"});
+  for (const double locality : {0.50, 0.80, 0.90, 0.96}) {
+    workload::Spec2000Profile prof{"demo", locality, 0.5, 0.3, 7};
+    const workload::ComponentInputGen gen(prof, input_width(alu));
+    double acc = 0;
+    const int pcs = 20;
+    for (int p = 0; p < pcs; ++p) {
+      acc += measure_commonality(alu, gen.instances(0x1000 + static_cast<Pc>(p) * 4, 16)).ratio;
+    }
+    t.add_row({TextTable::fmt(locality, 2), TextTable::fmt(acc / pcs, 3)});
+  }
+  std::cout << t.render("Sensitized-path commonality rises with input locality (S1.3)")
+            << "\n";
+
+  // (b) Statistical timing against the supply points.
+  const timing::ProcessVariation pv;
+  const StatisticalStaResult sta = analyze_statistical(alu.netlist, pv, 128);
+  const timing::VoltageModel vm;
+  std::cout << "statistical STA over 128 dies: mu = " << TextTable::fmt(sta.mu_ps, 0)
+            << " ps, sigma = " << TextTable::fmt(sta.sigma_ps, 1)
+            << " ps, mu+2sigma = " << TextTable::fmt(sta.mu_plus_2sigma_ps, 0) << " ps\n\n";
+
+  TextTable v({"VDD", "delay scale", "mu+2sigma (scaled)", "vs nominal-cycle budget"});
+  const double budget = sta.mu_plus_2sigma_ps * 1.03;  // 3% guardband at 1.10 V
+  for (const double vdd : {1.10, 1.04, 0.97}) {
+    const double scaled = sta.mu_plus_2sigma_ps * vm.delay_scale(vdd);
+    v.add_row({TextTable::fmt(vdd, 2), TextTable::fmt(vm.delay_scale(vdd), 4),
+               TextTable::fmt(scaled, 0) + " ps",
+               scaled > budget ? "VIOLATES (timing fault)" : "meets timing"});
+  }
+  std::cout << v.render("The paper's fault criterion: fault iff mu+2sigma exceeds the cycle time")
+            << "\n"
+            << "Lowering VDD from 1.10 V stretches every sensitized path; PCs whose\n"
+            << "mu+2sigma is near the budget start violating -- recurrently, because\n"
+            << "their dynamic instances sensitize nearly the same paths.\n";
+  return 0;
+}

@@ -1,0 +1,347 @@
+#include "src/circuit/builders.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vasim::circuit {
+namespace {
+
+/// Kogge-Stone carry computation.  Returns per-bit carry-in signals given
+/// propagate/generate vectors and an explicit carry-in.
+std::vector<SigId> kogge_stone_carries(Netlist& n, const Bus& p, const Bus& g, SigId cin) {
+  const int w = static_cast<int>(p.size());
+  // (G, P) prefix pairs; level 0 = per-bit (g, p).
+  std::vector<SigId> gk(g.begin(), g.end());
+  std::vector<SigId> pk(p.begin(), p.end());
+  for (int dist = 1; dist < w; dist *= 2) {
+    std::vector<SigId> gn = gk;
+    std::vector<SigId> pn = pk;
+    for (int i = dist; i < w; ++i) {
+      // (G,P) = (G_i | P_i & G_{i-dist}, P_i & P_{i-dist})
+      gn[static_cast<std::size_t>(i)] =
+          n.or2(gk[static_cast<std::size_t>(i)],
+                n.and2(pk[static_cast<std::size_t>(i)], gk[static_cast<std::size_t>(i - dist)]));
+      pn[static_cast<std::size_t>(i)] =
+          n.and2(pk[static_cast<std::size_t>(i)], pk[static_cast<std::size_t>(i - dist)]);
+    }
+    gk = std::move(gn);
+    pk = std::move(pn);
+  }
+  // carry into bit i = G[0..i-1] | P[0..i-1] & cin ; carry into bit 0 = cin.
+  std::vector<SigId> carries(static_cast<std::size_t>(w) + 1);
+  carries[0] = cin;
+  for (int i = 0; i < w; ++i) {
+    carries[static_cast<std::size_t>(i) + 1] =
+        n.or2(gk[static_cast<std::size_t>(i)], n.and2(pk[static_cast<std::size_t>(i)], cin));
+  }
+  return carries;
+}
+
+/// Fixed-distance logical shift of `v` (towards MSB when left), filling with 0.
+Bus shifted_wires(Netlist& n, const Bus& v, int dist, bool left) {
+  const int w = static_cast<int>(v.size());
+  Bus out(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) {
+    const int src = left ? i - dist : i + dist;
+    out[static_cast<std::size_t>(i)] =
+        (src >= 0 && src < w) ? v[static_cast<std::size_t>(src)] : n.const0();
+  }
+  return out;
+}
+
+/// Barrel shifter over log2 stages controlled by `shamt`.
+Bus barrel_shift(Netlist& n, const Bus& v, const Bus& shamt, bool left) {
+  Bus cur = v;
+  for (std::size_t k = 0; k < shamt.size(); ++k) {
+    const Bus moved = shifted_wires(n, cur, 1 << k, left);
+    cur = n.bus_mux(cur, moved, shamt[k]);
+  }
+  return cur;
+}
+
+/// One-hot priority grant over `req`: grants the lowest-index requester.
+Bus priority_grant(Netlist& n, const Bus& req) {
+  Bus grant(req.size());
+  SigId before = kNoSig;  // OR of all earlier requests
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    if (i == 0) {
+      grant[i] = n.buf(req[i]);
+      before = req[i];
+    } else {
+      grant[i] = n.and2(req[i], n.inv(before));
+      before = n.or2(before, req[i]);
+    }
+  }
+  return grant;
+}
+
+}  // namespace
+
+Component build_simple_alu(int width) {
+  if (width < 2) throw std::invalid_argument("build_simple_alu: width >= 2");
+  Component c;
+  c.name = "SimpleALU";
+  Netlist& n = c.netlist;
+  const Bus a = n.add_input_bus(width);
+  const Bus b = n.add_input_bus(width);
+  const Bus op = n.add_input_bus(3);
+  c.inputs = a;
+  c.inputs.insert(c.inputs.end(), b.begin(), b.end());
+  c.inputs.insert(c.inputs.end(), op.begin(), op.end());
+
+  // Subtract (and SLT) invert b and set carry-in.
+  const SigId sub = n.and2(op[0], n.xnor2(op[2], op[1]));
+  Bus b_eff(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) b_eff[i] = n.xor2(b[i], sub);
+
+  // Adder (Kogge-Stone).
+  const Bus p = n.bus_xor(a, b_eff);
+  const Bus g = n.bus_and(a, b_eff);
+  const std::vector<SigId> carries = kogge_stone_carries(n, p, g, sub);
+  Bus sum(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) sum[i] = n.xor2(p[i], carries[i]);
+
+  // Logic unit.
+  const Bus r_and = n.bus_and(a, b);
+  const Bus r_or = n.bus_or(a, b);
+  const Bus r_xor = n.bus_xor(a, b);
+
+  // Shifters (shift amount = low log2(width) bits of b).
+  int sh_bits = 0;
+  while ((1 << sh_bits) < width) ++sh_bits;
+  const Bus shamt(b.begin(), b.begin() + sh_bits);
+  const Bus r_shl = barrel_shift(n, a, shamt, /*left=*/true);
+  const Bus r_shr = barrel_shift(n, a, shamt, /*left=*/false);
+
+  // Signed set-less-than from the subtraction result.
+  const SigId a_msb = a.back();
+  const SigId b_msb = b.back();
+  const SigId diff_msb = sum.back();
+  const SigId sign_differs = n.xor2(a_msb, b_msb);
+  // a<b  =  (a<0 & b>=0)  |  (signs equal & diff<0)
+  const SigId lt = n.or2(n.and2(a_msb, n.inv(b_msb)), n.and2(n.inv(sign_differs), diff_msb));
+  Bus r_slt(static_cast<std::size_t>(width));
+  r_slt[0] = n.buf(lt);
+  for (int i = 1; i < width; ++i) r_slt[static_cast<std::size_t>(i)] = n.const0();
+
+  // Result mux tree keyed on op (see AluOp encoding).
+  const Bus r01 = sum;                            // add / sub
+  const Bus r23 = n.bus_mux(r_and, r_or, op[0]);  // and / or
+  const Bus r45 = n.bus_mux(r_xor, r_shl, op[0]); // xor / shl
+  const Bus r67 = n.bus_mux(r_shr, r_slt, op[0]); // shr / slt
+  const Bus lo = n.bus_mux(r01, r23, op[1]);
+  const Bus hi = n.bus_mux(r45, r67, op[1]);
+  const Bus result = n.bus_mux(lo, hi, op[2]);
+
+  // Zero flag.
+  const SigId zero = n.inv(n.reduce_or(result));
+
+  for (const SigId s : result) n.mark_output(s);
+  n.mark_output(zero);
+  c.outputs = result;
+  c.outputs.push_back(zero);
+  return c;
+}
+
+Component build_issue_select(int entries, int grants) {
+  if (entries < 1 || grants < 1) throw std::invalid_argument("build_issue_select: bad shape");
+  Component c;
+  c.name = "IssueQSelect";
+  Netlist& n = c.netlist;
+  const Bus req = n.add_input_bus(entries);
+  c.inputs = req;
+
+  Bus grant_acc;
+  if (grants == 1 || entries == 1) {
+    grant_acc = priority_grant(n, req);
+  } else {
+    // Banked select: two halves, each granting up to grants/2 requesters via
+    // chained priority arbiters (the low-gate-count structure real select
+    // trees use; a half can starve only when the other half is saturated).
+    const int half = entries / 2;
+    const int per_half = grants / 2;
+    grant_acc.assign(static_cast<std::size_t>(entries), kNoSig);
+    for (int h = 0; h < 2; ++h) {
+      const auto begin = req.begin() + (h == 0 ? 0 : half);
+      const auto end = h == 0 ? req.begin() + half : req.end();
+      Bus live(begin, end);
+      Bus granted(live.size(), kNoSig);
+      for (std::size_t i = 0; i < live.size(); ++i) granted[i] = n.const0();
+      for (int round = 0; round < per_half; ++round) {
+        const Bus g = priority_grant(n, live);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          granted[i] = n.or2(granted[i], g[i]);
+          live[i] = n.and2(live[i], n.inv(g[i]));
+        }
+      }
+      for (std::size_t i = 0; i < granted.size(); ++i) {
+        grant_acc[static_cast<std::size_t>(h == 0 ? 0 : half) + i] = granted[i];
+      }
+    }
+  }
+  for (const SigId s : grant_acc) n.mark_output(s);
+  c.outputs = grant_acc;
+  return c;
+}
+
+Component build_agen(int width, int off_bits) {
+  if (width < 8 || off_bits < 1 || off_bits > width) {
+    throw std::invalid_argument("build_agen: bad shape");
+  }
+  Component c;
+  c.name = "AGEN";
+  Netlist& n = c.netlist;
+  const Bus base = n.add_input_bus(width);
+  const Bus offset = n.add_input_bus(off_bits);
+  const Bus size = n.add_input_bus(2);
+  c.inputs = base;
+  c.inputs.insert(c.inputs.end(), offset.begin(), offset.end());
+  c.inputs.insert(c.inputs.end(), size.begin(), size.end());
+
+  // Sign-extend the offset.
+  Bus off_ext = offset;
+  const SigId sign = offset.back();
+  for (int i = off_bits; i < width; ++i) off_ext.push_back(n.buf(sign));
+
+  // Carry-select adder in 8-bit blocks: block 0 ripples from cin=0, later
+  // blocks compute both carry assumptions and mux on the resolved carry.
+  constexpr int kBlock = 8;
+  Bus addr;
+  SigId carry = n.const0();
+  for (int lo = 0; lo < width; lo += kBlock) {
+    const int hi = std::min(lo + kBlock, width);
+    const Bus ab(base.begin() + lo, base.begin() + hi);
+    const Bus bb(off_ext.begin() + lo, off_ext.begin() + hi);
+    if (lo == 0) {
+      SigId cout = kNoSig;
+      const Bus s = n.ripple_add(ab, bb, carry, &cout);
+      addr.insert(addr.end(), s.begin(), s.end());
+      carry = cout;
+    } else {
+      SigId cout0 = kNoSig;
+      SigId cout1 = kNoSig;
+      const Bus s0 = n.ripple_add(ab, bb, n.const0(), &cout0);
+      const Bus s1 = n.ripple_add(ab, bb, n.const1(), &cout1);
+      const Bus s = n.bus_mux(s0, s1, carry);
+      addr.insert(addr.end(), s.begin(), s.end());
+      carry = n.mux2(cout0, cout1, carry);
+    }
+  }
+
+  // Misalignment detect: size 01 = half, 10 = word, 11 = double.
+  const SigId a0 = addr[0];
+  const SigId a01 = n.or2(addr[0], addr[1]);
+  const SigId a012 = n.or2(a01, addr[2]);
+  const SigId sz_half = n.and2(n.inv(size[1]), size[0]);
+  const SigId sz_word = n.and2(size[1], n.inv(size[0]));
+  const SigId sz_dbl = n.and2(size[1], size[0]);
+  const SigId mis =
+      n.or2(n.or2(n.and2(sz_half, a0), n.and2(sz_word, a01)), n.and2(sz_dbl, a012));
+
+  for (const SigId s : addr) n.mark_output(s);
+  n.mark_output(mis);
+  c.outputs = addr;
+  c.outputs.push_back(mis);
+  return c;
+}
+
+Component build_forward_check(int producers, int consumers, int tag_bits) {
+  if (producers < 1 || consumers < 1 || tag_bits < 1) {
+    throw std::invalid_argument("build_forward_check: bad shape");
+  }
+  Component c;
+  c.name = "ForwardCheck";
+  Netlist& n = c.netlist;
+  std::vector<Bus> prod_tag;
+  prod_tag.reserve(static_cast<std::size_t>(producers));
+  for (int i = 0; i < producers; ++i) prod_tag.push_back(n.add_input_bus(tag_bits));
+  const Bus prod_valid = n.add_input_bus(producers);
+  std::vector<std::vector<Bus>> src_tag(static_cast<std::size_t>(consumers));
+  for (int i = 0; i < consumers; ++i) {
+    for (int s = 0; s < 2; ++s) src_tag[static_cast<std::size_t>(i)].push_back(n.add_input_bus(tag_bits));
+  }
+  const Bus src_valid = n.add_input_bus(consumers * 2);
+  for (SigId id = 0; id < n.num_inputs(); ++id) c.inputs.push_back(id);
+
+  Bus fwd;
+  Bus any;
+  for (int i = 0; i < consumers; ++i) {
+    for (int s = 0; s < 2; ++s) {
+      const Bus& tag = src_tag[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)];
+      const SigId sv = src_valid[static_cast<std::size_t>(i * 2 + s)];
+      Bus matches;
+      for (int p = 0; p < producers; ++p) {
+        const SigId eq = n.equals(tag, prod_tag[static_cast<std::size_t>(p)]);
+        const SigId en = n.and2(n.and2(eq, prod_valid[static_cast<std::size_t>(p)]), sv);
+        fwd.push_back(en);
+        matches.push_back(en);
+      }
+      any.push_back(n.reduce_or(matches));
+    }
+  }
+  for (const SigId s : fwd) n.mark_output(s);
+  for (const SigId s : any) n.mark_output(s);
+  c.outputs = fwd;
+  c.outputs.insert(c.outputs.end(), any.begin(), any.end());
+  return c;
+}
+
+Component build_array_multiplier(int width) {
+  if (width < 2 || width > 16) throw std::invalid_argument("build_array_multiplier: width 2..16");
+  Component c;
+  c.name = "ArrayMultiplier";
+  Netlist& n = c.netlist;
+  const Bus a = n.add_input_bus(width);
+  const Bus b = n.add_input_bus(width);
+  c.inputs = a;
+  c.inputs.insert(c.inputs.end(), b.begin(), b.end());
+
+  // Accumulate shifted partial-product rows: acc += (a & b[i]) << i.
+  Bus acc(static_cast<std::size_t>(2 * width));
+  for (auto& s : acc) s = n.const0();
+  for (int i = 0; i < width; ++i) {
+    Bus row(static_cast<std::size_t>(2 * width));
+    for (int j = 0; j < 2 * width; ++j) {
+      const int src = j - i;
+      row[static_cast<std::size_t>(j)] =
+          (src >= 0 && src < width) ? n.and2(a[static_cast<std::size_t>(src)],
+                                             b[static_cast<std::size_t>(i)])
+                                    : n.const0();
+    }
+    acc = n.ripple_add(acc, row, n.const0());
+  }
+  for (const SigId s : acc) n.mark_output(s);
+  c.outputs = acc;
+  return c;
+}
+
+Component build_lsq_cam(int entries, int tag_bits) {
+  if (entries < 1 || tag_bits < 1) throw std::invalid_argument("build_lsq_cam: bad shape");
+  Component c;
+  c.name = "LsqCam";
+  Netlist& n = c.netlist;
+  const Bus search = n.add_input_bus(tag_bits);
+  std::vector<Bus> tags;
+  for (int e = 0; e < entries; ++e) tags.push_back(n.add_input_bus(tag_bits));
+  const Bus valid = n.add_input_bus(entries);
+  const Bus older = n.add_input_bus(entries);
+  for (SigId id = 0; id < n.num_inputs(); ++id) c.inputs.push_back(id);
+
+  Bus matches;
+  for (int e = 0; e < entries; ++e) {
+    const std::size_t i = static_cast<std::size_t>(e);
+    const SigId eq = n.equals(tags[i], search);
+    const SigId m = n.and2(n.and2(eq, valid[i]), older[i]);
+    matches.push_back(m);
+  }
+  const SigId any = n.reduce_or(matches);
+  for (const SigId s : matches) n.mark_output(s);
+  n.mark_output(any);
+  c.outputs = matches;
+  c.outputs.push_back(any);
+  // Stored state: tag + valid bit per entry.
+  c.flop_count = entries * (tag_bits + 1);
+  return c;
+}
+
+}  // namespace vasim::circuit

@@ -1,0 +1,80 @@
+// Structural builders for the four microprocessor components studied in
+// Supplement S1 (Table 3 / Figure 7): simple ALU, issue-queue select, AGEN
+// and forward-check logic.  Each builder returns a Component: a netlist plus
+// its flattened input ordering and a storage-bit count for power accounting.
+#ifndef VASIM_CIRCUIT_BUILDERS_HPP
+#define VASIM_CIRCUIT_BUILDERS_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+
+namespace vasim::circuit {
+
+/// A synthesized block: netlist + IO bookkeeping.
+struct Component {
+  std::string name;
+  Netlist netlist;
+  /// Primary inputs in evaluation order (== ids [0, num_inputs)).
+  Bus inputs;
+  /// Primary outputs (also marked in the netlist).
+  Bus outputs;
+  /// Sequential storage bits attached to this block (flops are accounted in
+  /// area/power but not gate-simulated).
+  int flop_count = 0;
+};
+
+/// ALU opcodes for build_simple_alu (3-bit op input, LSB first).
+enum class AluOp : int {
+  kAdd = 0,
+  kSub = 1,
+  kAnd = 2,
+  kOr = 3,
+  kXor = 4,
+  kShl = 5,
+  kShr = 6,
+  kSlt = 7,
+};
+
+/// 32-bit (parameterizable) single-cycle ALU: Kogge-Stone adder/subtractor,
+/// logic unit, barrel shifter, signed set-less-than; zero flag output.
+/// Inputs: a[width], b[width], op[3].  Outputs: result[width], zero.
+Component build_simple_alu(int width = 32);
+
+/// Issue-queue select: picks up to `grants` requesters out of `entries`
+/// (paper: 4-of-32).  Implemented as per-half chained priority arbiters, the
+/// canonical low-gate-count select tree.  Inputs: req[entries].
+/// Outputs: grant[entries].
+Component build_issue_select(int entries = 32, int grants = 4);
+
+/// Address-generation unit: base[width] + sign-extended offset[off_bits]
+/// using carry-select blocks, plus misalignment detect for the access size.
+/// Inputs: base[width], offset[off_bits], size[2].
+/// Outputs: addr[width], misaligned.
+Component build_agen(int width = 32, int off_bits = 16);
+
+/// Forward-check (bypass-control) logic: compares `producers` result tags
+/// against `consumers` x 2 source tags and raises a forward-enable per
+/// (consumer, source, producer) plus per-source "any match".
+/// Inputs: prod_tag[producers][tag_bits], prod_valid[producers],
+///         src_tag[consumers][2][tag_bits], src_valid[consumers][2].
+/// Outputs: fwd[consumers*2*producers], any[consumers*2].
+Component build_forward_check(int producers = 4, int consumers = 4, int tag_bits = 7);
+
+/// Shift-add array multiplier (the complex-ALU datapath of Section 3.3.3's
+/// multi-cycle units).  Inputs: a[width], b[width].  Outputs: p[2*width].
+Component build_array_multiplier(int width = 8);
+
+/// LSQ CAM match line (the memory-stage structure of Section 3.3.4): one
+/// search tag compared against every queue entry, qualified by valid and
+/// older-than masks.  Inputs: search[tag_bits], entry_tag[entries][tag_bits],
+/// valid[entries], older[entries].  Outputs: match[entries], any_match.
+Component build_lsq_cam(int entries = 24, int tag_bits = 12);
+
+/// Convenience: total input width of a component.
+inline int input_width(const Component& c) { return static_cast<int>(c.inputs.size()); }
+
+}  // namespace vasim::circuit
+
+#endif  // VASIM_CIRCUIT_BUILDERS_HPP

@@ -1,0 +1,29 @@
+#include "src/circuit/cell_library.hpp"
+
+#include <array>
+
+namespace vasim::circuit {
+
+const CellInfo& cell_info(GateKind kind) {
+  // Representative 45 nm values (area in um^2, delay in ps, energy in fJ per
+  // toggle, leakage in nW).  Ratios follow typical standard-cell data books:
+  // XOR/MUX are ~2x the area/delay of NAND; a flop is ~4-5x a NAND.
+  static const std::array<CellInfo, kNumGateKinds> table = {{
+      {"input", 0, 0.0, 0.0, 0.0, 0.0},
+      {"const0", 0, 0.0, 0.0, 0.0, 0.0},
+      {"const1", 0, 0.0, 0.0, 0.0, 0.0},
+      {"buf", 1, 0.53, 28.0, 0.45, 9.0},
+      {"inv", 1, 0.40, 14.0, 0.35, 8.0},
+      {"and2", 2, 0.80, 36.0, 0.70, 15.0},
+      {"or2", 2, 0.80, 38.0, 0.72, 15.0},
+      {"nand2", 2, 0.53, 22.0, 0.55, 11.0},
+      {"nor2", 2, 0.53, 26.0, 0.58, 12.0},
+      {"xor2", 2, 1.33, 48.0, 1.30, 26.0},
+      {"xnor2", 2, 1.33, 48.0, 1.30, 26.0},
+      {"mux2", 3, 1.46, 44.0, 1.20, 24.0},
+      {"dff", 1, 2.39, 90.0, 2.10, 48.0},
+  }};
+  return table[static_cast<int>(kind)];
+}
+
+}  // namespace vasim::circuit

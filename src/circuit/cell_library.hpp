@@ -1,0 +1,56 @@
+// A small 45 nm-style standard-cell library.
+//
+// Stands in for the FreePDK45 library the paper synthesizes against with
+// Synopsys Design Compiler.  Per-cell area/delay/energy/leakage values are
+// representative 45 nm magnitudes; Table 2/3 and the fault model only
+// consume ratios and relative orderings, which this preserves.
+#ifndef VASIM_CIRCUIT_CELL_LIBRARY_HPP
+#define VASIM_CIRCUIT_CELL_LIBRARY_HPP
+
+#include <string_view>
+
+#include "src/common/types.hpp"
+
+namespace vasim::circuit {
+
+/// Primitive cells.  kInput/kConst are zero-cost pseudo-cells; kDff is used
+/// for storage accounting (sequential state is not gate-simulated).
+enum class GateKind : u8 {
+  kInput = 0,
+  kConst0,
+  kConst1,
+  kBuf,
+  kInv,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kMux2,
+  kDff,
+};
+
+inline constexpr int kNumGateKinds = 13;
+
+/// Electrical characteristics of one cell.
+struct CellInfo {
+  std::string_view name;
+  int fanin = 0;          ///< number of logic inputs (mux counts select)
+  double area_um2 = 0.0;  ///< layout area
+  double delay_ps = 0.0;  ///< nominal propagation delay
+  double energy_fj = 0.0; ///< dynamic energy per output toggle
+  double leakage_nw = 0.0;///< static leakage power
+};
+
+/// Characteristics of `kind` in the default 45 nm library.
+const CellInfo& cell_info(GateKind kind);
+
+/// True for cells that participate in combinational evaluation.
+constexpr bool is_combinational(GateKind kind) {
+  return kind != GateKind::kInput && kind != GateKind::kDff;
+}
+
+}  // namespace vasim::circuit
+
+#endif  // VASIM_CIRCUIT_CELL_LIBRARY_HPP

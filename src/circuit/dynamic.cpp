@@ -1,0 +1,169 @@
+#include "src/circuit/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "src/circuit/gatesim.hpp"
+#include "src/common/stats.hpp"
+
+namespace vasim::circuit {
+namespace {
+
+double delay_of(GateKind kind, SigId id, const timing::ProcessVariation* pv, u64 die) {
+  const double nominal = cell_info(kind).delay_ps;
+  if (pv == nullptr) return nominal;
+  return nominal * pv->delay_factor(die, static_cast<u64>(id));
+}
+
+}  // namespace
+
+SensitizedDelay sensitized_delay(const Component& component, std::span<const u8> pre,
+                                 std::span<const u8> cur, const timing::ProcessVariation* pv,
+                                 u64 die) {
+  GateSim sim(&component.netlist);
+  sim.evaluate(pre);
+  sim.evaluate(cur);
+  const std::vector<u8>& toggled = sim.toggled();
+
+  SensitizedDelay r;
+  const auto& gates = component.netlist.gates();
+  std::vector<double> arrival(gates.size(), 0.0);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (!toggled[i]) continue;
+    const Gate& g = gates[i];
+    if (!is_combinational(g.kind)) continue;  // toggled primary inputs arrive at t=0
+    ++r.toggled_gates;
+    double in_max = 0.0;
+    const int fanin = cell_info(g.kind).fanin;
+    for (int k = 0; k < fanin; ++k) {
+      const auto src = static_cast<std::size_t>(g.in[k]);
+      if (toggled[src]) in_max = std::max(in_max, arrival[src]);
+    }
+    arrival[i] = in_max + delay_of(g.kind, static_cast<SigId>(i), pv, die);
+    if (arrival[i] > r.delay_ps) {
+      r.delay_ps = arrival[i];
+      r.endpoint = static_cast<SigId>(i);
+    }
+  }
+  return r;
+}
+
+InstanceDelayStats instance_delay_stats(
+    const Component& component,
+    std::span<const std::pair<std::vector<u8>, std::vector<u8>>> instances,
+    const timing::ProcessVariation* pv, u64 die) {
+  InstanceDelayStats s;
+  RunningStat acc;
+  for (const auto& [pre, cur] : instances) {
+    const SensitizedDelay d = sensitized_delay(component, pre, cur, pv, die);
+    acc.add(d.delay_ps);
+  }
+  s.instances = static_cast<int>(instances.size());
+  s.mu_ps = acc.mean();
+  s.sigma_ps = acc.stddev();
+  s.mu_plus_2sigma_ps = s.mu_ps + 2.0 * s.sigma_ps;
+  s.max_ps = acc.max();
+  return s;
+}
+
+TimedGateSim::TimedGateSim(const Component* component, const timing::ProcessVariation* pv,
+                           u64 die)
+    : component_(component) {
+  const auto& gates = component_->netlist.gates();
+  gate_delay_ps_.resize(gates.size(), 0.0);
+  fanout_.resize(gates.size());
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (!is_combinational(g.kind)) continue;
+    gate_delay_ps_[i] = delay_of(g.kind, static_cast<SigId>(i), pv, die);
+    const int fanin = cell_info(g.kind).fanin;
+    for (int k = 0; k < fanin; ++k) {
+      fanout_[static_cast<std::size_t>(g.in[k])].push_back(static_cast<SigId>(i));
+    }
+  }
+}
+
+TimedGateSim::Result TimedGateSim::evaluate(std::span<const u8> pre, std::span<const u8> cur) {
+  const Netlist& n = component_->netlist;
+  if (static_cast<int>(pre.size()) != n.num_inputs() ||
+      static_cast<int>(cur.size()) != n.num_inputs()) {
+    throw std::invalid_argument("TimedGateSim: input width mismatch");
+  }
+
+  // Settle on `pre` with a zero-delay pass.
+  GateSim settle(&n);
+  settle.evaluate(pre);
+  std::vector<u8> value = settle.values();
+
+  const auto eval_gate = [&](std::size_t i) -> u8 {
+    const Gate& g = n.gates()[i];
+    const auto v = [&](int k) { return value[static_cast<std::size_t>(g.in[k])]; };
+    switch (g.kind) {
+      case GateKind::kConst0: return 0;
+      case GateKind::kConst1: return 1;
+      case GateKind::kBuf: return v(0);
+      case GateKind::kInv: return v(0) ^ 1u;
+      case GateKind::kAnd2: return v(0) & v(1);
+      case GateKind::kOr2: return v(0) | v(1);
+      case GateKind::kNand2: return (v(0) & v(1)) ^ 1u;
+      case GateKind::kNor2: return (v(0) | v(1)) ^ 1u;
+      case GateKind::kXor2: return v(0) ^ v(1);
+      case GateKind::kXnor2: return (v(0) ^ v(1)) ^ 1u;
+      case GateKind::kMux2: return v(2) != 0 ? value[static_cast<std::size_t>(g.in[1])]
+                                             : value[static_cast<std::size_t>(g.in[0])];
+      default: return value[i];
+    }
+  };
+
+  // Event wheel keyed by time: each event re-evaluates one gate.
+  std::multimap<double, SigId> wheel;
+  std::vector<u32> change_count(value.size(), 0);
+  Result r;
+
+  // Input transition at t = 0.
+  for (int i = 0; i < n.num_inputs(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (value[idx] == cur[idx]) continue;
+    value[idx] = cur[idx];
+    for (const SigId f : fanout_[idx]) wheel.emplace(gate_delay_ps_[static_cast<std::size_t>(f)], f);
+  }
+
+  u64 processed = 0;
+  const u64 budget = static_cast<u64>(n.num_signals()) * 64;  // runaway guard
+  while (!wheel.empty()) {
+    if (++processed > budget) throw std::runtime_error("TimedGateSim: oscillation detected");
+    const auto it = wheel.begin();
+    const double t = it->first;
+    const auto i = static_cast<std::size_t>(it->second);
+    wheel.erase(it);
+    const u8 next = eval_gate(i);
+    if (next == value[i]) continue;
+    value[i] = next;
+    ++r.transitions;
+    r.dynamic_energy_fj += cell_info(n.gates()[i].kind).energy_fj;
+    if (++change_count[i] == 2) ++r.glitches;
+    r.settle_ps = std::max(r.settle_ps, t);
+    for (const SigId f : fanout_[i]) {
+      wheel.emplace(t + gate_delay_ps_[static_cast<std::size_t>(f)], f);
+    }
+  }
+  return r;
+}
+
+PowerReport measured_power(const Component& component,
+                           std::span<const std::pair<std::vector<u8>, std::vector<u8>>> instances,
+                           double frequency_ghz) {
+  PowerReport r = roll_up(component, PowerConditions{frequency_ghz, 0.0, 0.0});
+  if (instances.empty()) return r;
+  TimedGateSim sim(&component);
+  double total_fj = 0.0;
+  for (const auto& [pre, cur] : instances) total_fj += sim.evaluate(pre, cur).dynamic_energy_fj;
+  const double per_cycle_fj = total_fj / static_cast<double>(instances.size());
+  // fJ per cycle * GHz = uW.
+  r.dynamic_power_uw += per_cycle_fj * frequency_ghz;
+  return r;
+}
+
+}  // namespace vasim::circuit

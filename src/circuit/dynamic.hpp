@@ -1,0 +1,91 @@
+// Dynamic (vector-pair driven) gate-level analyses.
+//
+// These close the loop of the paper's S1 methodology: instead of assuming a
+// per-PC path delay, they *measure* it from the gates an instruction's
+// input transition actually sensitizes.
+//
+//  * sensitized_delay -- longest transition-propagation path through the
+//    toggled-gate set of one (previous, current) input pair, optionally
+//    under per-die process variation.  This is the per-instance "sensitized
+//    path delay" of [12]'s instruction-level path sensitization analysis.
+//  * TimedGateSim -- event-driven timing simulation of the same transition:
+//    per-gate delays, transition counts, glitch detection and settle time.
+//  * measured_power -- dynamic power from *measured* toggle activity over an
+//    instance set, replacing the constant-activity assumption of roll_up().
+#ifndef VASIM_CIRCUIT_DYNAMIC_HPP
+#define VASIM_CIRCUIT_DYNAMIC_HPP
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/circuit/builders.hpp"
+#include "src/circuit/power.hpp"
+#include "src/timing/process_variation.hpp"
+
+namespace vasim::circuit {
+
+/// Result of one sensitized-path extraction.
+struct SensitizedDelay {
+  double delay_ps = 0.0;   ///< arrival of the latest toggled gate
+  int toggled_gates = 0;   ///< size of the sensitized set
+  SigId endpoint = kNoSig; ///< the gate completing last
+};
+
+/// Longest transition path of the (pre -> cur) input change: a topological
+/// bound over the toggled-gate cone (every toggled gate is assumed to wait
+/// for its slowest toggled fanin, i.e. controlling-value early settling is
+/// ignored).  When `pv` is non-null, per-gate delays carry die `die`'s
+/// process variation.  TimedGateSim reports the event-exact settle time,
+/// which can be below this bound (early-settling cones) or above it
+/// (dynamic hazards).
+SensitizedDelay sensitized_delay(const Component& component, std::span<const u8> pre,
+                                 std::span<const u8> cur,
+                                 const timing::ProcessVariation* pv = nullptr, u64 die = 0);
+
+/// Per-PC statistical summary over many instances: the mu + 2 sigma quantity
+/// the fault criterion compares against the cycle time (Section 4.3).
+struct InstanceDelayStats {
+  double mu_ps = 0.0;
+  double sigma_ps = 0.0;
+  double mu_plus_2sigma_ps = 0.0;
+  double max_ps = 0.0;
+  int instances = 0;
+};
+InstanceDelayStats instance_delay_stats(
+    const Component& component,
+    std::span<const std::pair<std::vector<u8>, std::vector<u8>>> instances,
+    const timing::ProcessVariation* pv = nullptr, u64 die = 0);
+
+/// Event-driven timed simulation of one input transition.
+class TimedGateSim {
+ public:
+  explicit TimedGateSim(const Component* component,
+                        const timing::ProcessVariation* pv = nullptr, u64 die = 0);
+
+  struct Result {
+    double settle_ps = 0.0;  ///< time of the last output change
+    u64 transitions = 0;     ///< total gate-output changes
+    u64 glitches = 0;        ///< gates changing more than once
+    double dynamic_energy_fj = 0.0;  ///< energy of the measured transitions
+  };
+
+  /// Applies `pre`, lets the circuit settle, then switches to `cur` at t=0
+  /// and simulates the propagation.
+  Result evaluate(std::span<const u8> pre, std::span<const u8> cur);
+
+ private:
+  const Component* component_;
+  std::vector<double> gate_delay_ps_;
+  std::vector<std::vector<SigId>> fanout_;
+};
+
+/// Dynamic power from measured activity over an instance set (one transition
+/// per instance), at the given clock frequency.
+PowerReport measured_power(const Component& component,
+                           std::span<const std::pair<std::vector<u8>, std::vector<u8>>> instances,
+                           double frequency_ghz = 2.0);
+
+}  // namespace vasim::circuit
+
+#endif  // VASIM_CIRCUIT_DYNAMIC_HPP

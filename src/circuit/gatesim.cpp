@@ -1,0 +1,111 @@
+#include "src/circuit/gatesim.hpp"
+
+#include <stdexcept>
+
+namespace vasim::circuit {
+
+GateSim::GateSim(const Netlist* netlist) : netlist_(netlist) {
+  const auto n = static_cast<std::size_t>(netlist_->num_signals());
+  values_.assign(n, 0);
+  prev_values_.assign(n, 0);
+  toggled_.assign(n, 0);
+}
+
+const std::vector<u8>& GateSim::evaluate(std::span<const u8> inputs) {
+  if (static_cast<int>(inputs.size()) != netlist_->num_inputs()) {
+    throw std::invalid_argument("GateSim: input width mismatch");
+  }
+  if (has_prev_) prev_values_ = values_;
+  const auto& gates = netlist_->gates();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    u8 v = 0;
+    switch (g.kind) {
+      case GateKind::kInput: v = inputs[i]; break;
+      case GateKind::kConst0: v = 0; break;
+      case GateKind::kConst1: v = 1; break;
+      case GateKind::kBuf: v = values_[static_cast<std::size_t>(g.in[0])]; break;
+      case GateKind::kInv: v = values_[static_cast<std::size_t>(g.in[0])] ^ 1u; break;
+      case GateKind::kAnd2:
+        v = values_[static_cast<std::size_t>(g.in[0])] & values_[static_cast<std::size_t>(g.in[1])];
+        break;
+      case GateKind::kOr2:
+        v = values_[static_cast<std::size_t>(g.in[0])] | values_[static_cast<std::size_t>(g.in[1])];
+        break;
+      case GateKind::kNand2:
+        v = (values_[static_cast<std::size_t>(g.in[0])] & values_[static_cast<std::size_t>(g.in[1])]) ^ 1u;
+        break;
+      case GateKind::kNor2:
+        v = (values_[static_cast<std::size_t>(g.in[0])] | values_[static_cast<std::size_t>(g.in[1])]) ^ 1u;
+        break;
+      case GateKind::kXor2:
+        v = values_[static_cast<std::size_t>(g.in[0])] ^ values_[static_cast<std::size_t>(g.in[1])];
+        break;
+      case GateKind::kXnor2:
+        v = (values_[static_cast<std::size_t>(g.in[0])] ^ values_[static_cast<std::size_t>(g.in[1])]) ^ 1u;
+        break;
+      case GateKind::kMux2:
+        v = values_[static_cast<std::size_t>(g.in[2])] != 0
+                ? values_[static_cast<std::size_t>(g.in[1])]
+                : values_[static_cast<std::size_t>(g.in[0])];
+        break;
+      case GateKind::kDff:
+        throw std::logic_error("GateSim: kDff is accounting-only, not simulatable");
+    }
+    values_[i] = v;
+  }
+  if (has_prev_) {
+    for (std::size_t i = 0; i < values_.size(); ++i) toggled_[i] = values_[i] != prev_values_[i];
+  }
+  has_prev_ = true;
+  return values_;
+}
+
+u64 GateSim::read_bus(const Bus& bus) const {
+  u64 v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    if (value(bus[i])) v |= (1ULL << i);
+  }
+  return v;
+}
+
+void GateSim::pack_bits(u64 value, int width, std::vector<u8>& out) {
+  for (int i = 0; i < width; ++i) out.push_back(static_cast<u8>((value >> i) & 1u));
+}
+
+CommonalityResult measure_commonality(
+    const Component& component,
+    std::span<const std::pair<std::vector<u8>, std::vector<u8>>> instances) {
+  CommonalityResult r;
+  if (instances.empty()) {
+    r.ratio = 1.0;
+    return r;
+  }
+  const auto n = static_cast<std::size_t>(component.netlist.num_signals());
+  std::vector<u8> phi(n, 1);  // toggled in every instance so far
+  std::vector<u8> psi(n, 0);  // toggled in any instance so far
+  GateSim sim(&component.netlist);
+  for (const auto& [pre, cur] : instances) {
+    sim.evaluate(pre);
+    sim.evaluate(cur);
+    const auto& t = sim.toggled();
+    for (std::size_t i = 0; i < n; ++i) {
+      phi[i] = static_cast<u8>(phi[i] & t[i]);
+      psi[i] = static_cast<u8>(psi[i] | t[i]);
+    }
+  }
+  // Only count real logic gates (primary inputs toggle by construction).
+  const auto& gates = component.netlist.gates();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (gates[i].kind == GateKind::kInput || gates[i].kind == GateKind::kConst0 ||
+        gates[i].kind == GateKind::kConst1) {
+      continue;
+    }
+    r.phi += phi[i];
+    r.psi += psi[i];
+  }
+  r.ratio = r.psi == 0 ? 1.0 : static_cast<double>(r.phi) / static_cast<double>(r.psi);
+  return r;
+}
+
+}  // namespace vasim::circuit

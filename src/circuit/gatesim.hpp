@@ -1,0 +1,69 @@
+// Two-value combinational gate simulation with toggle tracking, and the
+// sensitized-path commonality analysis of Supplement S1.
+//
+// Commonality is defined in the paper as |phi| / |psi| where phi is the set
+// of gates that change state in *every* dynamic instance of a static PC and
+// psi is the set that changes in *at least one* instance.  A "dynamic
+// instance" is a transition: the component evaluates the preceding
+// instruction's inputs (which set internal logic state), then the instance's
+// inputs; a gate is toggled when its output differs between the two
+// evaluations.
+#ifndef VASIM_CIRCUIT_GATESIM_HPP
+#define VASIM_CIRCUIT_GATESIM_HPP
+
+#include <span>
+#include <vector>
+
+#include "src/circuit/builders.hpp"
+
+namespace vasim::circuit {
+
+/// Forward-pass evaluator over a (topologically ordered) netlist.
+class GateSim {
+ public:
+  explicit GateSim(const Netlist* netlist);
+
+  /// Evaluates all gates for the given primary-input values (size must equal
+  /// num_inputs()).  Returns the full signal-value vector.
+  const std::vector<u8>& evaluate(std::span<const u8> inputs);
+
+  /// Values from the most recent evaluate().
+  [[nodiscard]] const std::vector<u8>& values() const { return values_; }
+
+  /// Value of one signal from the most recent evaluate().
+  [[nodiscard]] bool value(SigId s) const { return values_[static_cast<std::size_t>(s)] != 0; }
+
+  /// Per-signal flags: did the signal change between the last two
+  /// evaluations?  All false until two evaluations have run.
+  [[nodiscard]] const std::vector<u8>& toggled() const { return toggled_; }
+
+  /// Reads a bus as an unsigned integer (LSB first).
+  [[nodiscard]] u64 read_bus(const Bus& bus) const;
+
+  /// Helper: packs an unsigned integer into `width` input bits (LSB first).
+  static void pack_bits(u64 value, int width, std::vector<u8>& out);
+
+ private:
+  const Netlist* netlist_;
+  std::vector<u8> values_;
+  std::vector<u8> prev_values_;
+  std::vector<u8> toggled_;
+  bool has_prev_ = false;
+};
+
+/// Result of the S1 commonality measurement for one static PC.
+struct CommonalityResult {
+  int phi = 0;      ///< gates toggled in every instance
+  int psi = 0;      ///< gates toggled in at least one instance
+  double ratio = 0; ///< phi / psi (1.0 when psi == 0)
+};
+
+/// Measures commonality over a set of dynamic instances.  Each instance is a
+/// (preceding-input, instance-input) pair of full input vectors.
+CommonalityResult measure_commonality(
+    const Component& component,
+    std::span<const std::pair<std::vector<u8>, std::vector<u8>>> instances);
+
+}  // namespace vasim::circuit
+
+#endif  // VASIM_CIRCUIT_GATESIM_HPP

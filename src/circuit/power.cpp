@@ -1,0 +1,53 @@
+#include "src/circuit/power.hpp"
+
+namespace vasim::circuit {
+
+PowerReport& PowerReport::operator+=(const PowerReport& o) {
+  area_um2 += o.area_um2;
+  dynamic_power_uw += o.dynamic_power_uw;
+  leakage_power_uw += o.leakage_power_uw;
+  gate_count += o.gate_count;
+  flop_count += o.flop_count;
+  return *this;
+}
+
+PowerReport roll_up(const Component& component, const PowerConditions& cond) {
+  PowerReport r;
+  for (const Gate& g : component.netlist.gates()) {
+    if (g.kind == GateKind::kInput || g.kind == GateKind::kConst0 || g.kind == GateKind::kConst1) {
+      continue;
+    }
+    const CellInfo& ci = cell_info(g.kind);
+    r.area_um2 += ci.area_um2;
+    // fJ * GHz = uW.
+    r.dynamic_power_uw += ci.energy_fj * cond.activity * cond.frequency_ghz;
+    r.leakage_power_uw += ci.leakage_nw * 1e-3;
+    ++r.gate_count;
+  }
+  const CellInfo& ff = cell_info(GateKind::kDff);
+  r.area_um2 += ff.area_um2 * component.flop_count;
+  r.dynamic_power_uw += ff.energy_fj * cond.flop_activity * cond.frequency_ghz * component.flop_count;
+  r.leakage_power_uw += ff.leakage_nw * 1e-3 * component.flop_count;
+  r.flop_count += component.flop_count;
+  return r;
+}
+
+PowerReport roll_up(std::span<const Component> components, const PowerConditions& cond) {
+  PowerReport total;
+  for (const Component& c : components) total += roll_up(c, cond);
+  return total;
+}
+
+OverheadReport overhead(const PowerReport& baseline, const PowerReport& enhanced) {
+  OverheadReport o;
+  if (baseline.area_um2 > 0) o.area = enhanced.area_um2 / baseline.area_um2 - 1.0;
+  if (baseline.dynamic_power_uw > 0) {
+    o.dynamic_power = enhanced.dynamic_power_uw / baseline.dynamic_power_uw - 1.0;
+  }
+  if (baseline.leakage_power_uw > 0) {
+    o.leakage_power = enhanced.leakage_power_uw / baseline.leakage_power_uw - 1.0;
+  }
+  return o;
+}
+
+}  // namespace vasim::circuit

@@ -1,0 +1,47 @@
+// Area / power roll-up over components, replacing the Synopsys DC reports
+// the paper gathers (Section 4.1, Table 2).
+#ifndef VASIM_CIRCUIT_POWER_HPP
+#define VASIM_CIRCUIT_POWER_HPP
+
+#include <span>
+
+#include "src/circuit/builders.hpp"
+
+namespace vasim::circuit {
+
+/// Operating conditions for dynamic power estimation.
+struct PowerConditions {
+  double frequency_ghz = 2.0;
+  double activity = 0.10;       ///< average toggle probability per gate per cycle
+  double flop_activity = 0.15;  ///< average write probability per flop per cycle
+};
+
+/// Synthesis-style report for one block (or a union of blocks).
+struct PowerReport {
+  double area_um2 = 0.0;
+  double dynamic_power_uw = 0.0;
+  double leakage_power_uw = 0.0;
+  int gate_count = 0;
+  int flop_count = 0;
+
+  PowerReport& operator+=(const PowerReport& o);
+};
+
+/// Rolls up one component.
+PowerReport roll_up(const Component& component, const PowerConditions& cond = {});
+
+/// Rolls up a set of components (e.g. a SchedulerAssembly's blocks).
+PowerReport roll_up(std::span<const Component> components, const PowerConditions& cond = {});
+
+/// Relative overhead of `enhanced` over `baseline` as fractions (area,
+/// dynamic, leakage), the quantity Table 2 reports.
+struct OverheadReport {
+  double area = 0.0;
+  double dynamic_power = 0.0;
+  double leakage_power = 0.0;
+};
+OverheadReport overhead(const PowerReport& baseline, const PowerReport& enhanced);
+
+}  // namespace vasim::circuit
+
+#endif  // VASIM_CIRCUIT_POWER_HPP

@@ -1,0 +1,296 @@
+#include "src/circuit/scheduler_blocks.hpp"
+
+#include <stdexcept>
+
+namespace vasim::circuit {
+namespace {
+
+/// Unsigned a < b, ripple from MSB with an equality chain.
+SigId less_than(Netlist& n, const Bus& a, const Bus& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("less_than: width mismatch");
+  SigId lt = n.const0();
+  SigId eq_chain = n.const1();
+  for (std::size_t idx = a.size(); idx-- > 0;) {
+    const SigId a_lt_b_here = n.and2(n.inv(a[idx]), b[idx]);
+    lt = n.or2(lt, n.and2(eq_chain, a_lt_b_here));
+    eq_chain = n.and2(eq_chain, n.xnor2(a[idx], b[idx]));
+  }
+  return lt;
+}
+
+/// Population count via a full-adder tree; result bus is minimal width.
+Bus popcount(Netlist& n, const Bus& bits) {
+  if (bits.empty()) return Bus{n.const0()};
+  if (bits.size() == 1) return Bus{n.buf(bits[0])};
+  if (bits.size() == 2) {
+    return Bus{n.xor2(bits[0], bits[1]), n.and2(bits[0], bits[1])};
+  }
+  if (bits.size() == 3) {
+    // Full adder.
+    const SigId axb = n.xor2(bits[0], bits[1]);
+    const SigId sum = n.xor2(axb, bits[2]);
+    const SigId carry = n.or2(n.and2(bits[0], bits[1]), n.and2(axb, bits[2]));
+    return Bus{sum, carry};
+  }
+  const std::size_t half = bits.size() / 2;
+  Bus lo = popcount(n, Bus(bits.begin(), bits.begin() + static_cast<long>(half)));
+  Bus hi = popcount(n, Bus(bits.begin() + static_cast<long>(half), bits.end()));
+  while (lo.size() < hi.size()) lo.push_back(n.const0());
+  while (hi.size() < lo.size()) hi.push_back(n.const0());
+  SigId cout = kNoSig;
+  Bus sum = n.ripple_add(lo, hi, n.const0(), &cout);
+  sum.push_back(cout);
+  return sum;
+}
+
+/// One-hot priority grant (lowest index wins).
+Bus priority_grant(Netlist& n, const Bus& req) {
+  Bus grant(req.size());
+  SigId before = kNoSig;
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    if (i == 0) {
+      grant[i] = n.buf(req[i]);
+      before = req[i];
+    } else {
+      grant[i] = n.and2(req[i], n.inv(before));
+      before = n.or2(before, req[i]);
+    }
+  }
+  return grant;
+}
+
+}  // namespace
+
+Component build_wakeup_cam(const SchedulerShape& shape) {
+  Component c;
+  c.name = "WakeupCAM";
+  Netlist& n = c.netlist;
+  std::vector<Bus> bcast_tag;
+  for (int p = 0; p < shape.broadcast_ports; ++p) bcast_tag.push_back(n.add_input_bus(shape.tag_bits));
+  const Bus bcast_valid = n.add_input_bus(shape.broadcast_ports);
+  std::vector<Bus> op_tag;
+  for (int e = 0; e < shape.entries; ++e) {
+    for (int s = 0; s < 2; ++s) op_tag.push_back(n.add_input_bus(shape.tag_bits));
+  }
+  const Bus waiting = n.add_input_bus(shape.entries * 2);
+  for (SigId id = 0; id < n.num_inputs(); ++id) c.inputs.push_back(id);
+
+  for (int e = 0; e < shape.entries; ++e) {
+    for (int s = 0; s < 2; ++s) {
+      const std::size_t slot = static_cast<std::size_t>(e * 2 + s);
+      Bus port_match;
+      for (int p = 0; p < shape.broadcast_ports; ++p) {
+        const SigId eq = n.equals(op_tag[slot], bcast_tag[static_cast<std::size_t>(p)]);
+        port_match.push_back(n.and2(eq, bcast_valid[static_cast<std::size_t>(p)]));
+      }
+      const SigId match = n.and2(n.reduce_or(port_match), waiting[slot]);
+      n.mark_output(match);
+      c.outputs.push_back(match);
+    }
+  }
+  // Stored state: two operand tags and two ready bits per entry.
+  c.flop_count = shape.entries * (2 * shape.tag_bits + 2);
+  return c;
+}
+
+Component build_age_select(const SchedulerShape& shape) {
+  Component c;
+  c.name = "AgeSelect";
+  Netlist& n = c.netlist;
+  const Bus req_in = n.add_input_bus(shape.entries);
+  std::vector<Bus> ts;
+  for (int e = 0; e < shape.entries; ++e) ts.push_back(n.add_input_bus(shape.timestamp_bits));
+  for (SigId id = 0; id < n.num_inputs(); ++id) c.inputs.push_back(id);
+
+  Bus live = req_in;
+  Bus granted(static_cast<std::size_t>(shape.entries));
+  for (int e = 0; e < shape.entries; ++e) granted[static_cast<std::size_t>(e)] = n.const0();
+
+  const Bus all_ones(static_cast<std::size_t>(shape.timestamp_bits), n.const1());
+  for (int round = 0; round < shape.grants; ++round) {
+    // Effective key: requesters keep their timestamp, idle entries act as
+    // max-age-plus (never win).  min-scan then one-hot match + priority.
+    Bus min_ts = n.bus_mux(all_ones, ts[0], live[0]);
+    for (int e = 1; e < shape.entries; ++e) {
+      const Bus cand = n.bus_mux(all_ones, ts[static_cast<std::size_t>(e)],
+                                 live[static_cast<std::size_t>(e)]);
+      const SigId take = less_than(n, cand, min_ts);
+      min_ts = n.bus_mux(min_ts, cand, take);
+    }
+    Bus cand_grant(static_cast<std::size_t>(shape.entries));
+    for (int e = 0; e < shape.entries; ++e) {
+      const SigId eq = n.equals(ts[static_cast<std::size_t>(e)], min_ts);
+      cand_grant[static_cast<std::size_t>(e)] = n.and2(live[static_cast<std::size_t>(e)], eq);
+    }
+    const Bus g = priority_grant(n, cand_grant);
+    for (int e = 0; e < shape.entries; ++e) {
+      const std::size_t i = static_cast<std::size_t>(e);
+      granted[i] = n.or2(granted[i], g[i]);
+      live[i] = n.and2(live[i], n.inv(g[i]));
+    }
+  }
+  for (const SigId s : granted) n.mark_output(s);
+  c.outputs = granted;
+  // Stored state: per-entry timestamp.
+  c.flop_count = shape.entries * shape.timestamp_bits;
+  return c;
+}
+
+Component build_countdown(const SchedulerShape& shape) {
+  Component c;
+  c.name = "Countdown";
+  Netlist& n = c.netlist;
+  std::vector<Bus> counts;
+  for (int p = 0; p < shape.broadcast_ports; ++p) counts.push_back(n.add_input_bus(shape.countdown_bits));
+  const Bus active = n.add_input_bus(shape.broadcast_ports);
+  for (SigId id = 0; id < n.num_inputs(); ++id) c.inputs.push_back(id);
+
+  for (int p = 0; p < shape.broadcast_ports; ++p) {
+    const Bus& cnt = counts[static_cast<std::size_t>(p)];
+    // Decrement: borrow ripple.
+    Bus next(cnt.size());
+    SigId borrow = n.const1();
+    std::vector<SigId> zero_bits;
+    for (std::size_t i = 0; i < cnt.size(); ++i) {
+      next[i] = n.xor2(cnt[i], borrow);
+      borrow = n.and2(n.inv(cnt[i]), borrow);
+      zero_bits.push_back(n.inv(cnt[i]));
+    }
+    const SigId is_zero = n.reduce_and(zero_bits);
+    const SigId fire = n.and2(is_zero, active[static_cast<std::size_t>(p)]);
+    for (const SigId s : next) {
+      n.mark_output(s);
+      c.outputs.push_back(s);
+    }
+    n.mark_output(fire);
+    c.outputs.push_back(fire);
+  }
+  c.flop_count = shape.broadcast_ports * (shape.countdown_bits + 1);
+  return c;
+}
+
+Component build_payload(const SchedulerShape& shape) {
+  Component c;
+  c.name = "Payload";
+  Netlist& n = c.netlist;
+  // Read-out: per issue slot, a one-hot grant selects one entry's payload
+  // word.  Payload word = dest tag + opcode(6) + control(4).
+  const int word = shape.tag_bits + 10;
+  std::vector<Bus> words;
+  for (int e = 0; e < shape.entries; ++e) words.push_back(n.add_input_bus(word));
+  std::vector<Bus> grants;
+  for (int g = 0; g < shape.grants; ++g) grants.push_back(n.add_input_bus(shape.entries));
+  for (SigId id = 0; id < n.num_inputs(); ++id) c.inputs.push_back(id);
+
+  for (int g = 0; g < shape.grants; ++g) {
+    for (int b = 0; b < word; ++b) {
+      std::vector<SigId> taps;
+      for (int e = 0; e < shape.entries; ++e) {
+        taps.push_back(n.and2(grants[static_cast<std::size_t>(g)][static_cast<std::size_t>(e)],
+                              words[static_cast<std::size_t>(e)][static_cast<std::size_t>(b)]));
+      }
+      const SigId out = n.reduce_or(taps);
+      n.mark_output(out);
+      c.outputs.push_back(out);
+    }
+  }
+  // Stored state: one payload word per entry.
+  c.flop_count = shape.entries * word;
+  return c;
+}
+
+Component build_vte_addon(const SchedulerShape& shape) {
+  Component c;
+  c.name = "VTEAddon";
+  Netlist& n = c.netlist;
+  const Bus sel_fault = n.add_input_bus(shape.grants);
+  std::vector<Bus> sel_fu;  // one-hot FU assignment per issue slot
+  for (int g = 0; g < shape.grants; ++g) sel_fu.push_back(n.add_input_bus(shape.num_fus));
+  const Bus fusr = n.add_input_bus(shape.num_fus);
+  std::vector<Bus> counts;
+  for (int p = 0; p < shape.broadcast_ports; ++p) counts.push_back(n.add_input_bus(shape.countdown_bits));
+  for (SigId id = 0; id < n.num_inputs(); ++id) c.inputs.push_back(id);
+
+  // Next-cycle FUSR: a unit goes busy (bit -> 0) when a predicted-faulty
+  // instruction was just scheduled to it (Section 3.3.3).
+  for (int f = 0; f < shape.num_fus; ++f) {
+    Bus hits;
+    for (int g = 0; g < shape.grants; ++g) {
+      hits.push_back(n.and2(sel_fault[static_cast<std::size_t>(g)],
+                            sel_fu[static_cast<std::size_t>(g)][static_cast<std::size_t>(f)]));
+    }
+    const SigId busy = n.reduce_or(hits);
+    const SigId next = n.and2(fusr[static_cast<std::size_t>(f)], n.inv(busy));
+    n.mark_output(next);
+    c.outputs.push_back(next);
+  }
+  // Issue-slot freeze flags (Section 3.2.3): registered copy of sel_fault.
+  for (int g = 0; g < shape.grants; ++g) {
+    const SigId s = n.buf(sel_fault[static_cast<std::size_t>(g)]);
+    n.mark_output(s);
+    c.outputs.push_back(s);
+  }
+  // Delayed tag broadcast (Section 3.2.2): countdown + 1 when faulty, via an
+  // increment and a per-bit select mux.
+  for (int p = 0; p < shape.broadcast_ports; ++p) {
+    const Bus& cnt = counts[static_cast<std::size_t>(p)];
+    Bus inc(cnt.size());
+    SigId carry = n.const1();
+    for (std::size_t i = 0; i < cnt.size(); ++i) {
+      inc[i] = n.xor2(cnt[i], carry);
+      carry = n.and2(cnt[i], carry);
+    }
+    const SigId faulty = p < shape.grants ? sel_fault[static_cast<std::size_t>(p)] : n.const0();
+    const Bus adjusted = n.bus_mux(cnt, inc, faulty);
+    for (const SigId s : adjusted) {
+      n.mark_output(s);
+      c.outputs.push_back(s);
+    }
+  }
+  // Stored state: 4-bit fault field per entry (Section 3.2.1), the FUSR and
+  // the per-slot freeze flags.
+  c.flop_count = shape.entries * 4 + shape.num_fus + shape.grants;
+  return c;
+}
+
+Component build_cdl(const SchedulerShape& shape) {
+  Component c;
+  c.name = "CDL";
+  Netlist& n = c.netlist;
+  const Bus match = n.add_input_bus(shape.entries);
+  const Bus ct = n.add_input_bus(shape.criticality_threshold_bits);
+  for (SigId id = 0; id < n.num_inputs(); ++id) c.inputs.push_back(id);
+
+  Bus count = popcount(n, match);
+  Bus ct_ext = ct;
+  while (ct_ext.size() < count.size()) ct_ext.push_back(n.const0());
+  while (count.size() < ct_ext.size()) count.push_back(n.const0());
+  const SigId is_critical = n.inv(less_than(n, count, ct_ext));
+  for (const SigId s : count) {
+    n.mark_output(s);
+    c.outputs.push_back(s);
+  }
+  n.mark_output(is_critical);
+  c.outputs.push_back(is_critical);
+  // Stored state: per-entry criticality bit (also mirrored into the TEP).
+  c.flop_count = shape.entries;
+  return c;
+}
+
+SchedulerAssembly build_scheduler(SchedulerVariant variant, const SchedulerShape& shape) {
+  SchedulerAssembly a;
+  a.variant = variant;
+  a.blocks.push_back(build_wakeup_cam(shape));
+  a.blocks.push_back(build_age_select(shape));
+  a.blocks.push_back(build_countdown(shape));
+  a.blocks.push_back(build_payload(shape));
+  if (variant == SchedulerVariant::kAbsFfs || variant == SchedulerVariant::kCds) {
+    a.blocks.push_back(build_vte_addon(shape));
+  }
+  if (variant == SchedulerVariant::kCds) {
+    a.blocks.push_back(build_cdl(shape));
+  }
+  return a;
+}
+
+}  // namespace vasim::circuit

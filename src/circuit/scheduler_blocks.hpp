@@ -1,0 +1,77 @@
+// Gate-level models of the issue-stage scheduler and the paper's Violation
+// Tolerant Enhancements, used to regenerate Table 2 (area/power overhead of
+// ABS/FFS/CDS over the Error-Padding baseline scheduler).
+//
+// The baseline scheduler (shared by EP and fault-free execution, Section
+// 4.2) already contains wakeup CAM, age-based (timestamp) select and
+// completion-countdown logic.  ABS/FFS add only the VTE bookkeeping (4-bit
+// fault field per entry, FUSR, slot-freeze and broadcast-delay logic); CDS
+// additionally instantiates the Criticality Detection Logic (Section 3.5.2).
+#ifndef VASIM_CIRCUIT_SCHEDULER_BLOCKS_HPP
+#define VASIM_CIRCUIT_SCHEDULER_BLOCKS_HPP
+
+#include "src/circuit/builders.hpp"
+
+namespace vasim::circuit {
+
+/// Scheduler variants of Table 2.
+enum class SchedulerVariant {
+  kBaseline,  ///< EP / fault-free scheduler (wakeup + age select + countdown)
+  kAbsFfs,    ///< + VTE fault field, FUSR, slot freeze, delayed broadcast
+  kCds,       ///< + Criticality Detection Logic on top of kAbsFfs
+};
+
+/// Shape of the modeled scheduler (defaults follow Fabscalar Core-1).
+struct SchedulerShape {
+  int entries = 32;        ///< issue-queue entries
+  int tag_bits = 7;        ///< physical-register tag width (96 regs)
+  int broadcast_ports = 4; ///< result-tag broadcast buses (issue width)
+  int grants = 4;          ///< select width
+  int num_fus = 8;         ///< functional units tracked by the FUSR
+  int timestamp_bits = 6;  ///< ABS mod-64 timestamp (Section 3.5)
+  int countdown_bits = 4;  ///< completion countdown per broadcast port
+  int criticality_threshold_bits = 4;  ///< CT comparator width (CT = 8)
+};
+
+/// Wakeup CAM: per entry, two operand tags compared against every broadcast
+/// port; a match on any port readies the operand.
+/// Flops: 2 tag fields + 2 ready bits per entry.
+Component build_wakeup_cam(const SchedulerShape& shape = {});
+
+/// Age-based selection: request gating by operand-ready, banked 4-of-N
+/// priority select, plus per-entry timestamp storage and the oldest-first
+/// compare chain.
+Component build_age_select(const SchedulerShape& shape = {});
+
+/// Completion-countdown logic: per broadcast port a countdown register and
+/// decrementer that fires the tag broadcast in the completion cycle
+/// (Section 3.2.2).
+Component build_countdown(const SchedulerShape& shape = {});
+
+/// Issue-queue payload storage: destination tag, opcode and control bits per
+/// entry plus the read-out muxing towards the issue slots.  Part of the
+/// baseline scheduler all variants share.
+Component build_payload(const SchedulerShape& shape = {});
+
+/// VTE additions shared by ABS and FFS (Sections 3.2.1-3.2.3): per-entry
+/// 4-bit fault field, FUSR with per-FU freeze gating, issue-slot freeze
+/// registers, +1 countdown adjust muxes.
+Component build_vte_addon(const SchedulerShape& shape = {});
+
+/// Criticality Detection Logic (Section 3.5.2): popcount of the per-entry
+/// tag-match lines, compared against the criticality threshold; per-entry
+/// criticality bit storage.
+Component build_cdl(const SchedulerShape& shape = {});
+
+/// Full scheduler assembly for a variant: the union of its sub-blocks,
+/// reported as one Component for area/power roll-up.  (Sub-blocks remain
+/// separately buildable for unit tests.)
+struct SchedulerAssembly {
+  SchedulerVariant variant;
+  std::vector<Component> blocks;
+};
+SchedulerAssembly build_scheduler(SchedulerVariant variant, const SchedulerShape& shape = {});
+
+}  // namespace vasim::circuit
+
+#endif  // VASIM_CIRCUIT_SCHEDULER_BLOCKS_HPP

@@ -1,0 +1,101 @@
+#include "src/circuit/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/stats.hpp"
+
+namespace vasim::circuit {
+namespace {
+
+/// Arrival-time forward pass with a per-gate delay callback.
+template <typename DelayFn>
+double max_arrival(const Netlist& netlist, DelayFn&& delay_of, SigId* argmax) {
+  const auto& gates = netlist.gates();
+  std::vector<double> arrival(gates.size(), 0.0);
+  double best = 0.0;
+  SigId best_sig = kNoSig;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (!is_combinational(g.kind)) continue;
+    double in_max = 0.0;
+    const int fanin = cell_info(g.kind).fanin;
+    for (int k = 0; k < fanin; ++k) {
+      in_max = std::max(in_max, arrival[static_cast<std::size_t>(g.in[k])]);
+    }
+    arrival[i] = in_max + delay_of(static_cast<u64>(i), g.kind);
+    if (arrival[i] > best) {
+      best = arrival[i];
+      best_sig = static_cast<SigId>(i);
+    }
+  }
+  if (argmax != nullptr) *argmax = best_sig;
+  return best;
+}
+
+}  // namespace
+
+StaResult analyze_nominal(const Netlist& netlist) {
+  StaResult r;
+  r.critical_delay_ps =
+      max_arrival(netlist, [](u64, GateKind k) { return cell_info(k).delay_ps; }, &r.critical_signal);
+
+  // Logic depth: longest path counted in gates (buffers and constants count
+  // zero, matching how synthesis reports levels of logic).
+  const auto& gates = netlist.gates();
+  std::vector<int> depth(gates.size(), 0);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (!is_combinational(g.kind)) continue;
+    int in_max = 0;
+    const int fanin = cell_info(g.kind).fanin;
+    for (int k = 0; k < fanin; ++k) {
+      in_max = std::max(in_max, depth[static_cast<std::size_t>(g.in[k])]);
+    }
+    const bool counts = g.kind != GateKind::kBuf && g.kind != GateKind::kConst0 &&
+                        g.kind != GateKind::kConst1;
+    depth[i] = in_max + (counts ? 1 : 0);
+    r.logic_depth = std::max(r.logic_depth, depth[i]);
+  }
+  return r;
+}
+
+namespace {
+
+template <typename DelayFn>
+StatisticalStaResult monte_carlo_sta(const Netlist& netlist, int dies, DelayFn&& delay_of) {
+  StatisticalStaResult r;
+  r.dies = dies;
+  RunningStat acc;
+  for (int die = 0; die < dies; ++die) {
+    const double d = max_arrival(
+        netlist,
+        [&](u64 gate_id, GateKind k) { return delay_of(die, gate_id, k); }, nullptr);
+    acc.add(d);
+  }
+  r.mu_ps = acc.mean();
+  r.sigma_ps = acc.stddev();
+  r.mu_plus_2sigma_ps = r.mu_ps + 2.0 * r.sigma_ps;
+  r.min_ps = acc.min();
+  r.max_ps = acc.max();
+  return r;
+}
+
+}  // namespace
+
+StatisticalStaResult analyze_statistical(const Netlist& netlist,
+                                         const timing::ProcessVariation& pv, int dies) {
+  return monte_carlo_sta(netlist, dies, [&](int die, u64 gate_id, GateKind k) {
+    return cell_info(k).delay_ps * pv.delay_factor(static_cast<u64>(die), gate_id);
+  });
+}
+
+StatisticalStaResult analyze_statistical(const Netlist& netlist,
+                                         const timing::SpatialVariation& sv, int dies) {
+  const u64 total = static_cast<u64>(netlist.num_signals());
+  return monte_carlo_sta(netlist, dies, [&](int die, u64 gate_id, GateKind k) {
+    return cell_info(k).delay_ps * sv.delay_factor(static_cast<u64>(die), gate_id, total);
+  });
+}
+
+}  // namespace vasim::circuit

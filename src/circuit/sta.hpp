@@ -1,0 +1,49 @@
+// Static timing analysis over a netlist, deterministic and statistical.
+//
+// Deterministic STA computes per-signal arrival times (topological longest
+// path with library cell delays) and the logic depth reported in Table 3.
+// Statistical STA runs a Monte-Carlo over process-variation die samples and
+// reports the mu + 2 sigma critical delay the fault model is built on
+// (Section 4.3).
+#ifndef VASIM_CIRCUIT_STA_HPP
+#define VASIM_CIRCUIT_STA_HPP
+
+#include "src/circuit/netlist.hpp"
+#include "src/timing/process_variation.hpp"
+
+namespace vasim::circuit {
+
+/// Deterministic timing summary.
+struct StaResult {
+  double critical_delay_ps = 0.0;  ///< longest input-to-output delay
+  int logic_depth = 0;             ///< gates on the longest (by count) path
+  SigId critical_signal = kNoSig;  ///< endpoint of the critical path
+};
+
+/// Statistical timing summary across Monte-Carlo dies.
+struct StatisticalStaResult {
+  double mu_ps = 0.0;
+  double sigma_ps = 0.0;
+  double mu_plus_2sigma_ps = 0.0;
+  double min_ps = 0.0;
+  double max_ps = 0.0;
+  int dies = 0;
+};
+
+/// Longest-path analysis with nominal cell delays.
+StaResult analyze_nominal(const Netlist& netlist);
+
+/// Monte-Carlo statistical STA: per die, every gate's delay is scaled by the
+/// process-variation factor; the die's critical delay is the max arrival.
+StatisticalStaResult analyze_statistical(const Netlist& netlist,
+                                         const timing::ProcessVariation& pv, int dies);
+
+/// Same, under VARIUS-style spatially correlated variation.  Correlated
+/// neighborhoods stop per-gate noise from averaging out along a path, so
+/// the critical-delay sigma grows with the systematic fraction.
+StatisticalStaResult analyze_statistical(const Netlist& netlist,
+                                         const timing::SpatialVariation& sv, int dies);
+
+}  // namespace vasim::circuit
+
+#endif  // VASIM_CIRCUIT_STA_HPP

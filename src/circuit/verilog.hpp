@@ -1,0 +1,23 @@
+// Structural Verilog export of a Component.
+//
+// Mirrors the paper's flow in reverse: our builders produce the netlists
+// that Fabscalar + Synopsys DC produced for the authors; exporting them as
+// synthesizable structural Verilog lets the same blocks be pushed through a
+// real synthesis/STA flow for cross-validation.
+#ifndef VASIM_CIRCUIT_VERILOG_HPP
+#define VASIM_CIRCUIT_VERILOG_HPP
+
+#include <string>
+
+#include "src/circuit/builders.hpp"
+
+namespace vasim::circuit {
+
+/// Renders `component` as a synthesizable structural Verilog module using
+/// primitive continuous assignments.  Inputs become `in[N-1:0]`, marked
+/// outputs `out[M-1:0]`; internal nets are `n<i>`.
+std::string to_verilog(const Component& component, const std::string& module_name);
+
+}  // namespace vasim::circuit
+
+#endif  // VASIM_CIRCUIT_VERILOG_HPP

@@ -1,0 +1,21 @@
+#include "src/common/env.hpp"
+
+#include <cstdlib>
+
+namespace vasim {
+
+u64 env_u64(const std::string& name, u64 fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<u64>(v);
+}
+
+std::string env_str(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+}  // namespace vasim

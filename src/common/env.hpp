@@ -1,0 +1,20 @@
+// Environment-variable helpers for scaling benchmark runs.
+#ifndef VASIM_COMMON_ENV_HPP
+#define VASIM_COMMON_ENV_HPP
+
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace vasim {
+
+/// Reads an unsigned integer from the environment; `fallback` when unset or
+/// unparsable.
+u64 env_u64(const std::string& name, u64 fallback);
+
+/// Reads a string from the environment; `fallback` when unset.
+std::string env_str(const std::string& name, const std::string& fallback);
+
+}  // namespace vasim
+
+#endif  // VASIM_COMMON_ENV_HPP

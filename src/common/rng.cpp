@@ -1,0 +1,13 @@
+#include "src/common/rng.hpp"
+
+namespace vasim {
+
+double hash_to_gaussian(u64 h) {
+  // Derive two independent uniforms from the hash and apply Box-Muller.
+  double u1 = hash_to_unit(h);
+  const double u2 = hash_to_unit(hash_mix(h ^ 0xabcdef0123456789ULL));
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace vasim

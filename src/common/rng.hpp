@@ -1,0 +1,104 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in vasim is derived either from a seeded PCG32
+// stream (sequential draws) or from SplitMix-style hashing of entity
+// identifiers (stateless per-entity draws, e.g. "the path factor of PC p in
+// stage s").  Hash-derived draws make the fault model reproducible and
+// order-independent: querying PCs in a different order yields the same
+// per-PC values, which is what gives timing faults their per-PC locality.
+#ifndef VASIM_COMMON_RNG_HPP
+#define VASIM_COMMON_RNG_HPP
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/types.hpp"
+
+namespace vasim {
+
+/// Mixes a 64-bit value into a well-distributed 64-bit hash (SplitMix64
+/// finalizer).
+constexpr u64 hash_mix(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hash values (order-sensitive).
+constexpr u64 hash_combine(u64 a, u64 b) {
+  return hash_mix(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Maps a hash to the unit interval [0, 1).
+constexpr double hash_to_unit(u64 h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Maps a hash to a standard normal deviate via the inverse of the
+/// Box-Muller angle trick on two derived uniforms.
+double hash_to_gaussian(u64 h);
+
+/// PCG32: small, fast, statistically excellent sequential generator.
+class Pcg32 {
+ public:
+  explicit Pcg32(u64 seed = 0x853c49e6748fea9bULL, u64 stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  u32 next_u32() {
+    const u64 old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const u32 xorshifted = static_cast<u32>(((old >> 18u) ^ old) >> 27u);
+    const u32 rot = static_cast<u32>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  u64 next_u64() { return (static_cast<u64>(next_u32()) << 32) | next_u32(); }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  u32 next_below(u32 bound) {
+    if (bound <= 1) return 0;
+    const u32 threshold = (-bound) % bound;
+    for (;;) {
+      const u32 r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Standard normal deviate (Box-Muller, one value per call pair amortized).
+  double next_gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  u64 state_ = 0;
+  u64 inc_ = 0;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace vasim
+
+#endif  // VASIM_COMMON_RNG_HPP

@@ -1,0 +1,55 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace vasim {
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::fmt(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+}  // namespace vasim

@@ -1,0 +1,38 @@
+// ASCII table / CSV rendering for the benchmark harness output.
+//
+// The bench binaries regenerate the paper's tables and figure series; this
+// printer keeps their output aligned and machine-parseable.
+#ifndef VASIM_COMMON_TABLE_HPP
+#define VASIM_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace vasim {
+
+/// Column-aligned text table with optional title and CSV export.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with a rule under the header; columns padded to max width.
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+
+  /// Comma-separated rendering (no padding), header first.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string fmt(double v, int prec = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vasim
+
+#endif  // VASIM_COMMON_TABLE_HPP

@@ -1,0 +1,33 @@
+// Fundamental type aliases shared across the vasim libraries.
+#ifndef VASIM_COMMON_TYPES_HPP
+#define VASIM_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <cstddef>
+
+namespace vasim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated clock cycle count.
+using Cycle = u64;
+/// Byte address in the simulated memory space.
+using Addr = u64;
+/// Static instruction identifier (program counter).
+using Pc = u64;
+/// Dynamic instruction sequence number (monotonic per run).
+using SeqNum = u64;
+
+/// Sentinel for "no register".
+inline constexpr int kNoReg = -1;
+
+}  // namespace vasim
+
+#endif  // VASIM_COMMON_TYPES_HPP

@@ -1,0 +1,37 @@
+#include "src/core/energy.hpp"
+
+namespace vasim::core {
+
+EnergyReport EnergyModel::compute(const StatSet& stats, double vdd) const {
+  const auto c = [&](const char* name) { return static_cast<double>(stats.count(name)); };
+
+  double pj = 0.0;
+  pj += c("ev.fetch") * params_.fetch;
+  pj += c("ev.dispatch") * params_.dispatch;
+  pj += c("ev.iq_write") * params_.iq_write;
+  pj += c("ev.select") * params_.select;
+  pj += c("ev.regread") * params_.regread;
+  pj += c("ev.broadcast") * params_.broadcast;
+  pj += c("ev.fu.alu") * params_.fu_alu;
+  pj += c("ev.fu.mul") * params_.fu_mul;
+  pj += c("ev.fu.div") * params_.fu_div;
+  pj += c("ev.fu.branch") * params_.fu_branch;
+  pj += c("ev.fu.mem") * params_.fu_mem;
+  pj += c("ev.lsq_search") * params_.lsq_search;
+  pj += (c("ev.dcache_read") + c("ev.dcache_write")) * params_.dcache;
+  // L2 is accessed on every L1 miss; memory on every L2 miss.
+  pj += (c("cache.l1i.misses") + c("cache.l1d.misses")) * params_.l2;
+  pj += c("cache.l2.misses") * params_.memory;
+  pj += c("ev.commit") * params_.commit;
+  pj += c("ev.squash") * params_.squash;
+  pj += c("ev.stall_cycles") * params_.stall_recirculate;
+
+  EnergyReport r;
+  const double cycles = c("cycles");
+  r.dynamic_nj = pj * 1e-3 * vm_.dynamic_energy_scale(vdd);
+  r.leakage_nj = cycles * params_.leakage_per_cycle * 1e-3 * vm_.leakage_power_scale(vdd);
+  r.edp = r.total_nj() * cycles;
+  return r;
+}
+
+}  // namespace vasim::core

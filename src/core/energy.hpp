@@ -1,0 +1,69 @@
+// Architectural energy model (Section 4.1: "Energy results are gathered by
+// combining architectural usage information with power characteristics from
+// the synthesized hardware").
+//
+// Per-event energies are 45 nm-scale constants consistent with the circuit
+// library roll-up; leakage accrues per cycle.  Dynamic energy scales with
+// VDD^2 and leakage with VDD.  The evaluation only uses energy *ratios*
+// between schemes at the same supply, so absolute calibration is not
+// load-bearing.
+#ifndef VASIM_CORE_ENERGY_HPP
+#define VASIM_CORE_ENERGY_HPP
+
+#include "src/common/stats.hpp"
+#include "src/timing/voltage.hpp"
+
+namespace vasim::core {
+
+/// Per-event energies in picojoules at the nominal supply.
+struct EnergyParams {
+  double fetch = 14.0;
+  double dispatch = 8.0;
+  double iq_write = 6.0;
+  double select = 4.0;
+  double regread = 9.0;
+  double broadcast = 11.0;  ///< wakeup CAM sweep
+  double fu_alu = 10.0;
+  double fu_mul = 34.0;
+  double fu_div = 60.0;
+  double fu_branch = 6.0;
+  double fu_mem = 8.0;      ///< AGEN + port
+  double lsq_search = 10.0; ///< LSQ CAM
+  double dcache = 22.0;
+  double l2 = 120.0;
+  double memory = 600.0;
+  double commit = 5.0;
+  double squash = 4.0;          ///< per squashed instruction
+  double stall_recirculate = 9.0;  ///< latch recirculation per stall cycle
+  double leakage_per_cycle = 55.0;
+};
+
+/// Totals for one run.
+struct EnergyReport {
+  double dynamic_nj = 0.0;
+  double leakage_nj = 0.0;
+  [[nodiscard]] double total_nj() const { return dynamic_nj + leakage_nj; }
+  /// Energy-delay product in nJ * cycles (Section 5.1 "energy efficiency is
+  /// estimated using energy-delay product").
+  double edp = 0.0;
+};
+
+/// Computes the report from a run's event counters.
+class EnergyModel {
+ public:
+  explicit EnergyModel(const EnergyParams& params = {},
+                       const timing::VoltageModel& vm = timing::VoltageModel())
+      : params_(params), vm_(vm) {}
+
+  [[nodiscard]] EnergyReport compute(const StatSet& stats, double vdd) const;
+
+  [[nodiscard]] const EnergyParams& params() const { return params_; }
+
+ private:
+  EnergyParams params_;
+  timing::VoltageModel vm_;
+};
+
+}  // namespace vasim::core
+
+#endif  // VASIM_CORE_ENERGY_HPP

@@ -1,0 +1,93 @@
+#include "src/core/predictors.hpp"
+
+#include <stdexcept>
+
+namespace vasim::core {
+namespace {
+
+void check_power_of_two(int entries, const char* who) {
+  if (entries <= 0 || (entries & (entries - 1)) != 0) {
+    throw std::invalid_argument(std::string(who) + ": entries must be a power of two");
+  }
+}
+
+}  // namespace
+
+// ---- MRE --------------------------------------------------------------------
+
+MostRecentEntryPredictor::MostRecentEntryPredictor(int entries)
+    : table_(static_cast<std::size_t>(entries)) {
+  check_power_of_two(entries, "MostRecentEntryPredictor");
+}
+
+std::size_t MostRecentEntryPredictor::index_of(Pc pc) const {
+  return static_cast<std::size_t>((pc >> 2) & (table_.size() - 1));
+}
+
+cpu::FaultPrediction MostRecentEntryPredictor::predict(Pc pc, u64, Cycle) {
+  cpu::FaultPrediction p;
+  const Entry& e = table_[index_of(pc)];
+  if (e.valid && e.tag == static_cast<u16>(pc >> 2) && e.last_faulty) {
+    p.predicted = true;
+    p.stage = static_cast<timing::OooStage>(e.stage);
+  }
+  return p;
+}
+
+void MostRecentEntryPredictor::train(Pc pc, u64, bool faulty, timing::OooStage stage) {
+  Entry& e = table_[index_of(pc)];
+  const u16 tag = static_cast<u16>(pc >> 2);
+  if (e.valid && e.tag == tag) {
+    e.last_faulty = faulty;
+    if (faulty) e.stage = static_cast<u8>(stage);
+  } else if (faulty) {
+    e = Entry{tag, true, true, static_cast<u8>(stage)};
+  }
+}
+
+void MostRecentEntryPredictor::mark_critical(Pc, u64, bool) {}
+
+u64 MostRecentEntryPredictor::storage_bits() const {
+  // tag(16) + valid(1) + last(1) + stage(3)
+  return table_.size() * 21;
+}
+
+// ---- TVP --------------------------------------------------------------------
+
+TimingViolationPredictor::TimingViolationPredictor(int entries)
+    : table_(static_cast<std::size_t>(entries)) {
+  check_power_of_two(entries, "TimingViolationPredictor");
+}
+
+std::size_t TimingViolationPredictor::index_of(Pc pc) const {
+  return static_cast<std::size_t>((pc >> 2) & (table_.size() - 1));
+}
+
+cpu::FaultPrediction TimingViolationPredictor::predict(Pc pc, u64, Cycle) {
+  cpu::FaultPrediction p;
+  const Entry& e = table_[index_of(pc)];
+  if (e.counter >= 2) {
+    p.predicted = true;
+    p.stage = static_cast<timing::OooStage>(e.stage);
+  }
+  return p;
+}
+
+void TimingViolationPredictor::train(Pc pc, u64, bool faulty, timing::OooStage stage) {
+  Entry& e = table_[index_of(pc)];
+  if (faulty) {
+    if (e.counter < 3) ++e.counter;
+    e.stage = static_cast<u8>(stage);
+  } else if (e.counter > 0) {
+    --e.counter;
+  }
+}
+
+void TimingViolationPredictor::mark_critical(Pc, u64, bool) {}
+
+u64 TimingViolationPredictor::storage_bits() const {
+  // counter(2) + stage(3); untagged.
+  return table_.size() * 5;
+}
+
+}  // namespace vasim::core

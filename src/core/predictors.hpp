@@ -1,0 +1,65 @@
+// The two ancestor predictors the TEP combines (Section 2.1.1):
+//
+//  * MostRecentEntryPredictor -- Xin & Joseph's MRE [13]: a tagged table
+//    remembering whether the most recent dynamic instance of a PC violated
+//    timing; predicts a violation whenever the last one faulted.
+//  * TimingViolationPredictor -- Roy & Chakraborty's TVP [12]: an untagged
+//    PC-indexed table of 2-bit saturating counters, no branch history.
+//
+// Both implement the same pipeline-facing interface as the TEP, so
+// bench_predictors can compare coverage, false positives and the resulting
+// ABS overhead across all three designs.
+#ifndef VASIM_CORE_PREDICTORS_HPP
+#define VASIM_CORE_PREDICTORS_HPP
+
+#include <vector>
+
+#include "src/cpu/hooks.hpp"
+
+namespace vasim::core {
+
+/// MRE: tag + last-outcome bit + faulty-stage field per entry.
+class MostRecentEntryPredictor final : public cpu::FaultPredictor {
+ public:
+  explicit MostRecentEntryPredictor(int entries = 4096);
+
+  cpu::FaultPrediction predict(Pc pc, u64 history, Cycle now) override;
+  void train(Pc pc, u64 history, bool faulty, timing::OooStage stage) override;
+  void mark_critical(Pc pc, u64 history, bool critical) override;
+
+  [[nodiscard]] u64 storage_bits() const;
+
+ private:
+  struct Entry {
+    u16 tag = 0;
+    bool valid = false;
+    bool last_faulty = false;
+    u8 stage = 0;
+  };
+  [[nodiscard]] std::size_t index_of(Pc pc) const;
+  std::vector<Entry> table_;
+};
+
+/// TVP: untagged 2-bit saturating counters + stage field, indexed by PC.
+class TimingViolationPredictor final : public cpu::FaultPredictor {
+ public:
+  explicit TimingViolationPredictor(int entries = 4096);
+
+  cpu::FaultPrediction predict(Pc pc, u64 history, Cycle now) override;
+  void train(Pc pc, u64 history, bool faulty, timing::OooStage stage) override;
+  void mark_critical(Pc pc, u64 history, bool critical) override;
+
+  [[nodiscard]] u64 storage_bits() const;
+
+ private:
+  struct Entry {
+    u8 counter = 0;
+    u8 stage = 0;
+  };
+  [[nodiscard]] std::size_t index_of(Pc pc) const;
+  std::vector<Entry> table_;
+};
+
+}  // namespace vasim::core
+
+#endif  // VASIM_CORE_PREDICTORS_HPP

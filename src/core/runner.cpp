@@ -1,0 +1,83 @@
+#include "src/core/runner.hpp"
+
+#include "src/workload/trace_generator.hpp"
+
+namespace vasim::core {
+
+Overheads overhead_vs(const RunResult& base, const RunResult& x) {
+  Overheads o;
+  if (base.ipc > 0.0 && x.ipc > 0.0) o.perf_pct = (base.ipc / x.ipc - 1.0) * 100.0;
+  if (base.energy.edp > 0.0) o.ed_pct = (x.energy.edp / base.energy.edp - 1.0) * 100.0;
+  return o;
+}
+
+RunResult ExperimentRunner::run(const workload::BenchmarkProfile& profile,
+                                const cpu::SchemeConfig& scheme, double vdd) const {
+  workload::TraceGenerator gen(profile);
+
+  timing::PathModelConfig path_cfg;
+  path_cfg.seed = profile.seed;
+  path_cfg.p_faulty_high = profile.fr_high_pct / 100.0 * profile.fr_calib_high;
+  path_cfg.p_faulty_low = profile.fr_low_pct / 100.0 * profile.fr_calib_low;
+  const timing::FaultModel fault_model(path_cfg, vdd);
+
+  TimingErrorPredictor tep(cfg_.tep, &fault_model.environment());
+  MostRecentEntryPredictor mre(cfg_.tep.entries);
+  TimingViolationPredictor tvp(cfg_.tep.entries);
+  cpu::FaultPredictor* predictor = nullptr;
+  if (scheme.use_predictor) {
+    switch (cfg_.predictor) {
+      case PredictorKind::kTep: predictor = &tep; break;
+      case PredictorKind::kMre: predictor = &mre; break;
+      case PredictorKind::kTvp: predictor = &tvp; break;
+    }
+  }
+
+  cpu::Pipeline pipe(cfg_.core, scheme, &gen, &fault_model, predictor);
+  cpu::PipelineResult pr = pipe.run(cfg_.instructions, cfg_.warmup);
+
+  RunResult r;
+  r.benchmark = profile.name;
+  r.scheme = scheme.name;
+  r.vdd = vdd;
+  r.committed = pr.committed;
+  r.cycles = pr.cycles;
+  r.ipc = pr.ipc();
+  const double actual = static_cast<double>(pr.stats.count("fault.actual"));
+  const double committed_faulty = static_cast<double>(pr.stats.count("fault.committed_faulty"));
+  r.fault_rate_pct =
+      pr.committed == 0 ? 0.0 : committed_faulty / static_cast<double>(pr.committed) * 100.0;
+  r.replays = static_cast<double>(pr.stats.count("fault.replays"));
+  r.predictor_accuracy =
+      actual > 0.0 ? static_cast<double>(pr.stats.count("fault.handled")) / actual : 0.0;
+  const EnergyModel em(cfg_.energy);
+  r.energy = em.compute(pr.stats, vdd);
+  r.stats = std::move(pr.stats);
+  return r;
+}
+
+RunResult ExperimentRunner::run_fault_free(const workload::BenchmarkProfile& profile,
+                                           double vdd) const {
+  workload::TraceGenerator gen(profile);
+  cpu::Pipeline pipe(cfg_.core, cpu::scheme_fault_free(), &gen, nullptr, nullptr);
+  cpu::PipelineResult pr = pipe.run(cfg_.instructions, cfg_.warmup);
+
+  RunResult r;
+  r.benchmark = profile.name;
+  r.scheme = "fault-free";
+  r.vdd = vdd;
+  r.committed = pr.committed;
+  r.cycles = pr.cycles;
+  r.ipc = pr.ipc();
+  const EnergyModel em(cfg_.energy);
+  r.energy = em.compute(pr.stats, vdd);
+  r.stats = std::move(pr.stats);
+  return r;
+}
+
+std::vector<cpu::SchemeConfig> comparative_schemes() {
+  return {cpu::scheme_razor(), cpu::scheme_error_padding(), cpu::scheme_abs(),
+          cpu::scheme_ffs(), cpu::scheme_cds()};
+}
+
+}  // namespace vasim::core

@@ -1,0 +1,83 @@
+// Experiment runner: wires a workload profile, a supply point, a scheme and
+// the pipeline together, and computes the overhead metrics the paper's
+// tables and figures report.
+#ifndef VASIM_CORE_RUNNER_HPP
+#define VASIM_CORE_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/core/energy.hpp"
+#include "src/core/predictors.hpp"
+#include "src/core/tep.hpp"
+#include "src/cpu/pipeline.hpp"
+#include "src/workload/profiles.hpp"
+
+namespace vasim::core {
+
+/// One simulation's outcome.
+struct RunResult {
+  std::string benchmark;
+  std::string scheme;
+  double vdd = timing::SupplyPoints::kNominal;
+  u64 committed = 0;
+  Cycle cycles = 0;
+  double ipc = 0.0;
+  double fault_rate_pct = 0.0;      ///< actual faults / committed * 100
+  double replays = 0.0;
+  double predictor_accuracy = 0.0;  ///< handled / actual (0 when no faults)
+  EnergyReport energy;
+  StatSet stats;
+};
+
+/// (performance %, energy-delay %) overhead tuple, the format of Table 1.
+struct Overheads {
+  double perf_pct = 0.0;
+  double ed_pct = 0.0;
+};
+
+/// Overhead of `x` relative to `base` (same workload and instruction count).
+Overheads overhead_vs(const RunResult& base, const RunResult& x);
+
+/// Which fault predictor drives the prediction-based schemes.
+enum class PredictorKind {
+  kTep,  ///< the paper's combined design (Section 2.1.1)
+  kMre,  ///< Xin & Joseph's Most-Recent-Entry predictor [13]
+  kTvp,  ///< Roy & Chakraborty's Timing Violation Predictor [12]
+};
+
+/// Runner configuration.
+struct RunnerConfig {
+  u64 instructions = 200'000;  ///< measured committed instructions per run
+  u64 warmup = 150'000;        ///< committed instructions before measurement
+  cpu::CoreConfig core;
+  TepConfig tep;
+  PredictorKind predictor = PredictorKind::kTep;
+  EnergyParams energy;
+};
+
+/// Executes simulations.  Stateless between runs; deterministic.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const RunnerConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Runs one (benchmark, scheme, supply) combination.
+  [[nodiscard]] RunResult run(const workload::BenchmarkProfile& profile,
+                              const cpu::SchemeConfig& scheme, double vdd) const;
+
+  /// Fault-free baseline at the same supply (faults disabled, age policy).
+  [[nodiscard]] RunResult run_fault_free(const workload::BenchmarkProfile& profile,
+                                         double vdd) const;
+
+  [[nodiscard]] const RunnerConfig& config() const { return cfg_; }
+
+ private:
+  RunnerConfig cfg_;
+};
+
+/// All comparative schemes of Section 5 in presentation order.
+std::vector<cpu::SchemeConfig> comparative_schemes();
+
+}  // namespace vasim::core
+
+#endif  // VASIM_CORE_RUNNER_HPP

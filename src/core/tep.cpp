@@ -1,0 +1,68 @@
+#include "src/core/tep.hpp"
+
+#include <stdexcept>
+
+namespace vasim::core {
+
+TimingErrorPredictor::TimingErrorPredictor(const TepConfig& cfg, const timing::Environment* env)
+    : cfg_(cfg), env_(env), thermal_(env), voltage_(env),
+      table_(static_cast<std::size_t>(cfg.entries)) {
+  if (cfg.entries <= 0 || (cfg.entries & (cfg.entries - 1)) != 0) {
+    throw std::invalid_argument("TimingErrorPredictor: entries must be a power of two");
+  }
+}
+
+std::size_t TimingErrorPredictor::index_of(Pc pc, u64 history) const {
+  const u64 hist = history & ((1ULL << cfg_.history_bits) - 1);
+  return static_cast<std::size_t>(((pc >> 2) ^ hist) & static_cast<u64>(cfg_.entries - 1));
+}
+
+cpu::FaultPrediction TimingErrorPredictor::predict(Pc pc, u64 history, Cycle now) {
+  ++lookups_;
+  cpu::FaultPrediction p;
+  const Entry& e = table_[index_of(pc, history)];
+  if (!e.valid || e.tag != tag_of(pc) || e.counter == 0) return p;
+  if (cfg_.sensor_gating && env_ != nullptr && e.counter < cfg_.counter_max) {
+    // Weak entries only predict when conditions favour timing errors.
+    if (!thermal_.hot(now) && !voltage_.droopy(now)) return p;
+  }
+  p.predicted = true;
+  p.stage = static_cast<timing::OooStage>(e.stage);
+  p.critical = e.crit_counter >= 2;
+  ++predictions_;
+  return p;
+}
+
+void TimingErrorPredictor::train(Pc pc, u64 history, bool faulty, timing::OooStage stage) {
+  Entry& e = table_[index_of(pc, history)];
+  const u16 tag = tag_of(pc);
+  if (faulty) {
+    if (e.valid && e.tag == tag) {
+      if (e.counter < cfg_.counter_max) ++e.counter;
+      e.stage = static_cast<u8>(stage);
+    } else {
+      // Most-recent-entry allocation: faults evict whoever owned the slot.
+      e = Entry{tag, cfg_.counter_on_alloc, static_cast<u8>(stage), 0, true};
+      ++allocations_;
+    }
+  } else if (e.valid && e.tag == tag && e.counter > 0) {
+    --e.counter;
+  }
+}
+
+void TimingErrorPredictor::mark_critical(Pc pc, u64 history, bool critical) {
+  Entry& e = table_[index_of(pc, history)];
+  if (!e.valid || e.tag != tag_of(pc)) return;
+  if (critical) {
+    if (e.crit_counter < 3) ++e.crit_counter;
+  } else if (e.crit_counter > 0) {
+    --e.crit_counter;
+  }
+}
+
+u64 TimingErrorPredictor::storage_bits() const {
+  // tag(16) + counter(2) + stage(3) + criticality(2) + valid(1) per entry.
+  return static_cast<u64>(cfg_.entries) * (16 + 2 + 3 + 2 + 1);
+}
+
+}  // namespace vasim::core

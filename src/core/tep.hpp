@@ -1,0 +1,73 @@
+// Timing Error Predictor (Section 2.1.1).
+//
+// Combines the Most-Recent-Entry predictor of Xin et al. [13] with the
+// Timing Violation Predictor of Roy et al. [12]: a tagged table indexed by
+// PC bits XOR recent branch outcomes, a 2-byte tag, a 2-bit saturating
+// counter per entry (non-zero => predict a violation), a faulty-pipe-stage
+// field, and a criticality field fed by the CDL (Section 3.5.2).  Thermal
+// and voltage sensors gate weak predictions: when conditions do not favour
+// timing errors, only saturated entries predict.
+#ifndef VASIM_CORE_TEP_HPP
+#define VASIM_CORE_TEP_HPP
+
+#include <vector>
+
+#include "src/cpu/hooks.hpp"
+#include "src/timing/sensors.hpp"
+
+namespace vasim::core {
+
+/// TEP geometry and behaviour.
+struct TepConfig {
+  int entries = 4096;        ///< predictor table entries (power of two)
+  int history_bits = 8;      ///< branch-outcome bits folded into the index
+  u8 counter_max = 3;        ///< 2-bit saturating counter
+  u8 counter_on_alloc = 2;   ///< counter value for a newly learned fault
+  bool sensor_gating = true; ///< weak entries predict only in hot/droopy epochs
+};
+
+/// The predictor.  Implements the pipeline-facing FaultPredictor interface.
+class TimingErrorPredictor final : public cpu::FaultPredictor {
+ public:
+  /// `env` (nullable) provides the sensor inputs; non-owning.
+  explicit TimingErrorPredictor(const TepConfig& cfg = {},
+                                const timing::Environment* env = nullptr);
+
+  cpu::FaultPrediction predict(Pc pc, u64 history, Cycle now) override;
+  void train(Pc pc, u64 history, bool faulty, timing::OooStage stage) override;
+  void mark_critical(Pc pc, u64 history, bool critical) override;
+
+  [[nodiscard]] u64 lookups() const { return lookups_; }
+  [[nodiscard]] u64 predictions() const { return predictions_; }
+  [[nodiscard]] u64 allocations() const { return allocations_; }
+  [[nodiscard]] const TepConfig& config() const { return cfg_; }
+
+  /// Storage cost in bits (tag + counter + stage + criticality per entry),
+  /// used by the area/power study.
+  [[nodiscard]] u64 storage_bits() const;
+
+ private:
+  struct Entry {
+    u16 tag = 0;
+    u8 counter = 0;
+    u8 stage = 0;
+    u8 crit_counter = 0;  ///< 2-bit criticality confidence
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::size_t index_of(Pc pc, u64 history) const;
+  [[nodiscard]] static u16 tag_of(Pc pc) { return static_cast<u16>(pc >> 2); }
+
+  TepConfig cfg_;
+  const timing::Environment* env_;
+  timing::ThermalSensor thermal_;
+  timing::VoltageSensor voltage_;
+  std::vector<Entry> table_;
+  u64 lookups_ = 0;
+  u64 predictions_ = 0;
+  u64 allocations_ = 0;
+};
+
+}  // namespace vasim::core
+
+#endif  // VASIM_CORE_TEP_HPP

@@ -1,0 +1,34 @@
+#include "src/cpu/branch_pred.hpp"
+
+namespace vasim::cpu {
+
+BranchPredictor::BranchPredictor(const CoreConfig& cfg)
+    : counters_(static_cast<std::size_t>(1) << cfg.gshare_bits, 1),
+      btb_(static_cast<std::size_t>(cfg.btb_entries)),
+      history_mask_((1ULL << cfg.gshare_bits) - 1) {}
+
+std::size_t BranchPredictor::dir_index(Pc pc) const {
+  return static_cast<std::size_t>(((pc >> 2) ^ history_) & history_mask_);
+}
+
+BranchPrediction BranchPredictor::predict(Pc pc) const {
+  ++lookups_;
+  BranchPrediction p;
+  p.taken = counters_[dir_index(pc)] >= 2;
+  const BtbEntry& e = btb_[(pc >> 2) % btb_.size()];
+  if (e.valid && e.pc == pc) {
+    p.target_known = true;
+    p.target = e.target;
+  }
+  return p;
+}
+
+void BranchPredictor::update(Pc pc, bool taken, Pc target) {
+  u8& c = counters_[dir_index(pc)];
+  if (taken && c < 3) ++c;
+  if (!taken && c > 0) --c;
+  if (taken) btb_[(pc >> 2) % btb_.size()] = BtbEntry{pc, target, true};
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+}  // namespace vasim::cpu

@@ -1,0 +1,55 @@
+// Gshare direction predictor + BTB.
+#ifndef VASIM_CPU_BRANCH_PRED_HPP
+#define VASIM_CPU_BRANCH_PRED_HPP
+
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/cpu/config.hpp"
+
+namespace vasim::cpu {
+
+/// Prediction for one branch.
+struct BranchPrediction {
+  bool taken = false;
+  bool target_known = false;  ///< BTB hit
+  Pc target = 0;
+};
+
+/// Gshare (global history XOR pc) 2-bit counters, plus a direct-mapped BTB.
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const CoreConfig& cfg);
+
+  [[nodiscard]] BranchPrediction predict(Pc pc) const;
+
+  /// Trains direction + BTB and shifts the global history.
+  void update(Pc pc, bool taken, Pc target);
+
+  /// Global history register (also used to index the TEP, Section 2.1.1).
+  [[nodiscard]] u64 history() const { return history_; }
+
+  [[nodiscard]] u64 lookups() const { return lookups_; }
+  [[nodiscard]] u64 mispredicts() const { return mispredicts_; }
+  /// Records a mispredict observed by the pipeline (outcome or target).
+  void note_mispredict() { ++mispredicts_; }
+
+ private:
+  [[nodiscard]] std::size_t dir_index(Pc pc) const;
+
+  std::vector<u8> counters_;  ///< 2-bit saturating
+  struct BtbEntry {
+    Pc pc = 0;
+    Pc target = 0;
+    bool valid = false;
+  };
+  std::vector<BtbEntry> btb_;
+  u64 history_ = 0;
+  u64 history_mask_;
+  mutable u64 lookups_ = 0;
+  u64 mispredicts_ = 0;
+};
+
+}  // namespace vasim::cpu
+
+#endif  // VASIM_CPU_BRANCH_PRED_HPP

@@ -1,0 +1,108 @@
+#include "src/cpu/cache.hpp"
+
+#include <stdexcept>
+
+namespace vasim::cpu {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  const u64 lines = cfg.size_bytes / static_cast<u64>(cfg.line_bytes);
+  if (lines == 0 || cfg.ways <= 0 || lines % static_cast<u64>(cfg.ways) != 0) {
+    throw std::invalid_argument("Cache: size/ways/line mismatch");
+  }
+  num_sets_ = static_cast<int>(lines / static_cast<u64>(cfg.ways));
+  if ((num_sets_ & (num_sets_ - 1)) != 0) {
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  }
+  lines_.resize(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(cfg.ways));
+}
+
+std::size_t Cache::set_index(Addr addr) const {
+  return static_cast<std::size_t>((addr / static_cast<u64>(cfg_.line_bytes)) &
+                                  static_cast<u64>(num_sets_ - 1));
+}
+
+Addr Cache::tag_of(Addr addr) const {
+  return addr / static_cast<u64>(cfg_.line_bytes) / static_cast<u64>(num_sets_);
+}
+
+bool Cache::access(Addr addr) {
+  const std::size_t base = set_index(addr) * static_cast<std::size_t>(cfg_.ways);
+  const Addr tag = tag_of(addr);
+  ++use_counter_;
+  for (int w = 0; w < cfg_.ways; ++w) {
+    Line& line = lines_[base + static_cast<std::size_t>(w)];
+    if (line.valid && line.tag == tag) {
+      line.lru = use_counter_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: fill LRU way.
+  std::size_t victim = base;
+  for (int w = 1; w < cfg_.ways; ++w) {
+    const std::size_t i = base + static_cast<std::size_t>(w);
+    if (!lines_[i].valid) {
+      victim = i;
+      break;
+    }
+    if (lines_[i].lru < lines_[victim].lru) victim = i;
+  }
+  lines_[victim] = Line{tag, true, use_counter_};
+  ++misses_;
+  return false;
+}
+
+bool Cache::contains(Addr addr) const {
+  const std::size_t base = set_index(addr) * static_cast<std::size_t>(cfg_.ways);
+  const Addr tag = tag_of(addr);
+  for (int w = 0; w < cfg_.ways; ++w) {
+    const Line& line = lines_[base + static_cast<std::size_t>(w)];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+MemoryHierarchy::MemoryHierarchy(const CoreConfig& cfg)
+    : l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2), mem_latency_(cfg.memory_latency),
+      next_line_prefetch_(cfg.l2_next_line_prefetch) {}
+
+Cycle MemoryHierarchy::miss_path(Addr addr, Cache& l1) {
+  Cycle lat = l1.config().latency;
+  if (l1.access(addr)) return lat;
+  lat += l2_.config().latency;
+  if (l2_.access(addr)) return lat;
+  return lat + mem_latency_;
+}
+
+Cycle MemoryHierarchy::load_latency(Addr addr) {
+  const Cycle lat = miss_path(addr, l1d_);
+  if (next_line_prefetch_ && lat > l1d_.config().latency) {
+    // Demand miss: pull the next line into L2 (no latency modeled for the
+    // prefetch itself; its benefit is the later L2 hit).
+    const Addr next = addr + static_cast<Addr>(l1d_.config().line_bytes);
+    if (!l2_.contains(next)) {
+      l2_.access(next);
+      ++prefetches_;
+    }
+  }
+  return lat;
+}
+
+Cycle MemoryHierarchy::ifetch_latency(Addr pc) { return miss_path(pc, l1i_); }
+
+void MemoryHierarchy::store_commit(Addr addr) {
+  // Write-allocate, write-back approximation: touch L1D (and L2 on miss).
+  if (!l1d_.access(addr)) l2_.access(addr);
+}
+
+void MemoryHierarchy::export_stats(StatSet& stats) const {
+  stats.inc("cache.l1i.hits", l1i_.hits());
+  stats.inc("cache.l1i.misses", l1i_.misses());
+  stats.inc("cache.l1d.hits", l1d_.hits());
+  stats.inc("cache.l1d.misses", l1d_.misses());
+  stats.inc("cache.l2.hits", l2_.hits());
+  stats.inc("cache.l2.misses", l2_.misses());
+  stats.inc("cache.l2.prefetches", prefetches_);
+}
+
+}  // namespace vasim::cpu

@@ -1,0 +1,81 @@
+// Set-associative caches and the two-level hierarchy of Section 4.2.
+#ifndef VASIM_CPU_CACHE_HPP
+#define VASIM_CPU_CACHE_HPP
+
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/cpu/config.hpp"
+
+namespace vasim::cpu {
+
+/// One level of tag-only set-associative cache with true-LRU replacement.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Looks up `addr`; on miss, fills the line (evicting LRU).  Returns hit.
+  bool access(Addr addr);
+
+  /// Lookup without fill (used by tests and warmup probes).
+  [[nodiscard]] bool contains(Addr addr) const;
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u64 misses() const { return misses_; }
+  [[nodiscard]] int num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    u64 lru = 0;  ///< higher = more recently used
+  };
+
+  [[nodiscard]] std::size_t set_index(Addr addr) const;
+  [[nodiscard]] Addr tag_of(Addr addr) const;
+
+  CacheConfig cfg_;
+  int num_sets_;
+  std::vector<Line> lines_;  // num_sets x ways
+  u64 use_counter_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+/// Split L1 + unified L2 + flat memory latency.
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const CoreConfig& cfg);
+
+  /// Latency of a demand load at `addr` (includes the L1 access cycle).
+  Cycle load_latency(Addr addr);
+  /// Latency of an instruction fetch at `pc`.
+  Cycle ifetch_latency(Addr pc);
+  /// Commits a store (write-allocate, no pipeline latency modeled).
+  void store_commit(Addr addr);
+
+  [[nodiscard]] const Cache& l1i() const { return l1i_; }
+  [[nodiscard]] const Cache& l1d() const { return l1d_; }
+  [[nodiscard]] const Cache& l2() const { return l2_; }
+
+  /// Export hit/miss counters into `stats` under the given prefix.
+  void export_stats(StatSet& stats) const;
+
+  [[nodiscard]] u64 prefetches() const { return prefetches_; }
+
+ private:
+  Cycle miss_path(Addr addr, Cache& l1);
+
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  Cycle mem_latency_;
+  bool next_line_prefetch_;
+  u64 prefetches_ = 0;
+};
+
+}  // namespace vasim::cpu
+
+#endif  // VASIM_CPU_CACHE_HPP

@@ -1,0 +1,59 @@
+#include "src/cpu/fu_pool.hpp"
+
+namespace vasim::cpu {
+
+FuKind fu_kind_for(isa::OpClass op) {
+  switch (op) {
+    case isa::OpClass::kIntMul:
+    case isa::OpClass::kIntDiv:
+      return FuKind::kComplexAlu;
+    case isa::OpClass::kLoad:
+      return FuKind::kLoadPort;
+    case isa::OpClass::kStore:
+      return FuKind::kStorePort;
+    case isa::OpClass::kBranch:
+      return FuKind::kBranch;
+    default:
+      return FuKind::kSimpleAlu;
+  }
+}
+
+FuPool::FuPool(const CoreConfig& cfg) {
+  for (int i = 0; i < cfg.simple_alus; ++i) units_.push_back({FuKind::kSimpleAlu, true, 0});
+  for (int i = 0; i < cfg.complex_alus; ++i) units_.push_back({FuKind::kComplexAlu, true, 0});
+  for (int i = 0; i < cfg.branch_units; ++i) units_.push_back({FuKind::kBranch, true, 0});
+  for (int i = 0; i < cfg.load_ports; ++i) units_.push_back({FuKind::kLoadPort, true, 0});
+  for (int i = 0; i < cfg.store_ports; ++i) units_.push_back({FuKind::kStorePort, true, 0});
+}
+
+bool FuPool::occupies_fully(isa::OpClass op, const Unit& u) {
+  // Divide is the unpipelined multi-cycle case of Section 3.3.3.
+  return op == isa::OpClass::kIntDiv || !u.pipelined;
+}
+
+int FuPool::allocate(isa::OpClass op, Cycle cycle, Cycle latency, bool occupy_extra) {
+  const FuKind want = fu_kind_for(op);
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    Unit& u = units_[i];
+    if (u.kind != want || u.next_free > cycle) continue;
+    Cycle busy_until = occupies_fully(op, u) ? cycle + latency : cycle + 1;
+    if (occupy_extra) busy_until += 1;
+    u.next_free = busy_until;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool FuPool::can_accept(isa::OpClass op, Cycle cycle) const {
+  const FuKind want = fu_kind_for(op);
+  for (const Unit& u : units_) {
+    if (u.kind == want && u.next_free <= cycle) return true;
+  }
+  return false;
+}
+
+void FuPool::shift_time(Cycle delta) {
+  for (Unit& u : units_) u.next_free += delta;
+}
+
+}  // namespace vasim::cpu

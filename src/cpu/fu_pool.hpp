@@ -1,0 +1,59 @@
+// Functional-unit pool with the paper's FUSR semantics.
+//
+// Each unit tracks the cycle through which it is busy.  Pipelined units are
+// normally free every cycle; the Violation Tolerant Enhancement turns a
+// unit's FUSR bit off for one cycle behind a predicted-faulty instruction
+// (Section 3.3.3), which here is an extra-busy reservation.
+#ifndef VASIM_CPU_FU_POOL_HPP
+#define VASIM_CPU_FU_POOL_HPP
+
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/cpu/config.hpp"
+#include "src/isa/dyninst.hpp"
+
+namespace vasim::cpu {
+
+/// Functional unit classes.
+enum class FuKind : u8 { kSimpleAlu, kComplexAlu, kBranch, kLoadPort, kStorePort };
+
+/// FU kind an operation class issues to.
+FuKind fu_kind_for(isa::OpClass op);
+
+/// The unit pool.
+class FuPool {
+ public:
+  explicit FuPool(const CoreConfig& cfg);
+
+  /// Tries to reserve a unit of the right kind for `op` issuing at `cycle`.
+  /// `occupy_extra` keeps the unit busy one extra cycle after the operation
+  /// (the VTE slot freeze).  Returns the unit id, or -1 when none is free.
+  int allocate(isa::OpClass op, Cycle cycle, Cycle latency, bool occupy_extra);
+
+  /// True when some unit of the kind needed by `op` can accept at `cycle`.
+  [[nodiscard]] bool can_accept(isa::OpClass op, Cycle cycle) const;
+
+  /// Shifts every reservation by `delta` (global-stall support).
+  void shift_time(Cycle delta);
+
+  [[nodiscard]] int unit_count() const { return static_cast<int>(units_.size()); }
+  [[nodiscard]] FuKind kind_of(int unit) const { return units_[static_cast<std::size_t>(unit)].kind; }
+
+ private:
+  struct Unit {
+    FuKind kind;
+    bool pipelined;
+    Cycle next_free = 0;  ///< first cycle the unit can accept a new op
+  };
+
+  /// Whether `op` on this unit occupies it for the full latency
+  /// (unpipelined) or a single issue cycle (pipelined).
+  [[nodiscard]] static bool occupies_fully(isa::OpClass op, const Unit& u);
+
+  std::vector<Unit> units_;
+};
+
+}  // namespace vasim::cpu
+
+#endif  // VASIM_CPU_FU_POOL_HPP

@@ -1,0 +1,75 @@
+// Interfaces between the pipeline and the paper's mechanisms.
+//
+// The pipeline calls a FaultPredictor (implemented by the TEP in src/core)
+// and is parameterized by a SchemeConfig selecting between the comparative
+// schemes of Section 5: Razor (replay everything), Error Padding (global
+// stall per predicted fault) and the violation-aware schemes ABS/FFS/CDS
+// (VTE with a selection policy).
+#ifndef VASIM_CPU_HOOKS_HPP
+#define VASIM_CPU_HOOKS_HPP
+
+#include <string>
+
+#include "src/common/types.hpp"
+#include "src/timing/stage.hpp"
+
+namespace vasim::cpu {
+
+/// Instruction-selection priority (Section 3.5).
+enum class SelectPolicy {
+  kAge,                ///< ABS: oldest (lowest timestamp) first
+  kFaultyFirst,        ///< FFS: predicted-faulty first, age otherwise
+  kCriticalityDriven,  ///< CDS: faulty-and-critical first, age otherwise
+};
+
+/// How unpredicted faults are recovered (Section 2.1.2).
+enum class RecoveryModel {
+  kSquashRefetch,  ///< flush the faulty instruction + younger, refetch
+  kMicroStall,     ///< RazorII-style in-place replay: global stall of N cycles
+};
+
+/// One comparative scheme.
+struct SchemeConfig {
+  std::string name = "fault-free";
+  bool use_predictor = false;  ///< TEP consulted (EP and VTE schemes)
+  bool vte = false;            ///< violation-aware scheduling active
+  bool error_padding = false;  ///< EP: global stall per predicted fault
+  SelectPolicy policy = SelectPolicy::kAge;
+  RecoveryModel recovery = RecoveryModel::kMicroStall;
+  Cycle micro_stall_cycles = 4;   ///< penalty for RecoveryModel::kMicroStall
+  int criticality_threshold = 8;  ///< CDL's CT (Section 3.5.2; paper: 8 is best)
+  /// In-order-engine fault rate relative to the OoO population (Section
+  /// 2.2).  0 disables in-order faults -- the paper's evaluation measures
+  /// the OoO engine only; this knob exercises the completeness mechanisms:
+  /// stall-recirculation for rename/dispatch/retire, replay for
+  /// fetch/decode.
+  double inorder_fault_scale = 0.0;
+};
+
+/// TEP lookup result attached to an instruction at decode.
+struct FaultPrediction {
+  bool predicted = false;
+  timing::OooStage stage = timing::OooStage::kIssueSelect;
+  bool critical = false;
+};
+
+/// Predictor interface the pipeline drives (implemented by core::TimingErrorPredictor).
+class FaultPredictor {
+ public:
+  virtual ~FaultPredictor() = default;
+
+  /// Lookup at decode: `history` is the branch-history register; `now` lets
+  /// the implementation consult thermal/voltage sensors (Section 2.1.1).
+  virtual FaultPrediction predict(Pc pc, u64 history, Cycle now) = 0;
+
+  /// Training on an observed outcome: `faulty` means a real timing
+  /// violation was detected (handled or replayed) in `stage`.
+  virtual void train(Pc pc, u64 history, bool faulty, timing::OooStage stage) = 0;
+
+  /// CDL feedback: `pc` produced >= CT dependents in the issue queue.
+  virtual void mark_critical(Pc pc, u64 history, bool critical) = 0;
+};
+
+}  // namespace vasim::cpu
+
+#endif  // VASIM_CPU_HOOKS_HPP

@@ -1,0 +1,68 @@
+#include "src/cpu/observer.hpp"
+
+namespace vasim::cpu {
+
+KanataTraceWriter::KanataTraceWriter(std::ostream* out, u64 max_instructions)
+    : out_(out), max_instructions_(max_instructions) {}
+
+bool KanataTraceWriter::tracked(SeqNum seq) const { return seq < max_instructions_; }
+
+void KanataTraceWriter::sync_cycle() {
+  if (!header_written_) {
+    *out_ << "Kanata\t0004\n";
+    *out_ << "C=\t" << now_ << "\n";
+    emitted_cycle_ = now_;
+    header_written_ = true;
+    return;
+  }
+  if (now_ > emitted_cycle_) {
+    *out_ << "C\t" << (now_ - emitted_cycle_) << "\n";
+    emitted_cycle_ = now_;
+  }
+}
+
+void KanataTraceWriter::on_cycle(Cycle now) { now_ = now; }
+
+void KanataTraceWriter::on_fetch(SeqNum seq, const isa::DynInst& di) {
+  if (!tracked(seq)) return;
+  sync_cycle();
+  ++logged_;
+  *out_ << "I\t" << seq << "\t" << seq << "\t0\n";
+  *out_ << "L\t" << seq << "\t0\t" << std::hex << di.pc << std::dec << ": "
+        << isa::to_string(di.op) << "\n";
+  *out_ << "S\t" << seq << "\t0\tF\n";
+}
+
+void KanataTraceWriter::on_dispatch(SeqNum seq) {
+  if (!tracked(seq)) return;
+  sync_cycle();
+  *out_ << "S\t" << seq << "\t0\tDs\n";
+}
+
+void KanataTraceWriter::on_issue(SeqNum seq, bool predicted_faulty) {
+  if (!tracked(seq)) return;
+  sync_cycle();
+  *out_ << "S\t" << seq << "\t0\tIs\n";
+  if (predicted_faulty) *out_ << "L\t" << seq << "\t1\t[predicted faulty]\n";
+}
+
+void KanataTraceWriter::on_complete(SeqNum seq) {
+  if (!tracked(seq)) return;
+  sync_cycle();
+  *out_ << "S\t" << seq << "\t0\tCm\n";
+}
+
+void KanataTraceWriter::on_commit(SeqNum seq) {
+  if (!tracked(seq)) return;
+  sync_cycle();
+  *out_ << "R\t" << seq << "\t" << retire_id_++ << "\t0\n";
+}
+
+void KanataTraceWriter::on_squash(SeqNum first, SeqNum last) {
+  sync_cycle();
+  for (SeqNum s = first; s <= last && tracked(s); ++s) {
+    *out_ << "R\t" << s << "\t0\t1\n";  // type 1 = flushed
+  }
+}
+
+}  // namespace vasim::cpu

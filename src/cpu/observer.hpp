@@ -1,0 +1,69 @@
+// Pipeline observation hooks and a Kanata trace writer.
+//
+// A PipelineObserver receives per-instruction lifecycle events; the
+// KanataTraceWriter turns them into a Kanata-format pipeline visualization
+// log (https://github.com/shioyadan/Konata), which is invaluable when
+// debugging scheduling interactions like slot freezes and replays.
+#ifndef VASIM_CPU_OBSERVER_HPP
+#define VASIM_CPU_OBSERVER_HPP
+
+#include <ostream>
+#include <string>
+
+#include "src/common/types.hpp"
+#include "src/isa/dyninst.hpp"
+
+namespace vasim::cpu {
+
+/// Lifecycle callbacks.  All default to no-ops so observers override only
+/// what they need.  `seq` is the dynamic sequence number (re-assigned after
+/// a squash).
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+  virtual void on_cycle(Cycle) {}
+  virtual void on_fetch(SeqNum, const isa::DynInst&) {}
+  virtual void on_dispatch(SeqNum) {}
+  virtual void on_issue(SeqNum, bool predicted_faulty) { (void)predicted_faulty; }
+  virtual void on_complete(SeqNum) {}
+  virtual void on_commit(SeqNum) {}
+  virtual void on_squash(SeqNum first_squashed, SeqNum last_squashed) {
+    (void)first_squashed;
+    (void)last_squashed;
+  }
+};
+
+/// Writes a Kanata 0004 log.  Stages emitted: F (fetch/front end),
+/// Ds (dispatch/queue), Is (issue/execute), Cm (completed, waiting for
+/// retire).  Predicted-faulty instructions are annotated.
+class KanataTraceWriter final : public PipelineObserver {
+ public:
+  /// `out` must outlive the writer.  `max_instructions` caps the log size.
+  explicit KanataTraceWriter(std::ostream* out, u64 max_instructions = 10'000);
+
+  void on_cycle(Cycle now) override;
+  void on_fetch(SeqNum seq, const isa::DynInst& di) override;
+  void on_dispatch(SeqNum seq) override;
+  void on_issue(SeqNum seq, bool predicted_faulty) override;
+  void on_complete(SeqNum seq) override;
+  void on_commit(SeqNum seq) override;
+  void on_squash(SeqNum first_squashed, SeqNum last_squashed) override;
+
+  [[nodiscard]] u64 instructions_logged() const { return logged_; }
+
+ private:
+  [[nodiscard]] bool tracked(SeqNum seq) const;
+  void sync_cycle();
+
+  std::ostream* out_;
+  u64 max_instructions_;
+  u64 logged_ = 0;
+  Cycle now_ = 0;
+  Cycle emitted_cycle_ = 0;
+  bool header_written_ = false;
+  u64 retire_id_ = 0;
+};
+
+}  // namespace vasim::cpu
+
+#endif  // VASIM_CPU_OBSERVER_HPP

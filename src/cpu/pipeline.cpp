@@ -1,0 +1,766 @@
+#include "src/cpu/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/isa/program.hpp"
+
+namespace vasim::cpu {
+namespace {
+
+constexpr std::size_t kFrontendCap = 64;
+
+}  // namespace
+
+Pipeline::Pipeline(const CoreConfig& cfg, const SchemeConfig& scheme,
+                   isa::InstructionSource* source, const timing::FaultModel* fault_model,
+                   FaultPredictor* predictor)
+    : cfg_(cfg), scheme_(scheme), source_(source), fault_model_(fault_model),
+      predictor_(predictor), memory_(cfg), bpred_(cfg), fus_(cfg) {
+  if (cfg_.phys_regs < isa::kNumArchRegs + cfg_.dispatch_width) {
+    throw std::invalid_argument("Pipeline: too few physical registers");
+  }
+  rename_map_.resize(isa::kNumArchRegs);
+  for (int a = 0; a < isa::kNumArchRegs; ++a) rename_map_[static_cast<std::size_t>(a)] = a;
+  for (int p = cfg_.phys_regs - 1; p >= isa::kNumArchRegs; --p) free_list_.push_back(p);
+  phys_ready_.assign(static_cast<std::size_t>(cfg_.phys_regs), 1);
+}
+
+bool Pipeline::faults_enabled() const { return fault_model_ != nullptr && fault_model_->enabled(); }
+
+Pipeline::InstState* Pipeline::find(SeqNum seq) {
+  if (window_.empty() || seq < head_seq_) return nullptr;
+  const u64 off = seq - head_seq_;
+  if (off >= window_.size()) return nullptr;
+  return &window_[static_cast<std::size_t>(off)];
+}
+
+void Pipeline::schedule(Cycle cycle, EventKind kind, SeqNum seq) {
+  events_.push_back(Event{cycle, kind, seq});
+}
+
+Cycle Pipeline::stage_offset(timing::OooStage stage, Cycle exec_lat) const {
+  switch (stage) {
+    case timing::OooStage::kIssueSelect: return 0;
+    case timing::OooStage::kRegRead: return 1;
+    case timing::OooStage::kExecute: return 2;
+    case timing::OooStage::kMemory: return 3;
+    case timing::OooStage::kWriteback: return exec_lat + 1;
+  }
+  return 0;
+}
+
+void Pipeline::shift_all_times(Cycle delta) {
+  for (Event& e : events_) e.cycle += delta;
+  for (FetchedInst& fi : frontend_) fi.arrive += delta;
+  fus_.shift_time(delta);
+  fetch_stall_until_ += delta;
+}
+
+void Pipeline::train_predictor(const InstState& is, bool faulty) {
+  if (predictor_ == nullptr || !scheme_.use_predictor) return;
+  predictor_->train(is.di.pc, is.tep_history, faulty, is.actual_stage);
+}
+
+// ---- events ---------------------------------------------------------------
+
+void Pipeline::broadcast(InstState& is) {
+  stats_.inc("ev.broadcast");
+  if (is.phys_dst == kNoReg) return;
+  phys_ready_[static_cast<std::size_t>(is.phys_dst)] = 1;
+  // CDL (Section 3.5.2): count waiting dependents that match this tag.
+  int deps = 0;
+  for (const InstState& w : window_) {
+    if (!w.in_iq || w.issued) continue;
+    if (w.phys_src1 == is.phys_dst || w.phys_src2 == is.phys_dst) ++deps;
+  }
+  if (deps > 0) stats_.inc("ev.wakeup_match", static_cast<u64>(deps));
+  if (predictor_ != nullptr && scheme_.use_predictor) {
+    predictor_->mark_critical(is.di.pc, is.tep_history,
+                              deps >= scheme_.criticality_threshold);
+  }
+}
+
+void Pipeline::process_events() {
+  // Pull events due this cycle; keep the rest.
+  std::vector<Event> due;
+  auto keep = events_.begin();
+  for (auto it = events_.begin(); it != events_.end(); ++it) {
+    if (it->cycle <= now_) {
+      due.push_back(*it);
+    } else {
+      *keep++ = *it;
+    }
+  }
+  events_.erase(keep, events_.end());
+  // Deterministic order: broadcasts, completes, EP stalls, replays; then age.
+  std::sort(due.begin(), due.end(), [](const Event& a, const Event& b) {
+    if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    return a.seq < b.seq;
+  });
+
+  for (const Event& e : due) {
+    switch (e.kind) {
+      case EventKind::kBroadcast: {
+        InstState* is = find(e.seq);
+        if (is != nullptr) broadcast(*is);
+        break;
+      }
+      case EventKind::kComplete: {
+        InstState* is = find(e.seq);
+        if (is == nullptr) break;
+        is->completed = true;
+        if (observer_ != nullptr) observer_->on_complete(e.seq);
+        if (fetch_blocked_on_ && *fetch_blocked_on_ == e.seq) {
+          fetch_blocked_on_.reset();
+          if (cfg_.model_wrong_path) squash_younger(e.seq, /*refetch_true_path=*/false);
+        }
+        // Detection-based training (Razor latches observe every transit).
+        if (is->actual_fault && is->fault_handled) {
+          train_predictor(*is, true);
+        } else if (is->pred_fault && !is->actual_fault) {
+          train_predictor(*is, false);  // decay stale predictions
+        }
+        break;
+      }
+      case EventKind::kEpStall: {
+        if (find(e.seq) != nullptr) {
+          ++stall_pending_;
+          stats_.inc("ep.stalls");
+        }
+        break;
+      }
+      case EventKind::kReplay:
+        do_replay(e.seq);
+        break;
+    }
+  }
+}
+
+void Pipeline::do_replay(SeqNum seq) {
+  InstState* is = find(seq);
+  if (is == nullptr || !is->replay_scheduled) return;
+  stats_.inc("fault.replays");
+  train_predictor(*is, true);
+
+  if (scheme_.recovery == RecoveryModel::kMicroStall) {
+    // RazorII-style in-place replay: the stage recomputes while the pipeline
+    // holds; the instruction's own events shift with the stall.
+    stall_pending_ += static_cast<int>(scheme_.micro_stall_cycles);
+    is->replay_scheduled = false;
+    is->safe_mode = true;
+    return;
+  }
+
+  // Squash-and-refetch: flush [seq, tail] plus the front end, restore the
+  // rename map youngest-first, and refetch with the faulty instance marked
+  // safe (the recovery executes it with a guaranteed-sufficient period).
+  const Pc faulty_pc = is->di.pc;
+  squash_younger(seq - 1, /*refetch_true_path=*/true);
+  if (!refetch_.empty() && refetch_.front().di.pc == faulty_pc) {
+    refetch_.front().safe_mode = true;
+  }
+  fetch_stall_until_ = std::max(fetch_stall_until_, now_ + static_cast<Cycle>(cfg_.replay_recovery));
+}
+
+void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
+  // Collect true-path work for refetch; wrong-path work is discarded.
+  std::vector<RefetchInst> re;
+  u64 squashed = 0;
+  SeqNum youngest = last_kept;
+  for (u64 off = 0; off < window_.size(); ++off) {
+    const SeqNum wseq = head_seq_ + off;
+    if (wseq <= last_kept) continue;
+    const InstState& w = window_[static_cast<std::size_t>(off)];
+    ++squashed;
+    youngest = wseq;
+    if (refetch_true_path && !w.wrong_path) re.push_back(RefetchInst{w.di, false});
+  }
+  for (const FetchedInst& fi : frontend_) {
+    ++squashed;
+    youngest = fi.seq;
+    if (refetch_true_path && !fi.wrong_path) re.push_back(RefetchInst{fi.di, false});
+  }
+  frontend_.clear();
+
+  while (!window_.empty()) {
+    InstState& w = window_.back();
+    const SeqNum wseq = head_seq_ + window_.size() - 1;
+    if (wseq <= last_kept) break;
+    if (w.phys_dst != kNoReg) {
+      rename_map_[static_cast<std::size_t>(w.di.dst)] = w.old_phys;
+      free_list_.push_back(w.phys_dst);
+    }
+    if (w.in_iq) --iq_count_;
+    if (w.di.op == isa::OpClass::kLoad) --lq_count_;
+    if (w.di.op == isa::OpClass::kStore) --sq_count_;
+    window_.pop_back();
+  }
+  stats_.inc("ev.squash", squashed);
+  if (observer_ != nullptr && squashed > 0) observer_->on_squash(last_kept + 1, youngest);
+
+  // Seq numbers above `last_kept` are recycled, so stale events for squashed
+  // instructions must not fire on their successors.
+  std::erase_if(events_, [last_kept](const Event& e) { return e.seq > last_kept; });
+  next_seq_ = last_kept + 1;
+
+  refetch_.insert(refetch_.begin(), re.begin(), re.end());
+  wrong_path_active_ = false;
+  if (fetch_blocked_on_ && *fetch_blocked_on_ > last_kept) fetch_blocked_on_.reset();
+}
+
+isa::DynInst Pipeline::synthesize_wrong_path(Pc pc) {
+  // Plausible wrong-path filler: mostly ALU with some loads into the warm
+  // region; consumes rename/issue/execute resources and pollutes the D-cache
+  // but never the architectural state (squashed at branch resolution).
+  isa::DynInst d;
+  const u64 h = hash_mix(pc ^ 0x3b0a6ULL);
+  d.pc = pc;
+  d.next_pc = pc + isa::kInstrBytes;
+  d.src1 = 1 + static_cast<int>(h % 24);
+  d.dst = 1 + static_cast<int>((h >> 8) % 24);
+  if ((h & 0xFF) < 77) {  // ~30% loads
+    d.op = isa::OpClass::kLoad;
+    d.mem_addr = (0x0800'0000ULL + (h % (128 * 1024))) & ~7ULL;
+  } else {
+    d.op = isa::OpClass::kIntAlu;
+    d.src2 = 1 + static_cast<int>((h >> 16) % 24);
+  }
+  return d;
+}
+
+// ---- commit ----------------------------------------------------------------
+
+void Pipeline::commit_stage() {
+  int budget = cfg_.commit_width;
+  while (budget > 0 && committed_ < commit_limit_ && !window_.empty() &&
+         window_.front().completed) {
+    InstState& is = window_.front();
+    if (is.retire_fault && !is.retire_padded) {
+      // Retire-stage violation: the stage takes two cycles for this
+      // instruction; with a predictor this is a planned stall, without one a
+      // Razor replay of the retire transit.
+      is.retire_padded = true;
+      if (scheme_.use_predictor) {
+        stats_.inc("fault.inorder.stall");
+      } else {
+        stats_.inc("fault.inorder.replay");
+        stall_pending_ += static_cast<int>(scheme_.micro_stall_cycles) - 1;
+      }
+      break;  // retire loses the rest of this cycle
+    }
+    if (is.di.op == isa::OpClass::kStore) {
+      memory_.store_commit(is.di.mem_addr);
+      --sq_count_;
+      stats_.inc("ev.dcache_write");
+    }
+    if (is.di.op == isa::OpClass::kLoad) --lq_count_;
+    if (is.phys_dst != kNoReg && is.old_phys != kNoReg) free_list_.push_back(is.old_phys);
+    // Committed-path fault rate (Table 1's FR): an instruction counts when
+    // its committed instance faulted or it is the safe re-execution of one.
+    if (is.actual_fault || is.safe_mode) stats_.inc("fault.committed_faulty");
+    ++committed_;
+    if (observer_ != nullptr) observer_->on_commit(head_seq_);
+    stats_.inc("ev.commit");
+    window_.pop_front();
+    ++head_seq_;
+    --budget;
+    last_commit_cycle_ = now_;
+  }
+}
+
+// ---- issue -----------------------------------------------------------------
+
+bool Pipeline::operands_ready(const InstState& is) const {
+  const bool r1 = is.phys_src1 == kNoReg || phys_ready_[static_cast<std::size_t>(is.phys_src1)] != 0;
+  const bool r2 = is.phys_src2 == kNoReg || phys_ready_[static_cast<std::size_t>(is.phys_src2)] != 0;
+  return r1 && r2;
+}
+
+bool Pipeline::load_may_issue(const InstState& load, bool* forwarded) {
+  // Idealized disambiguation: store addresses are known from the trace, so
+  // only a genuinely conflicting older store gates the load.  The youngest
+  // matching store decides: once it has issued (data available in the store
+  // queue), the load forwards from it; before that the load waits.
+  *forwarded = false;
+  const SeqNum load_seq = load.di.seq;
+  bool ok = true;
+  for (const InstState& w : window_) {
+    if (w.di.seq >= load_seq) break;
+    if (w.di.op != isa::OpClass::kStore) continue;
+    if ((w.di.mem_addr & ~7ULL) != (load.di.mem_addr & ~7ULL)) continue;
+    if (w.issued) {
+      *forwarded = true;
+      ok = true;
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) *forwarded = false;
+  return ok;
+}
+
+void Pipeline::select_stage() {
+  int width = cfg_.issue_width - slots_frozen_now_;
+  if (width <= 0) return;
+
+  std::vector<InstState*> cand;
+  for (InstState& is : window_) {
+    if (!is.in_iq || is.issued || !operands_ready(is)) continue;
+    if (mem_blocked_now_ && isa::is_mem(is.di.op)) continue;
+    cand.push_back(&is);
+  }
+  const auto age_of = [](const InstState* p) { return p->age; };
+  switch (scheme_.policy) {
+    case SelectPolicy::kAge:
+      std::sort(cand.begin(), cand.end(),
+                [&](auto* a, auto* b) { return age_of(a) < age_of(b); });
+      break;
+    case SelectPolicy::kFaultyFirst:
+      std::sort(cand.begin(), cand.end(), [&](auto* a, auto* b) {
+        if (a->pred_fault != b->pred_fault) return a->pred_fault;
+        return age_of(a) < age_of(b);
+      });
+      break;
+    case SelectPolicy::kCriticalityDriven:
+      std::sort(cand.begin(), cand.end(), [&](auto* a, auto* b) {
+        const bool ca = a->pred_fault && a->pred_critical;
+        const bool cb = b->pred_fault && b->pred_critical;
+        if (ca != cb) return ca;
+        return age_of(a) < age_of(b);
+      });
+      break;
+  }
+
+  int issued = 0;
+  for (InstState* p : cand) {
+    if (width == 0) break;
+    if (p->di.op == isa::OpClass::kLoad) {
+      bool fwd = false;
+      if (!load_may_issue(*p, &fwd)) continue;
+    }
+    const u64 before = stats_.count("ev.select");
+    issue_one(*p);
+    if (stats_.count("ev.select") != before) {
+      --width;
+      ++issued;
+    }
+  }
+  // Utilization diagnostics (consumed by tests and the ablation bench).
+  if (cand.empty()) {
+    stats_.inc("sel.cycles_no_ready");
+  } else if (issued == 0) {
+    stats_.inc("sel.cycles_blocked");
+  }
+  stats_.inc("sel.issued_total", static_cast<u64>(issued));
+  stats_.inc("sel.iq_occupancy_sum", static_cast<u64>(iq_count_));
+  stats_.inc("sel.window_sum", window_.size());
+  stats_.inc("sel.frontend_sum", frontend_.size());
+}
+
+void Pipeline::issue_one(InstState& is) {
+  // Execution latency by class.
+  Cycle exec_lat = 1;
+  switch (is.di.op) {
+    case isa::OpClass::kIntMul: exec_lat = cfg_.mul_latency; break;
+    case isa::OpClass::kIntDiv: exec_lat = cfg_.div_latency; break;
+    case isa::OpClass::kLoad: {
+      bool fwd = false;
+      (void)load_may_issue(is, &fwd);
+      stats_.inc("ev.lsq_search");
+      if (fwd) {
+        exec_lat = 2;  // store-to-load forward
+        stats_.inc("ev.stl_forward");
+      } else {
+        exec_lat = 1 + memory_.load_latency(is.di.mem_addr);
+        stats_.inc("ev.dcache_read");
+      }
+      break;
+    }
+    case isa::OpClass::kStore:
+      stats_.inc("ev.lsq_search");
+      break;
+    default:
+      break;
+  }
+
+  // Fault oracle (Section 4.3) -- decided as the instruction engages the
+  // OoO stages.
+  if (faults_enabled() && !is.safe_mode && !is.wrong_path) {
+    const timing::FaultDecision d = fault_model_->query(
+        is.di.pc, isa::is_mem(is.di.op) ? timing::FaultClass::kMemLike
+                                        : timing::FaultClass::kAluLike,
+        now_);
+    is.actual_fault = d.faulty;
+    is.actual_stage = d.stage;
+  }
+
+  // VTE: predicted-faulty instructions take one extra cycle in their faulty
+  // stage and freeze the resource they occupy (Sections 3.2-3.3).  The
+  // freeze is per functional unit / port ("freeze the corresponding issue
+  // slot for the functional unit or memory port", Sec 3.3.1): the unit the
+  // instruction uses cannot accept a new instruction the following cycle.
+  // Only a writeback-stage fault freezes an issue-queue input slot
+  // (Sec 3.3.5), costing one slot of global width.
+  Cycle lat_delta = 0;
+  bool fu_extra = false;
+  bool wb_slot_freeze = false;
+  if (scheme_.vte && is.pred_fault) {
+    lat_delta = 1;
+    if (is.pred_stage == timing::OooStage::kWriteback) {
+      wb_slot_freeze = true;
+    } else {
+      fu_extra = true;
+    }
+  }
+  if (is.safe_mode) lat_delta += 1;  // replayed instance runs padded
+
+  const int fu = fus_.allocate(is.di.op, now_, exec_lat + lat_delta, fu_extra);
+  if (fu < 0) return;  // structural hazard; retry next cycle
+  if (wb_slot_freeze) ++slots_frozen_next_;
+  // LSQ CAM spacing (Sec 3.3.4): no load/store may perform a CAM search in
+  // the cycle right behind a predicted-faulty memory-stage instruction.
+  if (scheme_.vte && is.pred_fault && is.pred_stage == timing::OooStage::kMemory) {
+    mem_blocked_next_ = true;
+  }
+
+  is.issued = true;
+  is.in_iq = false;
+  --iq_count_;
+  if (observer_ != nullptr) observer_->on_issue(is.di.seq, is.pred_fault);
+  stats_.inc("ev.select");
+  stats_.inc("ev.regread");
+  switch (fus_.kind_of(fu)) {
+    case FuKind::kSimpleAlu: stats_.inc("ev.fu.alu"); break;
+    case FuKind::kComplexAlu:
+      stats_.inc(is.di.op == isa::OpClass::kIntDiv ? "ev.fu.div" : "ev.fu.mul");
+      break;
+    case FuKind::kBranch: stats_.inc("ev.fu.branch"); break;
+    case FuKind::kLoadPort:
+    case FuKind::kStorePort: stats_.inc("ev.fu.mem"); break;
+  }
+
+  const Cycle wakeup = now_ + exec_lat + lat_delta;
+  schedule(wakeup, EventKind::kBroadcast, is.di.seq);
+  schedule(wakeup + 1, EventKind::kComplete, is.di.seq);
+
+  // Error Padding: one global stall cycle as the instruction transits its
+  // predicted-faulty stage.
+  if (scheme_.error_padding && is.pred_fault) {
+    schedule(now_ + stage_offset(is.pred_stage, exec_lat), EventKind::kEpStall, is.di.seq);
+  }
+
+  if (is.actual_fault) {
+    stats_.inc("fault.actual");
+    stats_.inc(std::string("fault.stage.") + std::string(timing::to_string(is.actual_stage)));
+    const bool covered = is.pred_fault && is.pred_stage == is.actual_stage &&
+                         (scheme_.vte || scheme_.error_padding);
+    if (covered) {
+      is.fault_handled = true;
+      stats_.inc("fault.handled");
+    } else {
+      is.replay_scheduled = true;
+      schedule(wakeup + 1, EventKind::kReplay, is.di.seq);
+    }
+  }
+  if (is.pred_fault) stats_.inc("fault.predicted");
+  if (is.pred_fault && !is.actual_fault) stats_.inc("fault.false_positive");
+  if (scheme_.use_predictor && !is.pred_fault && is.actual_fault) {
+    stats_.inc("fault.false_negative");
+  }
+}
+
+// ---- dispatch ----------------------------------------------------------------
+
+void Pipeline::dispatch_stage() {
+  int budget = cfg_.dispatch_width;
+  while (budget > 0 && !frontend_.empty() && frontend_.front().arrive <= now_) {
+    FetchedInst& fi = frontend_.front();
+    if (static_cast<int>(window_.size()) >= cfg_.rob_entries) break;
+    if (iq_count_ >= cfg_.iq_entries) break;
+    const bool is_load = fi.di.op == isa::OpClass::kLoad;
+    const bool is_store = fi.di.op == isa::OpClass::kStore;
+    if (is_load && lq_count_ >= cfg_.lq_entries) break;
+    if (is_store && sq_count_ >= cfg_.sq_entries) break;
+    if (fi.di.dst != kNoReg && free_list_.empty()) break;
+
+    InstState is;
+    is.di = fi.di;
+    is.di.seq = fi.seq;
+    is.age = age_counter_++;
+    is.tep_history = fi.history;
+    is.safe_mode = fi.safe_mode;
+    is.retire_fault = fi.retire_fault;
+    is.wrong_path = fi.wrong_path;
+    is.pred_fault = fi.pred.predicted;
+    is.pred_stage = fi.pred.stage;
+    is.pred_critical = fi.pred.critical;
+    if (is.di.src1 != kNoReg) is.phys_src1 = rename_map_[static_cast<std::size_t>(is.di.src1)];
+    if (is.di.src2 != kNoReg) is.phys_src2 = rename_map_[static_cast<std::size_t>(is.di.src2)];
+    if (is.di.dst != kNoReg) {
+      is.old_phys = rename_map_[static_cast<std::size_t>(is.di.dst)];
+      is.phys_dst = free_list_.back();
+      free_list_.pop_back();
+      rename_map_[static_cast<std::size_t>(is.di.dst)] = is.phys_dst;
+      phys_ready_[static_cast<std::size_t>(is.phys_dst)] = 0;
+    }
+    is.in_iq = true;
+    ++iq_count_;
+    if (is_load) ++lq_count_;
+    if (is_store) ++sq_count_;
+
+    if (window_.empty()) head_seq_ = fi.seq;
+    if (observer_ != nullptr) observer_->on_dispatch(fi.seq);
+    window_.push_back(std::move(is));
+    frontend_.pop_front();
+    --budget;
+    stats_.inc("ev.dispatch");
+    stats_.inc("ev.iq_write");
+  }
+}
+
+// ---- fetch ---------------------------------------------------------------------
+
+void Pipeline::fetch_stage() {
+  if (now_ < fetch_stall_until_) return;
+  if (fetch_blocked_on_.has_value()) {
+    if (!cfg_.model_wrong_path || !wrong_path_active_) return;
+    // Keep fetching down the predicted (wrong) path until the branch
+    // resolves; this work is squashed, never committed.
+    int wp_budget = cfg_.fetch_width;
+    while (wp_budget > 0 && frontend_.size() < kFrontendCap) {
+      FetchedInst fi;
+      fi.di = synthesize_wrong_path(wrong_path_pc_);
+      wrong_path_pc_ += isa::kInstrBytes;
+      fi.seq = next_seq_++;
+      fi.wrong_path = true;
+      fi.arrive = now_ + static_cast<Cycle>(cfg_.frontend_depth);
+      fi.history = bpred_.history();
+      stats_.inc("ev.fetch");
+      stats_.inc("ev.wrongpath_fetch");
+      if (observer_ != nullptr) observer_->on_fetch(fi.seq, fi.di);
+      frontend_.push_back(std::move(fi));
+      --wp_budget;
+    }
+    return;
+  }
+  int budget = cfg_.fetch_width;
+  while (budget > 0 && frontend_.size() < kFrontendCap) {
+    RefetchInst ri;
+    if (!refetch_.empty()) {
+      ri = refetch_.front();
+      refetch_.pop_front();
+    } else {
+      if (source_done_) break;
+      if (!source_->next(ri.di)) {
+        source_done_ = true;
+        break;
+      }
+    }
+
+    FetchedInst fi;
+    fi.di = ri.di;
+    fi.safe_mode = ri.safe_mode;
+    fi.seq = next_seq_++;
+    stats_.inc("ev.fetch");
+
+    const Cycle il = memory_.ifetch_latency(fi.di.pc);
+    const Cycle extra = il > cfg_.l1i.latency ? il - cfg_.l1i.latency : 0;
+    fi.arrive = now_ + extra + static_cast<Cycle>(cfg_.frontend_depth);
+
+    // TEP lookup in parallel with decode (Section 2.1.1).
+    fi.history = bpred_.history();
+    if (scheme_.use_predictor && predictor_ != nullptr && faults_enabled()) {
+      fi.pred = predictor_->predict(fi.di.pc, fi.history, now_);
+    }
+
+    // In-order engine faults (Section 2.2): rename/dispatch/retire use the
+    // TEP-driven stall signal (the faulty stage completes in two cycles
+    // while its inputs recirculate); fetch/decode faults always replay.
+    if (scheme_.inorder_fault_scale > 0.0 && faults_enabled()) {
+      const timing::InOrderFaultDecision iod =
+          fault_model_->query_inorder(fi.di.pc, now_, scheme_.inorder_fault_scale);
+      if (iod.faulty) {
+        switch (iod.stage) {
+          case timing::InOrderStage::kFetch:
+          case timing::InOrderStage::kDecode: {
+            stats_.inc("fault.inorder.replay");
+            const Cycle recovery = static_cast<Cycle>(cfg_.replay_recovery);
+            fetch_stall_until_ = std::max(fetch_stall_until_, now_ + recovery);
+            fi.arrive += recovery;
+            break;
+          }
+          case timing::InOrderStage::kRename:
+          case timing::InOrderStage::kDispatch:
+            if (scheme_.use_predictor) {
+              stats_.inc("fault.inorder.stall");
+              fi.arrive += 1;  // stage completes in two cycles, inputs recirculate
+            } else {
+              stats_.inc("fault.inorder.replay");
+              stall_pending_ += static_cast<int>(scheme_.micro_stall_cycles);
+            }
+            break;
+          case timing::InOrderStage::kRetire:
+            fi.retire_fault = true;
+            break;
+        }
+      }
+    }
+
+    bool blocked = false;
+    if (fi.di.op == isa::OpClass::kBranch) {
+      const BranchPrediction bp = bpred_.predict(fi.di.pc);
+      const bool mispred = bp.taken != fi.di.taken ||
+                           (fi.di.taken && (!bp.target_known || bp.target != fi.di.next_pc));
+      bpred_.update(fi.di.pc, fi.di.taken, fi.di.next_pc);
+      if (mispred) {
+        bpred_.note_mispredict();
+        stats_.inc("branch.mispredict");
+        fetch_blocked_on_ = fi.seq;
+        blocked = true;
+        if (cfg_.model_wrong_path) {
+          wrong_path_active_ = true;
+          wrong_path_pc_ = bp.taken && bp.target_known ? bp.target : fi.di.pc + isa::kInstrBytes;
+        }
+      }
+    }
+    if (observer_ != nullptr) observer_->on_fetch(fi.seq, fi.di);
+    frontend_.push_back(std::move(fi));
+    --budget;
+    if (blocked) break;
+    if (extra > 0) {
+      fetch_stall_until_ = now_ + extra;
+      break;
+    }
+  }
+}
+
+// ---- main loop -------------------------------------------------------------------
+
+void Pipeline::apply_global_stall() {
+  --stall_pending_;
+  shift_all_times(1);
+  stats_.inc("ev.stall_cycles");
+}
+
+bool Pipeline::step() {
+  if (source_done_ && window_.empty() && frontend_.empty() && refetch_.empty()) return false;
+
+  if (stall_pending_ > 0) {
+    apply_global_stall();
+    ++now_;
+    return true;
+  }
+
+  slots_frozen_now_ = slots_frozen_next_;
+  slots_frozen_next_ = 0;
+  mem_blocked_now_ = mem_blocked_next_;
+  mem_blocked_next_ = false;
+
+  if (observer_ != nullptr) observer_->on_cycle(now_);
+  process_events();
+  commit_stage();
+  select_stage();
+  dispatch_stage();
+  fetch_stage();
+
+  ++now_;
+  if (!window_.empty() && now_ - last_commit_cycle_ > cfg_.watchdog_cycles) {
+    throw std::runtime_error("Pipeline deadlock: no commit in watchdog window");
+  }
+  return true;
+}
+
+PipelineResult Pipeline::run(u64 max_committed, u64 warmup_committed) {
+  // Snapshot helper: cumulative stats including cache/bpred counters.
+  const auto snapshot = [this]() {
+    StatSet s = stats_;
+    memory_.export_stats(s);
+    s.inc("branch.lookups", bpred_.lookups());
+    s.inc("branch.mispredicts_total", bpred_.mispredicts());
+    s.inc("cycles", now_);
+    return s;
+  };
+
+  StatSet base;
+  u64 base_committed = 0;
+  Cycle base_cycles = 0;
+  if (warmup_committed > 0) {
+    commit_limit_ = warmup_committed;
+    while (committed_ < warmup_committed && step()) {
+    }
+    base = snapshot();
+    base_committed = committed_;
+    base_cycles = now_;
+  }
+
+  const u64 target = warmup_committed + max_committed;
+  commit_limit_ = target;
+  while (committed_ < target && step()) {
+  }
+
+  PipelineResult r;
+  r.committed = committed_ - base_committed;
+  r.cycles = now_ - base_cycles;
+  r.stats = snapshot().diff(base);
+  r.stats.set("ipc", r.committed == 0 || r.cycles == 0
+                         ? 0.0
+                         : static_cast<double>(r.committed) / static_cast<double>(r.cycles));
+  return r;
+}
+
+// ---- scheme factories ---------------------------------------------------------
+
+SchemeConfig scheme_fault_free() {
+  SchemeConfig s;
+  s.name = "fault-free";
+  return s;
+}
+
+SchemeConfig scheme_razor() {
+  SchemeConfig s;
+  s.name = "razor";
+  s.use_predictor = false;
+  return s;
+}
+
+// All factory schemes recover unpredicted faults with the RazorII-style
+// in-place replay (Section 2.1.2); squash-refetch remains available through
+// SchemeConfig::recovery and is compared in bench_ablation.
+
+SchemeConfig scheme_error_padding() {
+  SchemeConfig s;
+  s.name = "ep";
+  s.use_predictor = true;
+  s.error_padding = true;
+  return s;
+}
+
+SchemeConfig scheme_abs() {
+  SchemeConfig s;
+  s.name = "abs";
+  s.use_predictor = true;
+  s.vte = true;
+  s.policy = SelectPolicy::kAge;
+  return s;
+}
+
+SchemeConfig scheme_ffs() {
+  SchemeConfig s;
+  s.name = "ffs";
+  s.use_predictor = true;
+  s.vte = true;
+  s.policy = SelectPolicy::kFaultyFirst;
+  return s;
+}
+
+SchemeConfig scheme_cds() {
+  SchemeConfig s;
+  s.name = "cds";
+  s.use_predictor = true;
+  s.vte = true;
+  s.policy = SelectPolicy::kCriticalityDriven;
+  return s;
+}
+
+}  // namespace vasim::cpu

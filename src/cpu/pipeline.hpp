@@ -1,0 +1,214 @@
+// Cycle-level 4-wide out-of-order pipeline with timing-fault injection and
+// the paper's fault-handling schemes.
+//
+// Model summary (see DESIGN.md section 5 for the fidelity argument):
+//  * Trace-driven: the committed path comes from an InstructionSource; on a
+//    branch mispredict, fetch stalls until the branch resolves (wrong-path
+//    work is not simulated).
+//  * An instruction selected at cycle t broadcasts its result tag at
+//    t + exec_latency (back-to-back wakeup for 1-cycle ops) and completes at
+//    t + exec_latency + 1.
+//  * A timing fault is decided at select time by the FaultModel oracle.  A
+//    correctly predicted fault is "handled": under VTE the instruction takes
+//    one extra cycle and the resource it occupies is frozen for one cycle;
+//    under Error Padding the whole pipeline stalls for one cycle when the
+//    instruction transits its faulty stage.  An unpredicted (or
+//    mispredicted-stage) fault triggers Razor-style replay.
+#ifndef VASIM_CPU_PIPELINE_HPP
+#define VASIM_CPU_PIPELINE_HPP
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/cpu/branch_pred.hpp"
+#include "src/cpu/cache.hpp"
+#include "src/cpu/config.hpp"
+#include "src/cpu/fu_pool.hpp"
+#include "src/cpu/hooks.hpp"
+#include "src/cpu/observer.hpp"
+#include "src/isa/dyninst.hpp"
+#include "src/timing/fault_model.hpp"
+
+namespace vasim::cpu {
+
+/// Outcome of a pipeline run.
+struct PipelineResult {
+  u64 committed = 0;
+  Cycle cycles = 0;
+  StatSet stats;
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(committed) / static_cast<double>(cycles);
+  }
+};
+
+/// The simulator.  One instance per (workload, scheme, supply) run.
+class Pipeline {
+ public:
+  /// `fault_model` may be null (fault-free); `predictor` may be null (Razor
+  /// or fault-free).  Non-owning pointers; must outlive the pipeline.
+  Pipeline(const CoreConfig& cfg, const SchemeConfig& scheme, isa::InstructionSource* source,
+           const timing::FaultModel* fault_model, FaultPredictor* predictor);
+
+  /// Runs until `max_committed` instructions commit (or the source drains).
+  /// `warmup_committed` instructions are executed first with the same
+  /// machinery but excluded from the reported statistics -- caches, branch
+  /// predictor and TEP reach steady state, mirroring the paper's SimPoint
+  /// phase methodology.
+  PipelineResult run(u64 max_committed, u64 warmup_committed = 0);
+
+  /// Advances one cycle; false when everything has drained.
+  bool step();
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] u64 committed() const { return committed_; }
+  [[nodiscard]] const StatSet& stats() const { return stats_; }
+  [[nodiscard]] StatSet& stats() { return stats_; }
+  /// Attaches a lifecycle observer (e.g. KanataTraceWriter); non-owning,
+  /// may be null.
+  void set_observer(PipelineObserver* observer) { observer_ = observer; }
+
+  [[nodiscard]] const MemoryHierarchy& memory() const { return memory_; }
+  [[nodiscard]] const BranchPredictor& branch_predictor() const { return bpred_; }
+
+ private:
+  // ---- in-flight bookkeeping -------------------------------------------
+  struct InstState {
+    isa::DynInst di;
+    u64 age = 0;  ///< issue timestamp (ABS selection key)
+    u64 tep_history = 0;
+    // Rename.
+    int phys_dst = kNoReg;
+    int old_phys = kNoReg;
+    int phys_src1 = kNoReg;
+    int phys_src2 = kNoReg;
+    // Status.
+    bool in_iq = false;
+    bool issued = false;
+    bool completed = false;
+    bool safe_mode = false;  ///< replayed instance: guaranteed fault-free
+    // Fault metadata.
+    bool pred_fault = false;
+    timing::OooStage pred_stage = timing::OooStage::kIssueSelect;
+    bool pred_critical = false;
+    bool actual_fault = false;
+    timing::OooStage actual_stage = timing::OooStage::kIssueSelect;
+    bool fault_handled = false;
+    bool replay_scheduled = false;
+    bool retire_fault = false;   ///< in-order retire-stage violation
+    bool retire_padded = false;  ///< retire already took its extra cycle
+    bool wrong_path = false;     ///< synthesized mispredicted-path work
+  };
+
+  struct FetchedInst {
+    isa::DynInst di;
+    SeqNum seq = 0;
+    Cycle arrive = 0;  ///< cycle the instruction becomes dispatchable
+    FaultPrediction pred;
+    u64 history = 0;
+    bool safe_mode = false;
+    bool retire_fault = false;
+    bool wrong_path = false;
+  };
+
+  struct RefetchInst {
+    isa::DynInst di;
+    bool safe_mode = false;
+  };
+
+  enum class EventKind : u8 { kBroadcast, kComplete, kEpStall, kReplay };
+
+  struct Event {
+    Cycle cycle = 0;
+    EventKind kind = EventKind::kComplete;
+    SeqNum seq = 0;
+  };
+
+  // ---- per-cycle stages --------------------------------------------------
+  void process_events();
+  void commit_stage();
+  void select_stage();
+  void dispatch_stage();
+  void fetch_stage();
+
+  // ---- helpers ------------------------------------------------------------
+  [[nodiscard]] InstState* find(SeqNum seq);
+  [[nodiscard]] bool operands_ready(const InstState& is) const;
+  [[nodiscard]] bool load_may_issue(const InstState& load, bool* forwarded);
+  void issue_one(InstState& is);
+  void do_replay(SeqNum seq);
+  /// Squashes every instruction younger than `last_kept`; when
+  /// `refetch_true_path` is set, squashed true-path work re-enters the
+  /// refetch queue (replay recovery); wrong-path work is always discarded.
+  void squash_younger(SeqNum last_kept, bool refetch_true_path);
+  [[nodiscard]] isa::DynInst synthesize_wrong_path(Pc pc);
+  void apply_global_stall();
+  void shift_all_times(Cycle delta);
+  void schedule(Cycle cycle, EventKind kind, SeqNum seq);
+  void broadcast(InstState& is);
+  [[nodiscard]] Cycle stage_offset(timing::OooStage stage, Cycle exec_lat) const;
+  [[nodiscard]] bool faults_enabled() const;
+  void train_predictor(const InstState& is, bool faulty);
+
+  // ---- configuration -------------------------------------------------------
+  CoreConfig cfg_;
+  SchemeConfig scheme_;
+  PipelineObserver* observer_ = nullptr;
+  isa::InstructionSource* source_;
+  const timing::FaultModel* fault_model_;
+  FaultPredictor* predictor_;
+
+  // ---- components -----------------------------------------------------------
+  MemoryHierarchy memory_;
+  BranchPredictor bpred_;
+  FuPool fus_;
+
+  // ---- rename state ---------------------------------------------------------
+  std::vector<int> rename_map_;   // arch -> phys
+  std::vector<int> free_list_;    // stack of free phys regs
+  std::vector<u8> phys_ready_;
+
+  // ---- windows ----------------------------------------------------------------
+  std::deque<InstState> window_;      ///< ROB, ordered by seq; front = head
+  SeqNum head_seq_ = 0;               ///< seq of window_.front()
+  SeqNum next_seq_ = 0;
+  std::deque<FetchedInst> frontend_;  ///< fetched, not yet dispatched
+  std::deque<RefetchInst> refetch_;   ///< squashed work awaiting refetch
+  std::vector<Event> events_;         ///< unordered; scanned per cycle
+
+  // ---- cycle state ---------------------------------------------------------
+  Cycle now_ = 0;
+  u64 committed_ = 0;
+  u64 commit_limit_ = ~0ULL;  ///< run() pins this for exact instruction counts
+  u64 age_counter_ = 0;
+  int iq_count_ = 0;
+  int lq_count_ = 0;
+  int sq_count_ = 0;
+  bool source_done_ = false;
+  Cycle fetch_stall_until_ = 0;
+  std::optional<SeqNum> fetch_blocked_on_;  ///< unresolved mispredicted branch
+  bool wrong_path_active_ = false;          ///< fetching down the wrong path
+  Pc wrong_path_pc_ = 0;
+  int stall_pending_ = 0;            ///< queued global-stall cycles
+  int slots_frozen_now_ = 0;         ///< issue slots frozen this cycle (VTE)
+  int slots_frozen_next_ = 0;
+  bool mem_blocked_now_ = false;     ///< LSQ CAM spacing (VTE memory stage)
+  bool mem_blocked_next_ = false;
+  Cycle last_commit_cycle_ = 0;
+
+  StatSet stats_;
+};
+
+/// Named scheme configurations of Section 5.
+SchemeConfig scheme_fault_free();
+SchemeConfig scheme_razor();
+SchemeConfig scheme_error_padding();
+SchemeConfig scheme_abs();
+SchemeConfig scheme_ffs();
+SchemeConfig scheme_cds();
+
+}  // namespace vasim::cpu
+
+#endif  // VASIM_CPU_PIPELINE_HPP

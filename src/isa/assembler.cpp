@@ -1,0 +1,212 @@
+#include "src/isa/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace vasim::isa {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char ch : line) {
+    if (ch == '#') break;
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int parse_reg(const std::string& t, int line) {
+  if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R')) {
+    throw AssemblerError(line, "expected register, got '" + t + "'");
+  }
+  int n = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) {
+      throw AssemblerError(line, "bad register '" + t + "'");
+    }
+    n = n * 10 + (t[i] - '0');
+  }
+  if (n >= kNumArchRegs) throw AssemblerError(line, "register out of range '" + t + "'");
+  return n;
+}
+
+i64 parse_imm(const std::string& t, int line) {
+  try {
+    std::size_t used = 0;
+    const i64 v = std::stoll(t, &used, 0);
+    if (used != t.size()) throw AssemblerError(line, "bad immediate '" + t + "'");
+    return v;
+  } catch (const AssemblerError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw AssemblerError(line, "bad immediate '" + t + "'");
+  }
+}
+
+/// Parses "imm(rN)" into (imm, reg).
+std::pair<i64, int> parse_mem_operand(const std::string& t, int line) {
+  const auto open = t.find('(');
+  const auto close = t.find(')');
+  if (open == std::string::npos || close == std::string::npos || close < open ||
+      close + 1 != t.size()) {
+    throw AssemblerError(line, "expected imm(reg), got '" + t + "'");
+  }
+  const std::string imm_s = t.substr(0, open);
+  const std::string reg_s = t.substr(open + 1, close - open - 1);
+  const i64 imm = imm_s.empty() ? 0 : parse_imm(imm_s, line);
+  return {imm, parse_reg(reg_s, line)};
+}
+
+std::optional<Opcode> opcode_of(const std::string& mnemonic) {
+  static const std::map<std::string, Opcode> table = {
+      {"nop", Opcode::kNop},   {"add", Opcode::kAdd}, {"sub", Opcode::kSub},
+      {"and", Opcode::kAnd},   {"or", Opcode::kOr},   {"xor", Opcode::kXor},
+      {"slt", Opcode::kSlt},   {"shl", Opcode::kShl}, {"shr", Opcode::kShr},
+      {"addi", Opcode::kAddi}, {"andi", Opcode::kAndi}, {"ori", Opcode::kOri},
+      {"lui", Opcode::kLui},   {"mul", Opcode::kMul}, {"div", Opcode::kDiv},
+      {"ld", Opcode::kLd},     {"st", Opcode::kSt},   {"beq", Opcode::kBeq},
+      {"bne", Opcode::kBne},   {"blt", Opcode::kBlt}, {"bge", Opcode::kBge},
+      {"jmp", Opcode::kJmp},   {"halt", Opcode::kHalt},
+  };
+  const auto it = table.find(mnemonic);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+bool is_branch(Opcode op) {
+  return op == Opcode::kBeq || op == Opcode::kBne || op == Opcode::kBlt || op == Opcode::kBge ||
+         op == Opcode::kJmp;
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  struct Pending {
+    Instr ins;
+    std::string label;  // branch target to resolve in pass 2 (empty = none)
+    int line = 0;
+  };
+  std::vector<Pending> pending;
+  std::map<std::string, std::size_t> labels;
+
+  std::istringstream in(source);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto toks = tokenize(line);
+    // Leading labels (possibly several on one line).
+    while (!toks.empty() && toks[0].back() == ':') {
+      const std::string label = toks[0].substr(0, toks[0].size() - 1);
+      if (label.empty()) throw AssemblerError(line_no, "empty label");
+      if (labels.count(label) != 0) throw AssemblerError(line_no, "duplicate label '" + label + "'");
+      labels[label] = pending.size();
+      toks.erase(toks.begin());
+    }
+    if (toks.empty()) continue;
+
+    const auto op = opcode_of(toks[0]);
+    if (!op) throw AssemblerError(line_no, "unknown mnemonic '" + toks[0] + "'");
+    Pending p;
+    p.ins.op = *op;
+    p.line = line_no;
+    const auto need = [&](std::size_t n) {
+      if (toks.size() != n + 1) {
+        throw AssemblerError(line_no, std::string(to_string(*op)) + ": wrong operand count");
+      }
+    };
+    switch (*op) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+        need(0);
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kSlt:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+        need(3);
+        p.ins.rd = parse_reg(toks[1], line_no);
+        p.ins.rs1 = parse_reg(toks[2], line_no);
+        p.ins.rs2 = parse_reg(toks[3], line_no);
+        break;
+      case Opcode::kAddi:
+      case Opcode::kAndi:
+      case Opcode::kOri:
+        need(3);
+        p.ins.rd = parse_reg(toks[1], line_no);
+        p.ins.rs1 = parse_reg(toks[2], line_no);
+        p.ins.imm = parse_imm(toks[3], line_no);
+        break;
+      case Opcode::kLui:
+        need(2);
+        p.ins.rd = parse_reg(toks[1], line_no);
+        p.ins.imm = parse_imm(toks[2], line_no);
+        break;
+      case Opcode::kLd: {
+        need(2);
+        p.ins.rd = parse_reg(toks[1], line_no);
+        const auto [imm, base] = parse_mem_operand(toks[2], line_no);
+        p.ins.imm = imm;
+        p.ins.rs1 = base;
+        break;
+      }
+      case Opcode::kSt: {
+        need(2);
+        p.ins.rs2 = parse_reg(toks[1], line_no);  // value
+        const auto [imm, base] = parse_mem_operand(toks[2], line_no);
+        p.ins.imm = imm;
+        p.ins.rs1 = base;
+        break;
+      }
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+        need(3);
+        p.ins.rs1 = parse_reg(toks[1], line_no);
+        p.ins.rs2 = parse_reg(toks[2], line_no);
+        p.label = toks[3];
+        break;
+      case Opcode::kJmp:
+        need(1);
+        p.label = toks[1];
+        break;
+    }
+    pending.push_back(std::move(p));
+  }
+
+  Program prog;
+  for (auto& p : pending) {
+    if (is_branch(p.ins.op) && !p.label.empty()) {
+      const auto it = labels.find(p.label);
+      if (it == labels.end()) throw AssemblerError(p.line, "undefined label '" + p.label + "'");
+      p.ins.imm = static_cast<i64>(it->second);
+    }
+    prog.append(p.ins);
+  }
+  return prog;
+}
+
+}  // namespace vasim::isa

@@ -1,0 +1,38 @@
+// Two-pass assembler for the mini ISA.
+//
+// Syntax (one instruction per line, '#' comments, 'label:' definitions):
+//   add  r1, r2, r3        # rd, rs1, rs2
+//   addi r1, r2, 42        # rd, rs1, imm
+//   lui  r1, 0x1000        # rd, imm
+//   ld   r1, 8(r2)         # rd, imm(rs1)
+//   st   r1, 8(r2)         # rs2(value), imm(rs1)
+//   beq  r1, r2, loop      # rs1, rs2, label
+//   jmp  loop
+//   halt
+#ifndef VASIM_ISA_ASSEMBLER_HPP
+#define VASIM_ISA_ASSEMBLER_HPP
+
+#include <stdexcept>
+#include <string>
+
+#include "src/isa/program.hpp"
+
+namespace vasim::isa {
+
+/// Raised with a line number and message on malformed input.
+class AssemblerError : public std::runtime_error {
+ public:
+  AssemblerError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assembles source text into a Program.
+Program assemble(const std::string& source);
+
+}  // namespace vasim::isa
+
+#endif  // VASIM_ISA_ASSEMBLER_HPP

@@ -1,0 +1,67 @@
+// Dynamic instruction record and the stream interface the pipeline consumes.
+//
+// The timing model is trace-driven: both the functional executor (real
+// programs in the mini ISA) and the statistical SPEC-like generators produce
+// DynInst streams through the same InstructionSource interface.
+#ifndef VASIM_ISA_DYNINST_HPP
+#define VASIM_ISA_DYNINST_HPP
+
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace vasim::isa {
+
+/// Broad operation classes; the pipeline schedules by class.
+enum class OpClass : u8 {
+  kNop = 0,
+  kIntAlu,   ///< single-cycle integer op
+  kIntMul,   ///< multi-cycle pipelined (complex ALU)
+  kIntDiv,   ///< multi-cycle non-pipelined
+  kLoad,
+  kStore,
+  kBranch,
+};
+
+constexpr const char* to_string(OpClass c) {
+  switch (c) {
+    case OpClass::kNop: return "nop";
+    case OpClass::kIntAlu: return "alu";
+    case OpClass::kIntMul: return "mul";
+    case OpClass::kIntDiv: return "div";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBranch: return "branch";
+  }
+  return "?";
+}
+
+/// True for operations that touch the LSQ / data cache.
+constexpr bool is_mem(OpClass c) { return c == OpClass::kLoad || c == OpClass::kStore; }
+
+/// One dynamic instruction as seen by the timing model.
+struct DynInst {
+  SeqNum seq = 0;        ///< assigned by the pipeline at fetch
+  Pc pc = 0;
+  OpClass op = OpClass::kNop;
+  int src1 = kNoReg;     ///< architectural source registers
+  int src2 = kNoReg;
+  int dst = kNoReg;      ///< architectural destination register
+  Addr mem_addr = 0;     ///< effective address (loads/stores)
+  int mem_size = 8;      ///< access size in bytes
+  bool taken = false;    ///< branch outcome
+  Pc next_pc = 0;        ///< architecturally correct next PC
+};
+
+/// Produces the committed-path dynamic instruction stream.
+class InstructionSource {
+ public:
+  virtual ~InstructionSource() = default;
+  /// Fills `out` with the next instruction; false when the stream ends.
+  virtual bool next(DynInst& out) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace vasim::isa
+
+#endif  // VASIM_ISA_DYNINST_HPP

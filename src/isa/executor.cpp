@@ -1,0 +1,108 @@
+#include "src/isa/executor.hpp"
+
+#include <stdexcept>
+
+namespace vasim::isa {
+
+FunctionalCore::FunctionalCore(const Program* program, u64 max_instructions)
+    : program_(program), max_instructions_(max_instructions) {}
+
+u64 FunctionalCore::load(Addr a) const {
+  const auto it = memory_.find(a & ~7ULL);
+  return it == memory_.end() ? 0 : it->second;
+}
+
+bool FunctionalCore::next(DynInst& out) {
+  if (halted_ || executed_ >= max_instructions_) return false;
+  std::size_t idx = 0;
+  try {
+    idx = program_->index_of(pc_);
+  } catch (const std::out_of_range&) {
+    halted_ = true;  // fell off the end of text
+    return false;
+  }
+  const Instr& ins = program_->at(idx);
+
+  out = DynInst{};
+  out.pc = pc_;
+  out.op = op_class(ins.op);
+  out.src1 = ins.rs1;
+  out.src2 = ins.rs2;
+  out.dst = ins.rd;
+
+  const auto r = [&](int reg) { return reg == kNoReg ? 0 : regs_[static_cast<std::size_t>(reg)]; };
+  Pc next_pc = pc_ + kInstrBytes;
+  u64 result = 0;
+  bool writes = ins.rd != kNoReg;
+
+  switch (ins.op) {
+    case Opcode::kNop: break;
+    case Opcode::kHalt:
+      halted_ = true;
+      writes = false;
+      break;
+    case Opcode::kAdd: result = r(ins.rs1) + r(ins.rs2); break;
+    case Opcode::kSub: result = r(ins.rs1) - r(ins.rs2); break;
+    case Opcode::kAnd: result = r(ins.rs1) & r(ins.rs2); break;
+    case Opcode::kOr: result = r(ins.rs1) | r(ins.rs2); break;
+    case Opcode::kXor: result = r(ins.rs1) ^ r(ins.rs2); break;
+    case Opcode::kSlt:
+      result = static_cast<i64>(r(ins.rs1)) < static_cast<i64>(r(ins.rs2)) ? 1 : 0;
+      break;
+    case Opcode::kShl: result = r(ins.rs1) << (r(ins.rs2) & 63); break;
+    case Opcode::kShr: result = r(ins.rs1) >> (r(ins.rs2) & 63); break;
+    case Opcode::kAddi: result = r(ins.rs1) + static_cast<u64>(ins.imm); break;
+    case Opcode::kAndi: result = r(ins.rs1) & static_cast<u64>(ins.imm); break;
+    case Opcode::kOri: result = r(ins.rs1) | static_cast<u64>(ins.imm); break;
+    case Opcode::kLui: result = static_cast<u64>(ins.imm) << 16; break;
+    case Opcode::kMul: result = r(ins.rs1) * r(ins.rs2); break;
+    case Opcode::kDiv: {
+      const u64 d = r(ins.rs2);
+      result = d == 0 ? ~0ULL : r(ins.rs1) / d;
+      break;
+    }
+    case Opcode::kLd: {
+      out.mem_addr = r(ins.rs1) + static_cast<u64>(ins.imm);
+      result = load(out.mem_addr);
+      break;
+    }
+    case Opcode::kSt: {
+      out.mem_addr = r(ins.rs1) + static_cast<u64>(ins.imm);
+      store(out.mem_addr, r(ins.rs2));
+      writes = false;
+      break;
+    }
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge: {
+      bool take = false;
+      const i64 a = static_cast<i64>(r(ins.rs1));
+      const i64 b = static_cast<i64>(r(ins.rs2));
+      switch (ins.op) {
+        case Opcode::kBeq: take = a == b; break;
+        case Opcode::kBne: take = a != b; break;
+        case Opcode::kBlt: take = a < b; break;
+        default: take = a >= b; break;
+      }
+      out.taken = take;
+      if (take) next_pc = Program::pc_of(static_cast<std::size_t>(ins.imm));
+      writes = false;
+      break;
+    }
+    case Opcode::kJmp:
+      out.taken = true;
+      next_pc = Program::pc_of(static_cast<std::size_t>(ins.imm));
+      writes = false;
+      break;
+  }
+
+  if (writes && ins.rd != 0) regs_[static_cast<std::size_t>(ins.rd)] = result;
+  if (ins.rd == 0) out.dst = kNoReg;  // r0 writes are architectural no-ops
+  out.next_pc = next_pc;
+  pc_ = next_pc;
+  ++executed_;
+  return true;
+}
+
+}  // namespace vasim::isa

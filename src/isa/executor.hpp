@@ -1,0 +1,49 @@
+// Functional executor for the mini ISA.
+//
+// Executes a Program architecturally (no timing) and emits the committed
+// dynamic instruction stream through the InstructionSource interface, so
+// real programs can drive the pipeline model exactly like the statistical
+// workloads do.
+#ifndef VASIM_ISA_EXECUTOR_HPP
+#define VASIM_ISA_EXECUTOR_HPP
+
+#include <array>
+#include <unordered_map>
+
+#include "src/isa/program.hpp"
+
+namespace vasim::isa {
+
+/// Architectural state + stepper.
+class FunctionalCore final : public InstructionSource {
+ public:
+  explicit FunctionalCore(const Program* program, u64 max_instructions = 1'000'000);
+
+  /// Executes one instruction; fills `out`; false at halt / text end / cap.
+  bool next(DynInst& out) override;
+
+  [[nodiscard]] std::string name() const override { return "functional-core"; }
+
+  [[nodiscard]] u64 reg(int r) const { return regs_[static_cast<std::size_t>(r)]; }
+  void set_reg(int r, u64 v) {
+    if (r != 0) regs_[static_cast<std::size_t>(r)] = v;
+  }
+  [[nodiscard]] u64 load(Addr a) const;
+  void store(Addr a, u64 v) { memory_[a & ~7ULL] = v; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] Pc pc() const { return pc_; }
+  [[nodiscard]] u64 executed() const { return executed_; }
+
+ private:
+  const Program* program_;
+  std::array<u64, kNumArchRegs> regs_{};
+  std::unordered_map<Addr, u64> memory_;  // 8-byte granules
+  Pc pc_ = kTextBase;
+  bool halted_ = false;
+  u64 executed_ = 0;
+  u64 max_instructions_;
+};
+
+}  // namespace vasim::isa
+
+#endif  // VASIM_ISA_EXECUTOR_HPP

@@ -1,0 +1,69 @@
+#include "src/isa/program.hpp"
+
+#include <stdexcept>
+
+namespace vasim::isa {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kLui: return "lui";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+OpClass op_class(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return OpClass::kNop;
+    case Opcode::kMul:
+      return OpClass::kIntMul;
+    case Opcode::kDiv:
+      return OpClass::kIntDiv;
+    case Opcode::kLd:
+      return OpClass::kLoad;
+    case Opcode::kSt:
+      return OpClass::kStore;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kJmp:
+      return OpClass::kBranch;
+    default:
+      return OpClass::kIntAlu;
+  }
+}
+
+std::size_t Program::index_of(Pc pc) const {
+  if (pc < kTextBase || (pc - kTextBase) % kInstrBytes != 0) {
+    throw std::out_of_range("Program: misaligned or out-of-text pc");
+  }
+  const auto idx = static_cast<std::size_t>((pc - kTextBase) / kInstrBytes);
+  if (idx >= text_.size()) throw std::out_of_range("Program: pc beyond text");
+  return idx;
+}
+
+}  // namespace vasim::isa

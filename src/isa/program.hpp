@@ -1,0 +1,69 @@
+// Static program representation for the mini RISC ISA.
+//
+// A register machine with 32 general-purpose 64-bit registers (r0 is
+// hard-wired zero), flat byte-addressed memory, and PC-relative branches.
+// PCs advance by 4 per instruction.
+#ifndef VASIM_ISA_PROGRAM_HPP
+#define VASIM_ISA_PROGRAM_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/isa/dyninst.hpp"
+
+namespace vasim::isa {
+
+inline constexpr int kNumArchRegs = 32;
+inline constexpr Pc kTextBase = 0x1000;
+inline constexpr int kInstrBytes = 4;
+
+/// Opcodes of the mini ISA.
+enum class Opcode : u8 {
+  kNop = 0,
+  kAdd, kSub, kAnd, kOr, kXor, kSlt, kShl, kShr,   // reg-reg ALU
+  kAddi, kAndi, kOri, kLui,                        // reg-imm ALU
+  kMul, kDiv,                                      // complex ALU
+  kLd, kSt,                                        // [rs1 + imm]
+  kBeq, kBne, kBlt, kBge,                          // branch to label/imm
+  kJmp,                                            // unconditional
+  kHalt,
+};
+
+const char* to_string(Opcode op);
+
+/// OpClass of an opcode (drives scheduling).
+OpClass op_class(Opcode op);
+
+/// One static instruction.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  int rd = kNoReg;
+  int rs1 = kNoReg;
+  int rs2 = kNoReg;
+  i64 imm = 0;   ///< immediate; for branches/jumps, a *text index* target
+};
+
+/// A program: instruction list plus entry point.
+class Program {
+ public:
+  void append(const Instr& ins) { text_.push_back(ins); }
+
+  [[nodiscard]] std::size_t size() const { return text_.size(); }
+  [[nodiscard]] const Instr& at(std::size_t idx) const { return text_[idx]; }
+  [[nodiscard]] const std::vector<Instr>& text() const { return text_; }
+
+  /// PC of instruction `idx`.
+  [[nodiscard]] static Pc pc_of(std::size_t idx) {
+    return kTextBase + static_cast<Pc>(idx) * kInstrBytes;
+  }
+  /// Text index of `pc`; throws when out of range or misaligned.
+  [[nodiscard]] std::size_t index_of(Pc pc) const;
+
+ private:
+  std::vector<Instr> text_;
+};
+
+}  // namespace vasim::isa
+
+#endif  // VASIM_ISA_PROGRAM_HPP

@@ -1,0 +1,46 @@
+#include "src/timing/fault_model.hpp"
+
+namespace vasim::timing {
+
+FaultModel::FaultModel(const PathModelConfig& path_cfg, double vdd, const VoltageModel& vm,
+                       const EnvironmentConfig& env_cfg)
+    : vm_(vm), paths_(path_cfg, vm), env_(env_cfg), vdd_(vdd),
+      delay_scale_(vm.delay_scale(vdd)) {}
+
+InOrderFaultDecision FaultModel::query_inorder(Pc pc, Cycle cycle, double inorder_scale) const {
+  InOrderFaultDecision d;
+  if (!enabled() || inorder_scale <= 0.0) return d;
+  // Reuse the OoO per-PC population, thinned to the in-order rate: only PCs
+  // in the faulty band whose secondary draw clears the scale fault here.
+  const double pf = paths_.path_factor(hash_mix(pc ^ 0x1a0cdeULL));
+  if (pf * delay_scale_ * env_.modulation(cycle) <= 1.0) return d;
+  const u64 h = hash_combine(hash_combine(paths_.config().seed, 0x10de7ULL), pc);
+  if (hash_to_unit(h) >= inorder_scale) return d;
+  d.faulty = true;
+  // Rename/dispatch/retire dominate; fetch/decode stay rare ([17]).
+  const double u = hash_to_unit(hash_mix(h ^ 0x5151ULL));
+  if (u < 0.35) {
+    d.stage = InOrderStage::kRename;
+  } else if (u < 0.70) {
+    d.stage = InOrderStage::kDispatch;
+  } else if (u < 0.90) {
+    d.stage = InOrderStage::kRetire;
+  } else if (u < 0.95) {
+    d.stage = InOrderStage::kFetch;
+  } else {
+    d.stage = InOrderStage::kDecode;
+  }
+  return d;
+}
+
+FaultDecision FaultModel::query(Pc pc, FaultClass cls, Cycle cycle) const {
+  FaultDecision d;
+  d.path_factor = paths_.path_factor(pc);
+  d.stage = paths_.faulty_stage(pc, cls);
+  const double scaled = d.path_factor * delay_scale_;
+  d.core_faulty = scaled > 1.0;
+  d.faulty = scaled * env_.modulation(cycle) > 1.0;
+  return d;
+}
+
+}  // namespace vasim::timing

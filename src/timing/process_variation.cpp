@@ -1,0 +1,75 @@
+#include "src/timing/process_variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vasim::timing {
+
+DeviceParams ProcessVariation::sample_params(u64 die_id, u64 gate_id) const {
+  const double sigma = cfg_.three_sigma_fraction / 3.0;
+  const u64 base = hash_combine(hash_combine(cfg_.seed, die_id), gate_id);
+  DeviceParams p;
+  p.dlength = sigma * hash_to_gaussian(hash_combine(base, 1));
+  p.dwidth = sigma * hash_to_gaussian(hash_combine(base, 2));
+  p.dtox = sigma * hash_to_gaussian(hash_combine(base, 3));
+  return p;
+}
+
+double ProcessVariation::delay_factor(u64 die_id, u64 gate_id) const {
+  const DeviceParams p = sample_params(die_id, gate_id);
+  const double f = 1.0 + cfg_.sens_length * p.dlength + cfg_.sens_width * p.dwidth +
+                   cfg_.sens_tox * p.dtox;
+  return std::max(0.5, f);
+}
+
+double ProcessVariation::delay_factor_sigma() const {
+  const double sigma = cfg_.three_sigma_fraction / 3.0;
+  const double s2 = cfg_.sens_length * cfg_.sens_length + cfg_.sens_width * cfg_.sens_width +
+                    cfg_.sens_tox * cfg_.sens_tox;
+  return sigma * std::sqrt(s2);
+}
+
+SpatialVariation::SpatialVariation(const SpatialConfig& cfg) : cfg_(cfg), random_(cfg.base) {
+  if (cfg.grid < 2) throw std::invalid_argument("SpatialVariation: grid >= 2");
+  if (cfg.systematic_fraction < 0.0 || cfg.systematic_fraction > 1.0) {
+    throw std::invalid_argument("SpatialVariation: systematic_fraction in [0,1]");
+  }
+  sigma_total_ = random_.delay_factor_sigma();
+}
+
+double SpatialVariation::systematic(u64 die, double x, double y) const {
+  // Bilinear interpolation of unit-variance corner noise on the grid.
+  const double gx = x * (cfg_.grid - 1);
+  const double gy = y * (cfg_.grid - 1);
+  const int x0 = static_cast<int>(gx);
+  const int y0 = static_cast<int>(gy);
+  const double fx = gx - x0;
+  const double fy = gy - y0;
+  const auto corner = [&](int cx, int cy) {
+    const u64 h = hash_combine(hash_combine(hash_combine(cfg_.base.seed ^ 0x5a71a1ULL, die),
+                                            static_cast<u64>(cx)),
+                               static_cast<u64>(cy));
+    return hash_to_gaussian(h);
+  };
+  const int x1 = std::min(x0 + 1, cfg_.grid - 1);
+  const int y1 = std::min(y0 + 1, cfg_.grid - 1);
+  return corner(x0, y0) * (1 - fx) * (1 - fy) + corner(x1, y0) * fx * (1 - fy) +
+         corner(x0, y1) * (1 - fx) * fy + corner(x1, y1) * fx * fy;
+}
+
+double SpatialVariation::delay_factor(u64 die, u64 gate_id, u64 total_gates) const {
+  // Pseudo-placement: row-major square layout by gate id.
+  const u64 side = std::max<u64>(1, static_cast<u64>(std::ceil(std::sqrt(
+                                        static_cast<double>(std::max<u64>(total_gates, 1))))));
+  const double x = static_cast<double>(gate_id % side) / static_cast<double>(side);
+  const double y = static_cast<double>(gate_id / side) / static_cast<double>(side);
+  const double sys_sigma = sigma_total_ * std::sqrt(cfg_.systematic_fraction);
+  const double rnd_sigma = sigma_total_ * std::sqrt(1.0 - cfg_.systematic_fraction);
+  const double rnd =
+      hash_to_gaussian(hash_combine(hash_combine(cfg_.base.seed ^ 0x9a7d0ULL, die), gate_id));
+  const double f = 1.0 + sys_sigma * systematic(die, x, y) + rnd_sigma * rnd;
+  return std::max(0.5, f);
+}
+
+}  // namespace vasim::timing

@@ -1,0 +1,96 @@
+// Statistical process-variation model (Section 4.3 of the paper).
+//
+// The paper models transistor length, width and oxide thickness as Gaussian
+// distributions with +/-20% deviation around nominal and maps them to gate
+// delays with SPICE-characterized sensitivities.  We reproduce the same
+// mathematical form with a first-order sensitivity model: a gate's delay
+// perturbation is a weighted sum of its parameter deviations, so gate delay
+// itself is Gaussian with a derived sigma.
+#ifndef VASIM_TIMING_PROCESS_VARIATION_HPP
+#define VASIM_TIMING_PROCESS_VARIATION_HPP
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace vasim::timing {
+
+/// Gaussian device-parameter deviations, expressed as fractions of nominal.
+struct DeviceParams {
+  double dlength = 0.0;     ///< (L - L0) / L0
+  double dwidth = 0.0;      ///< (W - W0) / W0
+  double dtox = 0.0;        ///< (tox - tox0) / tox0
+};
+
+/// Configuration mirroring the paper: +/-20% treated as the 3-sigma point of
+/// each parameter's Gaussian.
+struct ProcessConfig {
+  double three_sigma_fraction = 0.20;  ///< +/-20% at 3 sigma
+  /// First-order delay sensitivities (d delay / d param, per unit fractional
+  /// deviation).  Longer channel and thicker oxide slow the gate; wider
+  /// device speeds it up.  Values are typical 45 nm magnitudes.
+  double sens_length = 0.9;
+  double sens_width = -0.35;
+  double sens_tox = 0.45;
+  u64 seed = 0x5eedULL;
+};
+
+/// Per-die, per-gate process variation sampler.  Deterministic: parameters
+/// for gate `gate_id` on die `die_id` are hash-derived, so repeated queries
+/// agree and different modules can sample independently.
+class ProcessVariation {
+ public:
+  explicit ProcessVariation(const ProcessConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Device parameters of a specific gate instance.
+  [[nodiscard]] DeviceParams sample_params(u64 die_id, u64 gate_id) const;
+
+  /// Multiplicative delay factor for a gate: 1 + sum(sensitivity * dparam).
+  /// Always positive (clamped at 0.5x nominal).
+  [[nodiscard]] double delay_factor(u64 die_id, u64 gate_id) const;
+
+  /// Standard deviation of the delay factor implied by the configuration
+  /// (useful for analytic path-delay roll-ups).
+  [[nodiscard]] double delay_factor_sigma() const;
+
+  [[nodiscard]] const ProcessConfig& config() const { return cfg_; }
+
+ private:
+  ProcessConfig cfg_;
+};
+
+/// VARIUS-style spatially correlated variation (Sarangi et al. [1], the
+/// paper's cited model): total delay variance splits into a *systematic*
+/// component -- a smooth per-die field sampled on a coarse grid and
+/// bilinearly interpolated, so nearby gates vary together -- and an
+/// independent *random* component.  Gates are pseudo-placed row-major by id
+/// (builders emit structurally adjacent gates with adjacent ids, so id
+/// locality approximates layout locality).
+struct SpatialConfig {
+  int grid = 8;                      ///< systematic-field grid resolution
+  double systematic_fraction = 0.5;  ///< share of delay variance that is systematic
+  ProcessConfig base;                ///< random-component configuration
+};
+
+class SpatialVariation {
+ public:
+  explicit SpatialVariation(const SpatialConfig& cfg = {});
+
+  /// Delay factor of `gate_id` on `die`, given the component's total gate
+  /// count (for placement normalization).  Mean 1, same total sigma as the
+  /// base ProcessConfig implies, but spatially correlated.
+  [[nodiscard]] double delay_factor(u64 die, u64 gate_id, u64 total_gates) const;
+
+  /// The systematic field alone at normalized position (x, y) in [0,1).
+  [[nodiscard]] double systematic(u64 die, double x, double y) const;
+
+  [[nodiscard]] const SpatialConfig& config() const { return cfg_; }
+
+ private:
+  SpatialConfig cfg_;
+  ProcessVariation random_;
+  double sigma_total_;
+};
+
+}  // namespace vasim::timing
+
+#endif  // VASIM_TIMING_PROCESS_VARIATION_HPP

@@ -1,0 +1,28 @@
+#include "src/timing/sensors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vasim::timing {
+
+double Environment::thermal_component(Cycle cycle) const {
+  const double phase = 2.0 * std::numbers::pi *
+                       static_cast<double>(cycle % cfg_.thermal_period) /
+                       static_cast<double>(cfg_.thermal_period);
+  return cfg_.thermal_amplitude * std::sin(phase);
+}
+
+double Environment::droop_component(Cycle cycle) const {
+  const u64 epoch = cycle / cfg_.droop_epoch;
+  const double g = hash_to_gaussian(hash_combine(cfg_.seed, epoch));
+  return std::clamp(cfg_.droop_amplitude * g, -2.5 * cfg_.droop_amplitude,
+                    2.5 * cfg_.droop_amplitude);
+}
+
+double Environment::modulation(Cycle cycle) const {
+  const double m = thermal_component(cycle) + droop_component(cycle);
+  return 1.0 + std::clamp(m, -cfg_.clamp, cfg_.clamp);
+}
+
+}  // namespace vasim::timing

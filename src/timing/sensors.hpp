@@ -1,0 +1,82 @@
+// Thermal and voltage-droop sensors plus the environment modulation they
+// observe.
+//
+// Section 2.1.1: "The prediction also considers favorable conditions for
+// timing errors through the use of thermal and voltage sensors."  We model
+// the physical environment as a slow thermal wave plus faster stochastic
+// supply droop; sensors expose thresholded views of that environment so the
+// TEP can gate its predictions on unfavorable conditions.
+#ifndef VASIM_TIMING_SENSORS_HPP
+#define VASIM_TIMING_SENSORS_HPP
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace vasim::timing {
+
+/// Configuration of the physical environment modulation.
+struct EnvironmentConfig {
+  double thermal_amplitude = 0.005;   ///< +/-0.5% delay swing from temperature
+  u64 thermal_period = 20000;         ///< cycles per thermal wave period
+  double droop_amplitude = 0.004;     ///< sigma of supply-droop delay noise
+  u64 droop_epoch = 16;               ///< cycles per droop re-draw
+  double clamp = 0.015;               ///< total modulation clamped to +/-1.5%
+  u64 seed = 0xd00dULL;
+};
+
+/// Deterministic delay-modulation source: multiplicative factor applied to
+/// every sensitized path delay at a given cycle.
+class Environment {
+ public:
+  explicit Environment(const EnvironmentConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Multiplicative delay modulation at `cycle`; mean 1.0, clamped to
+  /// [1-clamp, 1+clamp].
+  [[nodiscard]] double modulation(Cycle cycle) const;
+
+  /// The thermal component alone (for the thermal sensor).
+  [[nodiscard]] double thermal_component(Cycle cycle) const;
+
+  /// The droop component alone (for the voltage sensor).
+  [[nodiscard]] double droop_component(Cycle cycle) const;
+
+  [[nodiscard]] const EnvironmentConfig& config() const { return cfg_; }
+
+ private:
+  EnvironmentConfig cfg_;
+};
+
+/// A thresholded sensor over one environment component.  `hot()` reports
+/// whether conditions currently favor timing violations.
+class ThermalSensor {
+ public:
+  ThermalSensor(const Environment* env, double threshold = 0.0)
+      : env_(env), threshold_(threshold) {}
+
+  /// True when the thermal delay component exceeds the threshold (i.e. the
+  /// die is in the slow half of the thermal wave).
+  [[nodiscard]] bool hot(Cycle cycle) const { return env_->thermal_component(cycle) > threshold_; }
+
+ private:
+  const Environment* env_;
+  double threshold_;
+};
+
+/// Supply-droop sensor; `droopy()` reports a sagging supply.
+class VoltageSensor {
+ public:
+  VoltageSensor(const Environment* env, double threshold = 0.0)
+      : env_(env), threshold_(threshold) {}
+
+  [[nodiscard]] bool droopy(Cycle cycle) const {
+    return env_->droop_component(cycle) > threshold_;
+  }
+
+ private:
+  const Environment* env_;
+  double threshold_;
+};
+
+}  // namespace vasim::timing
+
+#endif  // VASIM_TIMING_SENSORS_HPP

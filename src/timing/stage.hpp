@@ -1,0 +1,49 @@
+// Pipe-stage taxonomy shared by the timing model and the CPU model.
+#ifndef VASIM_TIMING_STAGE_HPP
+#define VASIM_TIMING_STAGE_HPP
+
+#include <array>
+#include <string_view>
+
+namespace vasim::timing {
+
+/// Stages of the out-of-order engine where the paper tolerates predictable
+/// timing violations (Section 3.3).  IssueSelect is the wakeup/select CAM
+/// logic; Memory is the load-store-queue CAM search.
+enum class OooStage : int {
+  kIssueSelect = 0,
+  kRegRead = 1,
+  kExecute = 2,
+  kMemory = 3,
+  kWriteback = 4,
+};
+
+inline constexpr int kNumOooStages = 5;
+
+/// Stages of the in-order engine (Section 2.2): rename/dispatch/retire are
+/// handled with stall-recirculation; fetch/decode with instruction replay.
+enum class InOrderStage : int {
+  kFetch = 0,
+  kDecode = 1,
+  kRename = 2,
+  kDispatch = 3,
+  kRetire = 4,
+};
+
+inline constexpr int kNumInOrderStages = 5;
+
+constexpr std::string_view to_string(OooStage s) {
+  constexpr std::array<std::string_view, kNumOooStages> names = {
+      "issue-select", "reg-read", "execute", "memory", "writeback"};
+  return names[static_cast<int>(s)];
+}
+
+constexpr std::string_view to_string(InOrderStage s) {
+  constexpr std::array<std::string_view, kNumInOrderStages> names = {
+      "fetch", "decode", "rename", "dispatch", "retire"};
+  return names[static_cast<int>(s)];
+}
+
+}  // namespace vasim::timing
+
+#endif  // VASIM_TIMING_STAGE_HPP

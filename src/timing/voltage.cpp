@@ -1,0 +1,27 @@
+#include "src/timing/voltage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vasim::timing {
+
+VoltageModel::VoltageModel(double vth, double alpha, double vnom)
+    : vth_(vth), alpha_(alpha), vnom_(vnom) {
+  if (vnom <= vth) throw std::invalid_argument("VoltageModel: vnom must exceed vth");
+  raw_nominal_ = vnom_ / std::pow(vnom_ - vth_, alpha_);
+}
+
+double VoltageModel::raw_delay(double vdd) const {
+  if (vdd <= vth_) throw std::invalid_argument("VoltageModel: vdd must exceed vth");
+  return vdd / std::pow(vdd - vth_, alpha_);
+}
+
+double VoltageModel::delay_scale(double vdd) const { return raw_delay(vdd) / raw_nominal_; }
+
+double VoltageModel::dynamic_energy_scale(double vdd) const {
+  return (vdd * vdd) / (vnom_ * vnom_);
+}
+
+double VoltageModel::leakage_power_scale(double vdd) const { return vdd / vnom_; }
+
+}  // namespace vasim::timing

@@ -1,0 +1,50 @@
+// Supply-voltage-dependent delay scaling (alpha-power law).
+//
+// The paper evaluates three operating points: 1.10 V (zero-fault baseline),
+// 1.04 V (low fault rate) and 0.97 V (high fault rate).  Gate delay follows
+// the alpha-power law  d(V) ~ V / (V - Vth)^alpha, so lowering VDD stretches
+// every sensitized path and pushes near-critical paths past the cycle time.
+#ifndef VASIM_TIMING_VOLTAGE_HPP
+#define VASIM_TIMING_VOLTAGE_HPP
+
+namespace vasim::timing {
+
+/// The paper's three supply operating points.
+struct SupplyPoints {
+  static constexpr double kNominal = 1.10;   ///< zero-fault baseline
+  static constexpr double kLowFault = 1.04;  ///< "low fault rate" environment
+  static constexpr double kHighFault = 0.97; ///< "high fault rate" environment
+};
+
+/// Alpha-power-law delay model.
+class VoltageModel {
+ public:
+  VoltageModel(double vth = 0.30, double alpha = 1.30, double vnom = SupplyPoints::kNominal);
+
+  /// Absolute delay factor d(V) (arbitrary units).
+  [[nodiscard]] double raw_delay(double vdd) const;
+
+  /// Delay at `vdd` relative to delay at the nominal supply; 1.0 at Vnom,
+  /// > 1.0 below it.
+  [[nodiscard]] double delay_scale(double vdd) const;
+
+  /// Dynamic energy scale ~ V^2 relative to nominal.
+  [[nodiscard]] double dynamic_energy_scale(double vdd) const;
+
+  /// Leakage power scale, first-order ~ V relative to nominal.
+  [[nodiscard]] double leakage_power_scale(double vdd) const;
+
+  [[nodiscard]] double vth() const { return vth_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double vnom() const { return vnom_; }
+
+ private:
+  double vth_;
+  double alpha_;
+  double vnom_;
+  double raw_nominal_;
+};
+
+}  // namespace vasim::timing
+
+#endif  // VASIM_TIMING_VOLTAGE_HPP

@@ -1,0 +1,58 @@
+#include "src/workload/inputs.hpp"
+
+namespace vasim::workload {
+
+std::vector<u8> ComponentInputGen::vector_for(u64 salt, Pc pc, int idx, bool walking) const {
+  std::vector<u8> bits(static_cast<std::size_t>(width_));
+  const u64 pc_key = hash_combine(hash_combine(profile_.seed, salt), pc);
+  // One byte-wide induction field per PC (when the profile uses counters):
+  // the array-walk behaviour of S1.2.2, where successive effective addresses
+  // "often differ by a single bit".  The field advances by a stride of 8, so
+  // across instances only the middle bits of the field crawl.
+  const bool has_counter = walking && profile_.counter_frac > 0 &&
+                           hash_to_unit(hash_combine(pc_key, 0xc0deULL)) < profile_.counter_frac;
+  int counter_lo = -1;
+  if (has_counter && width_ >= 8) {
+    counter_lo = static_cast<int>(hash_combine(pc_key, 0xf1e1dULL) % static_cast<u64>(width_ - 7));
+  }
+  const u64 counter_base = hash_combine(pc_key, 0xba5eULL) & 0xFFu;
+  const u64 counter_val = counter_base + (static_cast<u64>(idx) << 3);
+
+  // Instance deviations are rare single-bit events; their rate is what the
+  // per-benchmark locality controls (vortex: almost none).
+  const double flip_p = (1.0 - profile_.locality) * 0.015;
+  for (int j = 0; j < width_; ++j) {
+    const u64 bit_key = hash_combine(pc_key, static_cast<u64>(j));
+    u8 v = static_cast<u8>(hash_mix(bit_key) & 1u);  // stable base pattern
+    if (counter_lo >= 0 && j >= counter_lo && j < counter_lo + 8) {
+      v = static_cast<u8>((counter_val >> (j - counter_lo)) & 1u);
+    } else if (idx > 0 &&
+               hash_to_unit(hash_combine(bit_key, static_cast<u64>(idx))) < flip_p) {
+      v ^= 1u;  // instance-specific deviation from the base pattern
+    }
+    bits[static_cast<std::size_t>(j)] = v;
+  }
+  return bits;
+}
+
+std::pair<std::vector<u8>, std::vector<u8>> ComponentInputGen::instance(Pc pc, int idx) const {
+  // Fixed-input PCs repeat the exact same transition on every instance.
+  const u64 pc_key = hash_combine(hash_combine(profile_.seed, 0xf17edULL), pc);
+  if (hash_to_unit(pc_key) < profile_.fixed_frac) idx = 0;
+  // The preceding instruction's inputs are a per-PC context pattern (S1.2:
+  // "we also identify the preceding instruction PC that sets the internal
+  // logic state"); it deviates like the instruction's own inputs but does
+  // not carry the induction walk.
+  return {vector_for(0x9cedULL, pc, idx, /*walking=*/false),
+          vector_for(0xc022ULL, pc, idx, /*walking=*/true)};
+}
+
+std::vector<std::pair<std::vector<u8>, std::vector<u8>>> ComponentInputGen::instances(
+    Pc pc, int count) const {
+  std::vector<std::pair<std::vector<u8>, std::vector<u8>>> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) v.push_back(instance(pc, i));
+  return v;
+}
+
+}  // namespace vasim::workload

@@ -1,0 +1,45 @@
+// Input-vector generation for the gate-level commonality study (Figure 7).
+//
+// S1.2 collects, per static PC, the component input vectors of many dynamic
+// instances (plus the preceding instruction's inputs, which set the internal
+// logic state).  We synthesize those vectors per SPEC2000-like profile: each
+// PC has a stable base pattern; across instances, most bits repeat with the
+// profile's locality probability while one byte-wide field behaves like a
+// loop counter (the array-walk behaviour S1.2.2 describes for AGEN).
+#ifndef VASIM_WORKLOAD_INPUTS_HPP
+#define VASIM_WORKLOAD_INPUTS_HPP
+
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/workload/profiles.hpp"
+
+namespace vasim::workload {
+
+/// Generates (preceding, current) input-vector pairs for one component.
+class ComponentInputGen {
+ public:
+  ComponentInputGen(const Spec2000Profile& profile, int input_width)
+      : profile_(profile), width_(input_width) {}
+
+  /// Inputs of dynamic instance `idx` of static `pc`: the pair is
+  /// (preceding-instruction inputs, this instance's inputs).
+  [[nodiscard]] std::pair<std::vector<u8>, std::vector<u8>> instance(Pc pc, int idx) const;
+
+  /// A set of `count` instances of `pc`, ready for measure_commonality().
+  [[nodiscard]] std::vector<std::pair<std::vector<u8>, std::vector<u8>>> instances(
+      Pc pc, int count) const;
+
+  [[nodiscard]] int width() const { return width_; }
+
+ private:
+  [[nodiscard]] std::vector<u8> vector_for(u64 salt, Pc pc, int idx, bool walking) const;
+
+  Spec2000Profile profile_;
+  int width_;
+};
+
+}  // namespace vasim::workload
+
+#endif  // VASIM_WORKLOAD_INPUTS_HPP

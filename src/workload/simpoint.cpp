@@ -1,0 +1,142 @@
+#include "src/workload/simpoint.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "src/common/rng.hpp"
+
+namespace vasim::workload {
+namespace {
+
+/// Random projection of a sparse BBV (pc-bucket -> count) to dense dims.
+std::vector<double> project(const std::unordered_map<u64, u64>& bbv, int dims, u64 seed) {
+  std::vector<double> out(static_cast<std::size_t>(dims), 0.0);
+  double norm = 0.0;
+  for (const auto& [bucket, count] : bbv) norm += static_cast<double>(count);
+  if (norm <= 0) return out;
+  for (const auto& [bucket, count] : bbv) {
+    const double w = static_cast<double>(count) / norm;
+    for (int d = 0; d < dims; ++d) {
+      const u64 h = hash_combine(hash_combine(seed, bucket), static_cast<u64>(d));
+      out[static_cast<std::size_t>(d)] += w * (hash_to_unit(h) * 2.0 - 1.0);
+    }
+  }
+  return out;
+}
+
+double dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+SimPointResult select_phases(isa::InstructionSource& source, const SimPointConfig& cfg) {
+  SimPointResult result;
+
+  // 1. Collect interval BBVs (bucketed by basic-block start approximation:
+  //    the PC following each taken branch, at 64-byte granularity).
+  std::vector<std::vector<double>> points;
+  for (int iv = 0; iv < cfg.num_intervals; ++iv) {
+    std::unordered_map<u64, u64> bbv;
+    isa::DynInst di;
+    u64 n = 0;
+    bool alive = true;
+    while (n < cfg.interval_len) {
+      if (!source.next(di)) {
+        alive = false;
+        break;
+      }
+      bbv[di.pc >> 6] += 1;
+      ++n;
+    }
+    if (n > 0) points.push_back(project(bbv, cfg.projected_dims, cfg.seed));
+    if (!alive) break;
+  }
+  result.intervals_analyzed = static_cast<int>(points.size());
+  if (points.empty()) return result;
+
+  const int k = std::min<int>(cfg.clusters, static_cast<int>(points.size()));
+
+  // 2. k-means++ style init: spread seeds deterministically.
+  std::vector<std::vector<double>> centroids;
+  Pcg32 rng(cfg.seed, 0x51309ULL);
+  centroids.push_back(points[rng.next_below(static_cast<u32>(points.size()))]);
+  while (static_cast<int>(centroids.size()) < k) {
+    std::size_t best_i = 0;
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double dmin = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) dmin = std::min(dmin, dist2(points[i], c));
+      if (dmin > best_d) {
+        best_d = dmin;
+        best_i = i;
+      }
+    }
+    centroids.push_back(points[best_i]);
+  }
+
+  // 3. Lloyd iterations.
+  std::vector<int> assign(points.size(), 0);
+  for (int it = 0; it < cfg.kmeans_iters; ++it) {
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double bd = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d = dist2(points[i], centroids[static_cast<std::size_t>(c)]);
+        if (d < bd) {
+          bd = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      std::vector<double> mean(static_cast<std::size_t>(cfg.projected_dims), 0.0);
+      int count = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (assign[i] != c) continue;
+        for (std::size_t d = 0; d < mean.size(); ++d) mean[d] += points[i][d];
+        ++count;
+      }
+      if (count > 0) {
+        for (double& m : mean) m /= count;
+        centroids[static_cast<std::size_t>(c)] = std::move(mean);
+      }
+    }
+    if (!changed) break;
+  }
+
+  // 4. Representatives: interval closest to each centroid.
+  for (int c = 0; c < k; ++c) {
+    int best = -1;
+    double bd = std::numeric_limits<double>::max();
+    int population = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (assign[i] != c) continue;
+      ++population;
+      const double d = dist2(points[i], centroids[static_cast<std::size_t>(c)]);
+      if (d < bd) {
+        bd = d;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      result.phases.push_back(
+          Phase{best, static_cast<double>(population) / static_cast<double>(points.size())});
+    }
+  }
+  result.assignment = std::move(assign);
+  return result;
+}
+
+}  // namespace vasim::workload

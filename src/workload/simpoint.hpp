@@ -1,0 +1,46 @@
+// SimPoint-style representative-phase selection.
+//
+// Section 4.2 focuses architectural simulation on representative phases
+// extracted with the SimPoint toolset [20].  This is the same pipeline in
+// miniature: slice the dynamic stream into fixed-length intervals, build
+// basic-block vectors (BBVs), random-project them, k-means cluster, and pick
+// the interval closest to each centroid, weighted by cluster population.
+#ifndef VASIM_WORKLOAD_SIMPOINT_HPP
+#define VASIM_WORKLOAD_SIMPOINT_HPP
+
+#include <vector>
+
+#include "src/isa/dyninst.hpp"
+
+namespace vasim::workload {
+
+/// Clustering configuration.
+struct SimPointConfig {
+  u64 interval_len = 10'000;  ///< instructions per interval
+  int num_intervals = 100;    ///< intervals to sample
+  int clusters = 4;           ///< k in k-means
+  int projected_dims = 16;    ///< random-projection dimensionality
+  int kmeans_iters = 25;
+  u64 seed = 42;
+};
+
+/// One chosen representative phase.
+struct Phase {
+  int interval_index = 0;  ///< which interval represents the cluster
+  double weight = 0.0;     ///< fraction of intervals in the cluster
+};
+
+/// Result of phase selection.
+struct SimPointResult {
+  std::vector<Phase> phases;        ///< one per non-empty cluster
+  std::vector<int> assignment;      ///< cluster id per interval
+  int intervals_analyzed = 0;
+};
+
+/// Consumes up to interval_len * num_intervals instructions from `source`
+/// and selects representative phases.
+SimPointResult select_phases(isa::InstructionSource& source, const SimPointConfig& cfg = {});
+
+}  // namespace vasim::workload
+
+#endif  // VASIM_WORKLOAD_SIMPOINT_HPP

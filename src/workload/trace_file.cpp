@@ -1,0 +1,80 @@
+#include "src/workload/trace_file.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "src/isa/program.hpp"
+
+namespace vasim::workload {
+namespace {
+
+constexpr const char* kHeader = "vasim-trace 1";
+
+isa::OpClass parse_op(const std::string& token, u64 line) {
+  static const std::map<std::string, isa::OpClass> table = {
+      {"nop", isa::OpClass::kNop},     {"alu", isa::OpClass::kIntAlu},
+      {"mul", isa::OpClass::kIntMul},  {"div", isa::OpClass::kIntDiv},
+      {"load", isa::OpClass::kLoad},   {"store", isa::OpClass::kStore},
+      {"branch", isa::OpClass::kBranch}};
+  const auto it = table.find(token);
+  if (it == table.end()) throw TraceFormatError(line, "unknown op '" + token + "'");
+  return it->second;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const std::vector<isa::DynInst>& trace) {
+  out << kHeader << "\n";
+  for (const isa::DynInst& d : trace) {
+    out << std::hex << d.pc << std::dec << " " << isa::to_string(d.op) << " " << d.src1 << " "
+        << d.src2 << " " << d.dst << " " << std::hex << d.mem_addr << std::dec << " "
+        << (d.taken ? 1 : 0) << " " << std::hex << d.next_pc << std::dec << "\n";
+  }
+}
+
+std::vector<isa::DynInst> record_trace(isa::InstructionSource& source, u64 count) {
+  std::vector<isa::DynInst> trace;
+  trace.reserve(count);
+  isa::DynInst d;
+  for (u64 i = 0; i < count && source.next(d); ++i) trace.push_back(d);
+  return trace;
+}
+
+TraceFileSource::TraceFileSource(std::istream& in, bool loop) : loop_(loop) {
+  std::string line;
+  u64 line_no = 1;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw TraceFormatError(1, "missing 'vasim-trace 1' header");
+  }
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    isa::DynInst d;
+    std::string op;
+    int taken = 0;
+    fields >> std::hex >> d.pc >> std::dec >> op >> d.src1 >> d.src2 >> d.dst >> std::hex >>
+        d.mem_addr >> std::dec >> taken >> std::hex >> d.next_pc;
+    if (fields.fail()) throw TraceFormatError(line_no, "malformed record");
+    d.op = parse_op(op, line_no);
+    d.taken = taken != 0;
+    if (d.src1 < -1 || d.src1 >= isa::kNumArchRegs || d.src2 < -1 ||
+        d.src2 >= isa::kNumArchRegs || d.dst < -1 || d.dst >= isa::kNumArchRegs) {
+      throw TraceFormatError(line_no, "register out of range");
+    }
+    trace_.push_back(d);
+  }
+}
+
+bool TraceFileSource::next(isa::DynInst& out) {
+  if (pos_ >= trace_.size()) {
+    if (!loop_ || trace_.empty()) return false;
+    pos_ = 0;
+  }
+  out = trace_[pos_++];
+  return true;
+}
+
+}  // namespace vasim::workload

@@ -1,0 +1,61 @@
+// Dynamic-instruction trace recording and replay.
+//
+// Lets users capture a committed-path trace (from any InstructionSource,
+// including real programs on the functional core) and replay it later --
+// the "bring your own trace" path for driving the timing model with
+// instruction streams produced outside vasim.
+//
+// Format (text, line-oriented):
+//   vasim-trace 1
+//   <pc> <op> <src1> <src2> <dst> <mem_addr> <taken> <next_pc>
+// with pc/mem_addr/next_pc in hex, op as the OpClass name, registers in
+// decimal (-1 = none), taken as 0/1.
+#ifndef VASIM_WORKLOAD_TRACE_FILE_HPP
+#define VASIM_WORKLOAD_TRACE_FILE_HPP
+
+#include <iosfwd>
+#include <stdexcept>
+#include <vector>
+
+#include "src/isa/dyninst.hpp"
+
+namespace vasim::workload {
+
+/// Raised on malformed trace input, with the offending line number.
+class TraceFormatError : public std::runtime_error {
+ public:
+  TraceFormatError(u64 line, const std::string& message)
+      : std::runtime_error("trace line " + std::to_string(line) + ": " + message), line_(line) {}
+  [[nodiscard]] u64 line() const { return line_; }
+
+ private:
+  u64 line_;
+};
+
+/// Writes the header and `trace` to `out`.
+void write_trace(std::ostream& out, const std::vector<isa::DynInst>& trace);
+
+/// Captures up to `count` instructions from `source`.
+std::vector<isa::DynInst> record_trace(isa::InstructionSource& source, u64 count);
+
+/// Replays a trace loaded from a stream.  The whole trace is parsed eagerly
+/// (errors surface at construction); `loop` restarts it at the end so long
+/// pipeline runs can be driven from short captures.
+class TraceFileSource final : public isa::InstructionSource {
+ public:
+  explicit TraceFileSource(std::istream& in, bool loop = false);
+
+  bool next(isa::DynInst& out) override;
+  [[nodiscard]] std::string name() const override { return "trace-file"; }
+
+  [[nodiscard]] std::size_t size() const { return trace_.size(); }
+
+ private:
+  std::vector<isa::DynInst> trace_;
+  std::size_t pos_ = 0;
+  bool loop_;
+};
+
+}  // namespace vasim::workload
+
+#endif  // VASIM_WORKLOAD_TRACE_FILE_HPP

@@ -1,0 +1,230 @@
+#include "src/workload/trace_generator.hpp"
+
+#include <algorithm>
+
+#include "src/isa/program.hpp"
+
+namespace vasim::workload {
+namespace {
+
+constexpr Addr kHotBase = 0x0010'0000;
+constexpr Addr kWarmBase = 0x0800'0000;
+constexpr Addr kColdBase = 0x4000'0000;
+constexpr int kRecentRing = 32;
+constexpr int kFirstHubReg = 25;
+constexpr int kNumHubRegs = 4;
+constexpr int kLastPlainDst = 24;
+constexpr int kFirstSlackReg = 29;  // r29-r31: never written, always ready
+constexpr int kNumSlackRegs = 3;
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile& profile)
+    : profile_(profile), rng_(profile.seed, 0x7ace5ULL) {
+  build_static_program();
+  block_iter_.assign(blocks_.size(), 0);
+  recent_dst_.assign(kRecentRing, 1);
+}
+
+void TraceGenerator::build_static_program() {
+  Pc pc = isa::kTextBase;
+  const double non_branch = 1.0 - profile_.f_branch;
+  // Probabilities of body (non-branch) instruction classes.
+  const double p_load = profile_.f_load / non_branch;
+  const double p_store = profile_.f_store / non_branch;
+  const double p_mul = profile_.f_mul / non_branch;
+  const double p_div = profile_.f_div / non_branch;
+
+  // Target body length so that terminator branches make up f_branch of the
+  // dynamic mix: mean body length = (1 - f_branch) / f_branch.
+  const double mean_body = std::max(1.0, non_branch / std::max(0.02, profile_.f_branch));
+  const int lo = std::max(1, static_cast<int>(mean_body) - 3);
+  const int hi = static_cast<int>(mean_body) + 3;
+
+  blocks_.resize(static_cast<std::size_t>(profile_.num_blocks));
+  for (int b = 0; b < profile_.num_blocks; ++b) {
+    Block& blk = blocks_[static_cast<std::size_t>(b)];
+    const int body = lo + static_cast<int>(rng_.next_below(static_cast<u32>(hi - lo + 1)));
+    for (int i = 0; i < body; ++i) {
+      StaticInstr si;
+      si.pc = pc;
+      pc += isa::kInstrBytes;
+      const double u = rng_.next_double();
+      if (u < p_load) {
+        si.op = isa::OpClass::kLoad;
+      } else if (u < p_load + p_store) {
+        si.op = isa::OpClass::kStore;
+      } else if (u < p_load + p_store + p_mul) {
+        si.op = isa::OpClass::kIntMul;
+      } else if (u < p_load + p_store + p_mul + p_div) {
+        si.op = isa::OpClass::kIntDiv;
+      } else {
+        si.op = isa::OpClass::kIntAlu;
+        si.hub_producer = rng_.next_bool(0.04);
+      }
+      if (isa::is_mem(si.op)) {
+        // The stream *kind* is chosen per dynamic access (data-dependent
+        // misses keep the hot/warm/cold fractions exact regardless of which
+        // blocks run hot); the per-instruction base anchors its stride.
+        si.stream_base = rng_.next_u64();
+      }
+      blk.instrs.push_back(si);
+    }
+    // Terminating branch.
+    StaticInstr br;
+    br.pc = pc;
+    pc += isa::kInstrBytes;
+    br.op = isa::OpClass::kBranch;
+    blk.instrs.push_back(br);
+
+    blk.taken_bias = profile_.branch_taken_bias;
+    blk.loop_trip = 32 + rng_.next_below(17);  // 32..48
+    // Control structure: some blocks are inner loops (taken =>
+    // repeat self, exit forward); all other branches skip forward by a small
+    // fixed amount, so whatever the outcomes, the walk keeps sweeping the
+    // whole program ring -- full static coverage with per-branch targets
+    // that stay fixed (and therefore BTB-predictable).  Outcomes are fixed
+    // (learnable) except for the profile's fraction of history-independent
+    // branches, the controlled mispredict source.
+    if (rng_.next_bool(0.15)) {
+      blk.taken_target = b;
+      blk.branch_kind = BranchKind::kLoop;
+    } else {
+      blk.taken_target =
+          static_cast<int>((static_cast<u32>(b) + 1 + rng_.next_below(7)) %
+                           static_cast<u32>(profile_.num_blocks));
+      if (rng_.next_bool(profile_.branch_random_frac)) {
+        blk.branch_kind = BranchKind::kRandom;
+      } else {
+        blk.branch_kind = BranchKind::kFixed;
+        blk.fixed_taken = rng_.next_bool(profile_.branch_taken_bias);
+      }
+    }
+  }
+}
+
+std::size_t TraceGenerator::static_footprint() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks_) n += b.instrs.size();
+  return n;
+}
+
+int TraceGenerator::pick_source() {
+  const double u = rng_.next_double();
+  if (u < profile_.serial_frac) {
+    return recent_dst_[(recent_head_ + kRecentRing - 1) % kRecentRing];
+  }
+  if (u < profile_.serial_frac + profile_.hub_frac) return hub_reg_;
+  if (u < profile_.serial_frac + profile_.hub_frac + profile_.slack_frac) {
+    return kFirstSlackReg + static_cast<int>(rng_.next_below(kNumSlackRegs));
+  }
+  // Geometric dependence distance >= 2 (distance 1 is the serial_frac case).
+  int dist = 2;
+  while (dist < kRecentRing - 1 && !rng_.next_bool(profile_.dep_geo_p)) ++dist;
+  return recent_dst_[(recent_head_ + kRecentRing - static_cast<std::size_t>(dist)) % kRecentRing];
+}
+
+Addr TraceGenerator::gen_address(const StaticInstr& si) {
+  // Per-block iteration works as the loop induction variable.
+  const u64 iter = block_iter_[cur_block_];
+  const double m = rng_.next_double();
+  if (m < profile_.cold_frac) {
+    if (rng_.next_bool(profile_.cold_random_frac)) {
+      const u64 h = hash_combine(hash_combine(profile_.seed, si.pc), iter);
+      return kColdBase + (h % profile_.ws_cold_bytes);
+    }
+    return kColdBase + (si.stream_base + iter * 8) % profile_.ws_cold_bytes;
+  }
+  if (m < profile_.cold_frac + profile_.warm_frac) {
+    const u64 h = hash_combine(hash_combine(profile_.seed ^ 0x3a31ULL, si.pc), iter);
+    return kWarmBase + (h % profile_.ws_warm_bytes);
+  }
+  return kHotBase + (si.stream_base + iter * 8) % profile_.ws_hot_bytes;
+}
+
+bool TraceGenerator::next(isa::DynInst& out) {
+  const Block& blk = blocks_[cur_block_];
+  const StaticInstr& si = blk.instrs[cur_idx_];
+  const bool is_terminator = cur_idx_ + 1 == blk.instrs.size();
+
+  out = isa::DynInst{};
+  out.pc = si.pc;
+  out.op = si.op;
+  out.next_pc = si.pc + isa::kInstrBytes;
+
+  switch (si.op) {
+    case isa::OpClass::kIntAlu:
+    case isa::OpClass::kIntMul:
+    case isa::OpClass::kIntDiv: {
+      out.src1 = pick_source();
+      if (rng_.next_bool(0.4)) out.src2 = pick_source();
+      if (si.hub_producer) {
+        hub_reg_ = kFirstHubReg + static_cast<int>(rng_.next_below(kNumHubRegs));
+        out.dst = hub_reg_;
+      } else {
+        out.dst = next_dst_;
+        next_dst_ = next_dst_ % kLastPlainDst + 1;
+      }
+      recent_dst_[recent_head_] = out.dst;
+      recent_head_ = (recent_head_ + 1) % kRecentRing;
+      break;
+    }
+    case isa::OpClass::kLoad: {
+      out.src1 = pick_source();  // address base
+      out.mem_addr = (gen_address(si) & ~7ULL);
+      out.dst = next_dst_;
+      next_dst_ = next_dst_ % kLastPlainDst + 1;
+      recent_dst_[recent_head_] = out.dst;
+      recent_head_ = (recent_head_ + 1) % kRecentRing;
+      break;
+    }
+    case isa::OpClass::kStore: {
+      out.src1 = pick_source();  // address base
+      out.src2 = pick_source();  // value
+      out.mem_addr = (gen_address(si) & ~7ULL);
+      break;
+    }
+    case isa::OpClass::kBranch: {
+      out.src1 = pick_source();
+      bool taken = false;
+      const u32 iter = block_iter_[cur_block_];
+      switch (blk.branch_kind) {
+        case BranchKind::kFixed:
+          taken = blk.fixed_taken;
+          break;
+        case BranchKind::kLoop:
+          taken = (iter % blk.loop_trip) != blk.loop_trip - 1;
+          break;
+        case BranchKind::kRandom:
+          taken = rng_.next_bool(blk.taken_bias);
+          break;
+      }
+      out.taken = taken;
+      const std::size_t fall_through = (cur_block_ + 1) % blocks_.size();
+      const std::size_t target =
+          taken ? static_cast<std::size_t>(blk.taken_target) : fall_through;
+      out.next_pc = blocks_[target].instrs.front().pc;
+
+      ++block_iter_[cur_block_];
+      cur_block_ = target;
+      cur_idx_ = 0;
+      ++emitted_;
+      return true;
+    }
+    case isa::OpClass::kNop:
+      break;
+  }
+
+  if (is_terminator) {
+    // Non-branch terminator cannot happen (blocks end in branches), but keep
+    // the walk safe.
+    cur_block_ = (cur_block_ + 1) % blocks_.size();
+    cur_idx_ = 0;
+  } else {
+    ++cur_idx_;
+  }
+  ++emitted_;
+  return true;
+}
+
+}  // namespace vasim::workload

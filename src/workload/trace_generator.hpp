@@ -1,0 +1,76 @@
+// Statistical dynamic-trace generator.
+//
+// Builds a synthetic static program (basic blocks with per-PC operation
+// templates and memory-stream assignments) from a BenchmarkProfile, then
+// walks it dynamically, drawing dependencies, addresses and branch outcomes
+// from the profile's distributions.  The emitted stream is consumed by the
+// pipeline through the same InstructionSource interface as real programs.
+#ifndef VASIM_WORKLOAD_TRACE_GENERATOR_HPP
+#define VASIM_WORKLOAD_TRACE_GENERATOR_HPP
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/isa/dyninst.hpp"
+#include "src/workload/profiles.hpp"
+
+namespace vasim::workload {
+
+/// Deterministic trace source for one benchmark profile.
+class TraceGenerator final : public isa::InstructionSource {
+ public:
+  explicit TraceGenerator(const BenchmarkProfile& profile);
+
+  bool next(isa::DynInst& out) override;
+  [[nodiscard]] std::string name() const override { return profile_.name; }
+
+  [[nodiscard]] const BenchmarkProfile& profile() const { return profile_; }
+  /// Number of distinct static PCs in the synthetic program.
+  [[nodiscard]] std::size_t static_footprint() const;
+
+ private:
+  struct StaticInstr {
+    Pc pc = 0;
+    isa::OpClass op = isa::OpClass::kIntAlu;
+    u64 stream_base = 0;   ///< per-instruction stride anchor
+    bool hub_producer = false;
+  };
+
+  /// Branch behaviour of a block terminator.
+  enum class BranchKind : u8 {
+    kFixed,   ///< same outcome every visit (predictable after warmup)
+    kLoop,    ///< self-loop: taken except every loop_trip-th visit
+    kRandom,  ///< history-independent outcome (defeats gshare)
+  };
+
+  struct Block {
+    std::vector<StaticInstr> instrs;  ///< last one is the terminating branch
+    int taken_target = 0;             ///< block index when taken
+    double taken_bias = 0.5;
+    BranchKind branch_kind = BranchKind::kFixed;
+    bool fixed_taken = false;         ///< outcome for kFixed
+    u32 loop_trip = 0;                ///< trip count for kLoop
+  };
+
+  void build_static_program();
+  [[nodiscard]] Addr gen_address(const StaticInstr& si);
+  [[nodiscard]] int pick_source();
+
+  BenchmarkProfile profile_;
+  Pcg32 rng_;
+  std::vector<Block> blocks_;
+
+  // Dynamic walk state.
+  std::size_t cur_block_ = 0;
+  std::size_t cur_idx_ = 0;
+  std::vector<u32> block_iter_;        ///< per-block visit counts
+  std::vector<int> recent_dst_;        ///< ring of recent destination regs
+  std::size_t recent_head_ = 0;
+  int hub_reg_ = 25;
+  int next_dst_ = 1;
+  u64 emitted_ = 0;
+};
+
+}  // namespace vasim::workload
+
+#endif  // VASIM_WORKLOAD_TRACE_GENERATOR_HPP

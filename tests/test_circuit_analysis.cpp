@@ -1,0 +1,303 @@
+// Unit tests for gate-level analyses: toggle tracking / commonality, STA,
+// power roll-up, and the scheduler blocks behind Table 2.
+#include <gtest/gtest.h>
+
+#include "src/circuit/gatesim.hpp"
+#include "src/circuit/power.hpp"
+#include "src/circuit/scheduler_blocks.hpp"
+#include "src/circuit/sta.hpp"
+#include "src/common/rng.hpp"
+
+namespace vasim::circuit {
+namespace {
+
+TEST(GateSim, ToggleTracking) {
+  Netlist n;
+  const SigId a = n.add_input();
+  const SigId b = n.add_input();
+  const SigId x = n.xor2(a, b);
+  const SigId y = n.and2(a, b);
+  GateSim sim(&n);
+  sim.evaluate(std::vector<u8>{0, 0});
+  sim.evaluate(std::vector<u8>{1, 0});
+  EXPECT_TRUE(sim.toggled()[static_cast<std::size_t>(x)]);   // 0 -> 1
+  EXPECT_FALSE(sim.toggled()[static_cast<std::size_t>(y)]);  // 0 -> 0
+  sim.evaluate(std::vector<u8>{1, 1});
+  EXPECT_TRUE(sim.toggled()[static_cast<std::size_t>(x)]);
+  EXPECT_TRUE(sim.toggled()[static_cast<std::size_t>(y)]);
+}
+
+TEST(GateSim, InputWidthChecked) {
+  Netlist n;
+  n.add_input();
+  GateSim sim(&n);
+  EXPECT_THROW(sim.evaluate(std::vector<u8>{1, 0}), std::invalid_argument);
+}
+
+TEST(Commonality, IdenticalInstancesGiveFullRatio) {
+  const Component alu = build_simple_alu(8);
+  std::vector<u8> pre(static_cast<std::size_t>(input_width(alu)), 0);
+  std::vector<u8> cur(pre);
+  cur[0] = 1;
+  cur[3] = 1;
+  std::vector<std::pair<std::vector<u8>, std::vector<u8>>> inst(10, {pre, cur});
+  const CommonalityResult r = measure_commonality(alu, inst);
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+  EXPECT_EQ(r.phi, r.psi);
+  EXPECT_GT(r.psi, 0);
+}
+
+TEST(Commonality, RandomInstancesGiveLowerRatio) {
+  const Component alu = build_simple_alu(8);
+  Pcg32 rng(3);
+  std::vector<std::pair<std::vector<u8>, std::vector<u8>>> inst;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<u8> pre(static_cast<std::size_t>(input_width(alu)));
+    std::vector<u8> cur(pre.size());
+    for (auto& v : pre) v = rng.next_bool(0.5);
+    for (auto& v : cur) v = rng.next_bool(0.5);
+    inst.push_back({std::move(pre), std::move(cur)});
+  }
+  const CommonalityResult r = measure_commonality(alu, inst);
+  EXPECT_LT(r.ratio, 0.6);
+  EXPECT_GT(r.psi, r.phi);
+}
+
+TEST(Commonality, EmptyInstancesDefined) {
+  const Component sel = build_issue_select(8, 1);
+  const CommonalityResult r = measure_commonality(sel, {});
+  EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+}
+
+TEST(Sta, DepthAndDelayPositiveAndConsistent) {
+  const Component alu = build_simple_alu(32);
+  const StaResult r = analyze_nominal(alu.netlist);
+  EXPECT_GT(r.logic_depth, 10);
+  EXPECT_GT(r.critical_delay_ps, 100.0);
+  // Larger ALU is deeper than a small one.
+  const StaResult small = analyze_nominal(build_simple_alu(8).netlist);
+  EXPECT_GT(r.logic_depth, small.logic_depth);
+  EXPECT_GT(r.critical_delay_ps, small.critical_delay_ps);
+}
+
+TEST(Sta, ForwardCheckIsShallow) {
+  // Table 3: Forward Check has by far the smallest logic depth (15 vs 33-46).
+  const int fwd = analyze_nominal(build_forward_check(4, 4, 7).netlist).logic_depth;
+  const int alu = analyze_nominal(build_simple_alu(32).netlist).logic_depth;
+  const int agen = analyze_nominal(build_agen(32, 16).netlist).logic_depth;
+  EXPECT_LT(fwd, alu);
+  EXPECT_LT(fwd, agen);
+}
+
+TEST(Sta, StatisticalSpreadAndMu2Sigma) {
+  const Component agen = build_agen(16, 8);
+  const timing::ProcessVariation pv;
+  const StatisticalStaResult r = analyze_statistical(agen.netlist, pv, 64);
+  EXPECT_EQ(r.dies, 64);
+  EXPECT_GT(r.sigma_ps, 0.0);
+  EXPECT_GT(r.mu_plus_2sigma_ps, r.mu_ps);
+  EXPECT_LE(r.min_ps, r.mu_ps);
+  EXPECT_GE(r.max_ps, r.mu_ps);
+  // The nominal delay should sit near the Monte-Carlo mean.
+  const StaResult nom = analyze_nominal(agen.netlist);
+  EXPECT_NEAR(nom.critical_delay_ps, r.mu_ps, 0.25 * nom.critical_delay_ps);
+}
+
+TEST(Sta, SpatialCorrelationWidensCriticalDelaySpread) {
+  // VARIUS's key effect: correlated per-gate delays do not average out along
+  // a path, so die-to-die critical delay varies more than with independent
+  // variation of the same total sigma.
+  const Component alu = build_simple_alu(16);
+  timing::SpatialConfig corr;
+  corr.systematic_fraction = 0.9;
+  corr.grid = 2;  // coarse field = strong die-level correlation
+  timing::SpatialConfig uncorr;
+  uncorr.systematic_fraction = 0.0;
+  const StatisticalStaResult wide =
+      analyze_statistical(alu.netlist, timing::SpatialVariation(corr), 96);
+  const StatisticalStaResult tight =
+      analyze_statistical(alu.netlist, timing::SpatialVariation(uncorr), 96);
+  EXPECT_GT(wide.sigma_ps, tight.sigma_ps * 1.5);
+  EXPECT_NEAR(wide.mu_ps, tight.mu_ps, 0.1 * tight.mu_ps);
+}
+
+TEST(Power, RollUpMonotonicInSize) {
+  const PowerReport small = roll_up(build_simple_alu(8));
+  const PowerReport big = roll_up(build_simple_alu(32));
+  EXPECT_GT(big.area_um2, small.area_um2);
+  EXPECT_GT(big.dynamic_power_uw, small.dynamic_power_uw);
+  EXPECT_GT(big.leakage_power_uw, small.leakage_power_uw);
+  EXPECT_GT(big.gate_count, small.gate_count);
+}
+
+TEST(Power, FlopsContribute) {
+  Component c;
+  c.name = "flops";
+  (void)c.netlist.const0();
+  c.flop_count = 100;
+  const PowerReport r = roll_up(c);
+  EXPECT_GT(r.area_um2, 0.0);
+  EXPECT_GT(r.leakage_power_uw, 0.0);
+  EXPECT_EQ(r.flop_count, 100);
+}
+
+TEST(Power, OverheadMath) {
+  PowerReport base;
+  base.area_um2 = 100;
+  base.dynamic_power_uw = 50;
+  base.leakage_power_uw = 10;
+  PowerReport enh = base;
+  enh.area_um2 = 106.35;
+  const OverheadReport o = overhead(base, enh);
+  EXPECT_NEAR(o.area, 0.0635, 1e-9);
+  EXPECT_NEAR(o.dynamic_power, 0.0, 1e-9);
+}
+
+// ---- scheduler blocks (Table 2) -----------------------------------------
+
+TEST(WakeupCam, MatchSemantics) {
+  SchedulerShape shape;
+  shape.entries = 4;
+  shape.tag_bits = 5;
+  shape.broadcast_ports = 2;
+  const Component cam = build_wakeup_cam(shape);
+  GateSim sim(&cam.netlist);
+  // Broadcast tag 9 on port 0 (valid) and 17 on port 1 (invalid).
+  std::vector<u8> in;
+  GateSim::pack_bits(9, 5, in);
+  GateSim::pack_bits(17, 5, in);
+  in.push_back(1);  // port0 valid
+  in.push_back(0);  // port1 invalid
+  // Entry operand tags: e0s0=9 (waiting), e0s1=17 (waiting), e1s0=9 (not
+  // waiting), others zero.
+  const u64 op_tags[8] = {9, 17, 9, 0, 0, 0, 0, 0};
+  for (const u64 t : op_tags) GateSim::pack_bits(t, 5, in);
+  const u8 waiting[8] = {1, 1, 0, 0, 0, 0, 0, 0};
+  for (const u8 w : waiting) in.push_back(w);
+  sim.evaluate(in);
+  EXPECT_TRUE(sim.value(cam.outputs[0]));   // e0s0 matches port0
+  EXPECT_FALSE(sim.value(cam.outputs[1]));  // e0s1 matches only invalid port
+  EXPECT_FALSE(sim.value(cam.outputs[2]));  // not waiting
+  EXPECT_GT(cam.flop_count, 0);
+}
+
+TEST(AgeSelect, PicksOldestRequesters) {
+  SchedulerShape shape;
+  shape.entries = 8;
+  shape.grants = 2;
+  shape.timestamp_bits = 4;
+  const Component sel = build_age_select(shape);
+  GateSim sim(&sel.netlist);
+  std::vector<u8> in;
+  const u8 req[8] = {1, 0, 1, 1, 0, 0, 1, 0};
+  for (const u8 r : req) in.push_back(r);
+  const u64 ts[8] = {9, 1, 3, 7, 0, 2, 5, 4};
+  for (const u64 t : ts) GateSim::pack_bits(t, 4, in);
+  sim.evaluate(in);
+  // Requesters: {0:9, 2:3, 3:7, 6:5}; two oldest = entries 2 (ts 3) and 6 (ts 5).
+  EXPECT_TRUE(sim.value(sel.outputs[2]));
+  EXPECT_TRUE(sim.value(sel.outputs[6]));
+  EXPECT_FALSE(sim.value(sel.outputs[0]));
+  EXPECT_FALSE(sim.value(sel.outputs[3]));
+}
+
+TEST(Countdown, DecrementAndFire) {
+  SchedulerShape shape;
+  shape.broadcast_ports = 1;
+  shape.countdown_bits = 3;
+  const Component cd = build_countdown(shape);
+  GateSim sim(&cd.netlist);
+  // count = 5, active: next = 4, no fire.
+  std::vector<u8> in;
+  GateSim::pack_bits(5, 3, in);
+  in.push_back(1);
+  sim.evaluate(in);
+  const Bus next(cd.outputs.begin(), cd.outputs.begin() + 3);
+  EXPECT_EQ(sim.read_bus(next), 4u);
+  EXPECT_FALSE(sim.value(cd.outputs[3]));
+  // count = 0, active: fire.
+  in.clear();
+  GateSim::pack_bits(0, 3, in);
+  in.push_back(1);
+  sim.evaluate(in);
+  EXPECT_TRUE(sim.value(cd.outputs[3]));
+}
+
+TEST(VteAddon, FusrGoesBusyBehindFaultyInstruction) {
+  SchedulerShape shape;
+  shape.grants = 2;
+  shape.num_fus = 4;
+  shape.broadcast_ports = 2;
+  shape.countdown_bits = 3;
+  const Component vte = build_vte_addon(shape);
+  GateSim sim(&vte.netlist);
+  std::vector<u8> in;
+  // slot0 faulty, slot1 clean.
+  in.push_back(1);
+  in.push_back(0);
+  // slot0 -> FU2 (one-hot), slot1 -> FU0.
+  const u8 fu0[4] = {0, 0, 1, 0};
+  const u8 fu1[4] = {1, 0, 0, 0};
+  for (const u8 v : fu0) in.push_back(v);
+  for (const u8 v : fu1) in.push_back(v);
+  // FUSR: all ready.
+  for (int f = 0; f < 4; ++f) in.push_back(1);
+  // countdown counts: 3 and 5.
+  GateSim::pack_bits(3, 3, in);
+  GateSim::pack_bits(5, 3, in);
+  sim.evaluate(in);
+  // next FUSR: FU2 busy (bit -> 0) because slot0 is faulty; others stay 1.
+  EXPECT_TRUE(sim.value(vte.outputs[0]));
+  EXPECT_TRUE(sim.value(vte.outputs[1]));
+  EXPECT_FALSE(sim.value(vte.outputs[2]));
+  EXPECT_TRUE(sim.value(vte.outputs[3]));
+  // Slot freeze flags mirror sel_fault.
+  EXPECT_TRUE(sim.value(vte.outputs[4]));
+  EXPECT_FALSE(sim.value(vte.outputs[5]));
+  // Countdown port0 adjusted +1 (faulty slot0): 3 -> 4; port1 unchanged: 5.
+  const Bus adj0(vte.outputs.begin() + 6, vte.outputs.begin() + 9);
+  const Bus adj1(vte.outputs.begin() + 9, vte.outputs.begin() + 12);
+  EXPECT_EQ(sim.read_bus(adj0), 4u);
+  EXPECT_EQ(sim.read_bus(adj1), 5u);
+}
+
+TEST(Cdl, PopcountAgainstThreshold) {
+  SchedulerShape shape;
+  shape.entries = 16;
+  shape.criticality_threshold_bits = 4;
+  const Component cdl = build_cdl(shape);
+  GateSim sim(&cdl.netlist);
+  for (const int matches : {0, 3, 7, 8, 9, 16}) {
+    std::vector<u8> in;
+    for (int e = 0; e < 16; ++e) in.push_back(e < matches ? 1 : 0);
+    GateSim::pack_bits(8, 4, in);  // CT = 8 (the paper's best value)
+    sim.evaluate(in);
+    const Bus count(cdl.outputs.begin(), cdl.outputs.end() - 1);
+    EXPECT_EQ(sim.read_bus(count), static_cast<u64>(matches));
+    EXPECT_EQ(sim.value(cdl.outputs.back()), matches >= 8) << matches;
+  }
+}
+
+TEST(SchedulerAssembly, VariantsNest) {
+  const SchedulerShape shape;
+  const auto base = build_scheduler(SchedulerVariant::kBaseline, shape);
+  const auto absffs = build_scheduler(SchedulerVariant::kAbsFfs, shape);
+  const auto cds = build_scheduler(SchedulerVariant::kCds, shape);
+  EXPECT_EQ(base.blocks.size(), 4u);
+  EXPECT_EQ(absffs.blocks.size(), 5u);
+  EXPECT_EQ(cds.blocks.size(), 6u);
+  const PowerReport pb = roll_up(std::span<const Component>(base.blocks));
+  const PowerReport pa = roll_up(std::span<const Component>(absffs.blocks));
+  const PowerReport pc = roll_up(std::span<const Component>(cds.blocks));
+  EXPECT_GT(pa.area_um2, pb.area_um2);
+  EXPECT_GT(pc.area_um2, pa.area_um2);
+  // Table 2 shape: ABS/FFS overhead is small (< 5%), CDS larger but < 15%.
+  const OverheadReport oa = overhead(pb, pa);
+  const OverheadReport oc = overhead(pb, pc);
+  EXPECT_LT(oa.area, 0.05);
+  EXPECT_GT(oc.area, oa.area);
+  EXPECT_LT(oc.area, 0.15);
+}
+
+}  // namespace
+}  // namespace vasim::circuit

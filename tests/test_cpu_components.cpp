@@ -1,0 +1,203 @@
+// Unit tests for CPU components: caches, branch predictor, FU pool.
+#include <gtest/gtest.h>
+
+#include "src/cpu/branch_pred.hpp"
+#include "src/cpu/cache.hpp"
+#include "src/cpu/fu_pool.hpp"
+
+namespace vasim::cpu {
+namespace {
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(Cache(CacheConfig{100, 4, 64, 1}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{32 * 1024, 0, 64, 1}), std::invalid_argument);
+  const Cache c(CacheConfig{32 * 1024, 4, 64, 1});
+  EXPECT_EQ(c.num_sets(), 128);
+}
+
+TEST(Cache, HitAfterFill) {
+  Cache c(CacheConfig{1024, 2, 64, 1});
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1008));  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction) {
+  // 1024B, 2-way, 64B lines -> 8 sets.  Three lines mapping to set 0:
+  Cache c(CacheConfig{1024, 2, 64, 1});
+  const Addr a = 0 * 512, b = 1 * 512, d = 2 * 512;
+  c.access(a);
+  c.access(b);
+  c.access(a);     // a most recent
+  c.access(d);     // evicts b (LRU)
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+  EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, ContainsDoesNotFill) {
+  Cache c(CacheConfig{1024, 2, 64, 1});
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_FALSE(c.contains(0x40));
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(MemoryHierarchy, LatenciesCompose) {
+  CoreConfig cfg;
+  MemoryHierarchy mh(cfg);
+  // Cold: L1 miss + L2 miss -> 1 + 25 + 240.
+  EXPECT_EQ(mh.load_latency(0x100000), 1u + 25u + 240u);
+  // Now L1-resident.
+  EXPECT_EQ(mh.load_latency(0x100000), 1u);
+  // Evict from L1 only (touch many lines in the same set), then L2 hit.
+  for (int i = 1; i <= 8; ++i) {
+    mh.load_latency(0x100000 + static_cast<Addr>(i) * 32 * 1024 / 4);
+  }
+  const Cycle lat = mh.load_latency(0x100000);
+  EXPECT_TRUE(lat == 1 || lat == 26) << lat;
+}
+
+TEST(MemoryHierarchy, IfetchSeparateFromData) {
+  CoreConfig cfg;
+  MemoryHierarchy mh(cfg);
+  mh.load_latency(0x5000);
+  // Same address on the I-side still misses L1I (but hits the shared L2).
+  EXPECT_EQ(mh.ifetch_latency(0x5000), 1u + 25u);
+}
+
+TEST(MemoryHierarchy, StoreCommitWarmsCaches) {
+  CoreConfig cfg;
+  MemoryHierarchy mh(cfg);
+  mh.store_commit(0x9000);
+  EXPECT_EQ(mh.load_latency(0x9000), 1u);
+}
+
+TEST(MemoryHierarchy, NextLinePrefetchWarmsL2) {
+  CoreConfig cfg;
+  cfg.l2_next_line_prefetch = true;
+  MemoryHierarchy mh(cfg);
+  // Demand miss at addr fills L2 with addr AND addr+64.
+  EXPECT_EQ(mh.load_latency(0x100000), 1u + 25u + 240u);
+  EXPECT_EQ(mh.load_latency(0x100040), 1u + 25u) << "next line prefetched into L2";
+  EXPECT_EQ(mh.prefetches(), 2u);  // each miss prefetched one line
+}
+
+TEST(MemoryHierarchy, PrefetchOffByDefault) {
+  CoreConfig cfg;
+  MemoryHierarchy mh(cfg);
+  mh.load_latency(0x100000);
+  EXPECT_EQ(mh.load_latency(0x100040), 1u + 25u + 240u);
+  EXPECT_EQ(mh.prefetches(), 0u);
+}
+
+TEST(MemoryHierarchy, ExportStats) {
+  CoreConfig cfg;
+  MemoryHierarchy mh(cfg);
+  mh.load_latency(0x100);
+  StatSet s;
+  mh.export_stats(s);
+  EXPECT_EQ(s.count("cache.l1d.misses"), 1u);
+  EXPECT_EQ(s.count("cache.l2.misses"), 1u);
+}
+
+TEST(BranchPredictor, LearnsFixedDirection) {
+  CoreConfig cfg;
+  BranchPredictor bp(cfg);
+  const Pc pc = 0x4000;
+  // Enough updates to saturate the history register so the predict-time
+  // index has been trained.
+  for (int i = 0; i < 40; ++i) bp.update(pc, true, 0x5000);
+  const BranchPrediction p = bp.predict(pc);
+  EXPECT_TRUE(p.taken);
+  EXPECT_TRUE(p.target_known);
+  EXPECT_EQ(p.target, 0x5000u);
+}
+
+TEST(BranchPredictor, LearnsNotTaken) {
+  CoreConfig cfg;
+  BranchPredictor bp(cfg);
+  for (int i = 0; i < 40; ++i) bp.update(0x4000, false, 0);
+  EXPECT_FALSE(bp.predict(0x4000).taken);
+}
+
+TEST(BranchPredictor, HistoryShiftsOnlyOnUpdates) {
+  CoreConfig cfg;
+  BranchPredictor bp(cfg);
+  const u64 h0 = bp.history();
+  (void)bp.predict(0x100);
+  EXPECT_EQ(bp.history(), h0);
+  bp.update(0x100, true, 0x200);
+  EXPECT_NE(bp.history(), h0);
+}
+
+TEST(BranchPredictor, BtbMissForUnseenTarget) {
+  CoreConfig cfg;
+  BranchPredictor bp(cfg);
+  EXPECT_FALSE(bp.predict(0xdead0).target_known);
+}
+
+TEST(FuPool, KindsMatchConfig) {
+  CoreConfig cfg;
+  FuPool pool(cfg);
+  EXPECT_EQ(pool.unit_count(),
+            cfg.simple_alus + cfg.complex_alus + cfg.branch_units + cfg.load_ports +
+                cfg.store_ports);
+  EXPECT_EQ(fu_kind_for(isa::OpClass::kIntAlu), FuKind::kSimpleAlu);
+  EXPECT_EQ(fu_kind_for(isa::OpClass::kIntMul), FuKind::kComplexAlu);
+  EXPECT_EQ(fu_kind_for(isa::OpClass::kIntDiv), FuKind::kComplexAlu);
+  EXPECT_EQ(fu_kind_for(isa::OpClass::kLoad), FuKind::kLoadPort);
+  EXPECT_EQ(fu_kind_for(isa::OpClass::kStore), FuKind::kStorePort);
+  EXPECT_EQ(fu_kind_for(isa::OpClass::kBranch), FuKind::kBranch);
+}
+
+TEST(FuPool, PipelinedUnitsAcceptEveryCycle) {
+  CoreConfig cfg;
+  cfg.simple_alus = 1;
+  FuPool pool(cfg);
+  EXPECT_GE(pool.allocate(isa::OpClass::kIntAlu, 10, 1, false), 0);
+  EXPECT_LT(pool.allocate(isa::OpClass::kIntAlu, 10, 1, false), 0);  // same cycle: busy
+  EXPECT_GE(pool.allocate(isa::OpClass::kIntAlu, 11, 1, false), 0);  // next cycle: free
+}
+
+TEST(FuPool, UnpipelinedDivideOccupiesFully) {
+  CoreConfig cfg;
+  cfg.complex_alus = 1;
+  FuPool pool(cfg);
+  EXPECT_GE(pool.allocate(isa::OpClass::kIntDiv, 0, 12, false), 0);
+  EXPECT_FALSE(pool.can_accept(isa::OpClass::kIntMul, 5));
+  EXPECT_FALSE(pool.can_accept(isa::OpClass::kIntDiv, 11));
+  EXPECT_TRUE(pool.can_accept(isa::OpClass::kIntDiv, 12));
+}
+
+TEST(FuPool, VteExtraOccupyBlocksOneMoreCycle) {
+  CoreConfig cfg;
+  cfg.simple_alus = 1;
+  FuPool pool(cfg);
+  EXPECT_GE(pool.allocate(isa::OpClass::kIntAlu, 0, 1, true), 0);  // FUSR off 1 cycle
+  EXPECT_FALSE(pool.can_accept(isa::OpClass::kIntAlu, 1));
+  EXPECT_TRUE(pool.can_accept(isa::OpClass::kIntAlu, 2));
+}
+
+TEST(FuPool, ShiftTimeMovesReservations) {
+  CoreConfig cfg;
+  cfg.simple_alus = 1;
+  FuPool pool(cfg);
+  (void)pool.allocate(isa::OpClass::kIntAlu, 0, 1, false);
+  EXPECT_TRUE(pool.can_accept(isa::OpClass::kIntAlu, 1));
+  pool.shift_time(5);
+  EXPECT_FALSE(pool.can_accept(isa::OpClass::kIntAlu, 1));
+  EXPECT_TRUE(pool.can_accept(isa::OpClass::kIntAlu, 6));
+}
+
+TEST(FuPool, DistinctKindsDoNotInterfere) {
+  CoreConfig cfg;
+  FuPool pool(cfg);
+  (void)pool.allocate(isa::OpClass::kLoad, 0, 200, false);
+  EXPECT_TRUE(pool.can_accept(isa::OpClass::kStore, 0));
+  EXPECT_TRUE(pool.can_accept(isa::OpClass::kIntAlu, 0));
+}
+
+}  // namespace
+}  // namespace vasim::cpu

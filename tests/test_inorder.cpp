@@ -1,0 +1,92 @@
+// Tests for the in-order reference core.
+#include <gtest/gtest.h>
+
+#include "src/core/tep.hpp"
+#include "src/cpu/inorder.hpp"
+#include "src/workload/profiles.hpp"
+#include "src/workload/trace_generator.hpp"
+
+namespace vasim::cpu {
+namespace {
+
+PipelineResult run_io(const workload::BenchmarkProfile& prof, const SchemeConfig& scheme,
+                      const timing::FaultModel* fm, FaultPredictor* pred, u64 n = 15000,
+                      u64 warm = 5000) {
+  workload::TraceGenerator gen(prof);
+  InOrderConfig cfg;
+  InOrderPipeline pipe(cfg, scheme, &gen, fm, pred);
+  return pipe.run(n, warm);
+}
+
+TEST(InOrder, ScalarIpcBelowOne) {
+  const auto prof = workload::spec2006_profile("sjeng");
+  const PipelineResult r = run_io(prof, scheme_fault_free(), nullptr, nullptr);
+  EXPECT_EQ(r.committed, 15000u);
+  EXPECT_GT(r.ipc(), 0.15);
+  EXPECT_LE(r.ipc(), 1.0) << "a scalar in-order core cannot exceed IPC 1";
+}
+
+TEST(InOrder, SlowerThanOoOCore) {
+  // Warmed-up comparison: the 4-wide OoO core clearly outruns the scalar
+  // in-order core on an ILP-rich workload.
+  const auto prof = workload::spec2006_profile("sjeng");
+  const PipelineResult io = run_io(prof, scheme_fault_free(), nullptr, nullptr, 20000, 30000);
+  workload::TraceGenerator gen(prof);
+  CoreConfig cfg;
+  Pipeline ooo(cfg, scheme_fault_free(), &gen, nullptr, nullptr);
+  const PipelineResult oo = ooo.run(20000, 30000);
+  EXPECT_GT(oo.ipc(), io.ipc() * 1.5);
+}
+
+TEST(InOrder, MemoryBoundWorkloadsStall) {
+  const auto fast = workload::spec2006_profile("sjeng");
+  const auto slow = workload::spec2006_profile("mcf");
+  EXPECT_GT(run_io(fast, scheme_fault_free(), nullptr, nullptr).ipc(),
+            run_io(slow, scheme_fault_free(), nullptr, nullptr).ipc() * 1.5);
+}
+
+TEST(InOrder, AbsEqualsErrorPadding) {
+  // The headline property: with no scheduling freedom, violation-aware
+  // scheduling degenerates exactly to stall-based padding.
+  const auto prof = workload::spec2006_profile("bzip2");
+  timing::PathModelConfig pcfg{prof.seed, prof.fr_high_pct / 100.0 * prof.fr_calib_high,
+                               prof.fr_low_pct / 100.0 * prof.fr_calib_low};
+  const timing::FaultModel fm(pcfg, 0.97);
+  core::TimingErrorPredictor tep_a({}, &fm.environment());
+  core::TimingErrorPredictor tep_b({}, &fm.environment());
+  const PipelineResult ep = run_io(prof, scheme_error_padding(), &fm, &tep_a);
+  const PipelineResult abs = run_io(prof, scheme_abs(), &fm, &tep_b);
+  EXPECT_EQ(ep.cycles, abs.cycles);
+}
+
+TEST(InOrder, FaultsCostCyclesAndAreAccounted) {
+  const auto prof = workload::spec2006_profile("gcc");
+  timing::PathModelConfig pcfg{prof.seed, 0.10, 0.03};
+  const timing::FaultModel fm(pcfg, 0.97);
+  core::TimingErrorPredictor tep({}, &fm.environment());
+  const PipelineResult clean = run_io(prof, scheme_fault_free(), nullptr, nullptr);
+  const PipelineResult faulty = run_io(prof, scheme_error_padding(), &fm, &tep);
+  EXPECT_GT(faulty.cycles, clean.cycles);
+  const u64 actual = faulty.stats.count("fault.actual");
+  EXPECT_GT(actual, 100u);
+  EXPECT_LE(faulty.stats.count("fault.handled") + faulty.stats.count("fault.replays"), actual);
+}
+
+TEST(InOrder, RazorReplaysEverything) {
+  const auto prof = workload::spec2006_profile("gcc");
+  timing::PathModelConfig pcfg{prof.seed, 0.10, 0.03};
+  const timing::FaultModel fm(pcfg, 0.97);
+  const PipelineResult r = run_io(prof, scheme_razor(), &fm, nullptr);
+  EXPECT_EQ(r.stats.count("fault.handled"), 0u);
+  EXPECT_EQ(r.stats.count("fault.replays"), r.stats.count("fault.actual"));
+}
+
+TEST(InOrder, WarmupExcluded) {
+  const auto prof = workload::spec2006_profile("tonto");
+  const PipelineResult r = run_io(prof, scheme_fault_free(), nullptr, nullptr, 8000, 4000);
+  EXPECT_EQ(r.committed, 8000u);
+  EXPECT_EQ(r.stats.count("ev.commit"), 8000u);
+}
+
+}  // namespace
+}  // namespace vasim::cpu

@@ -1,0 +1,134 @@
+// Tests for the pipeline observer hooks and the Kanata trace writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/cpu/observer.hpp"
+#include "src/cpu/pipeline.hpp"
+#include "src/isa/assembler.hpp"
+#include "src/isa/executor.hpp"
+#include "src/timing/fault_model.hpp"
+#include "src/workload/profiles.hpp"
+#include "src/workload/trace_generator.hpp"
+
+namespace vasim::cpu {
+namespace {
+
+/// Counts lifecycle events and checks per-instruction ordering.
+struct CountingObserver final : PipelineObserver {
+  u64 fetches = 0, dispatches = 0, issues = 0, completes = 0, commits = 0, squashed = 0;
+  std::vector<u8> state;  // per-seq lifecycle stage
+
+  void bump(SeqNum seq, u8 expect, u8 next) {
+    if (state.size() <= seq) state.resize(static_cast<std::size_t>(seq) + 1, 0);
+    EXPECT_EQ(state[static_cast<std::size_t>(seq)], expect) << "seq " << seq;
+    state[static_cast<std::size_t>(seq)] = next;
+  }
+  void on_fetch(SeqNum seq, const isa::DynInst&) override {
+    ++fetches;
+    if (state.size() <= seq) state.resize(static_cast<std::size_t>(seq) + 1, 0);
+    state[static_cast<std::size_t>(seq)] = 1;  // refetch after squash resets
+  }
+  void on_dispatch(SeqNum seq) override {
+    ++dispatches;
+    bump(seq, 1, 2);
+  }
+  void on_issue(SeqNum seq, bool) override {
+    ++issues;
+    bump(seq, 2, 3);
+  }
+  void on_complete(SeqNum seq) override {
+    ++completes;
+    bump(seq, 3, 4);
+  }
+  void on_commit(SeqNum seq) override {
+    ++commits;
+    bump(seq, 4, 5);
+  }
+  void on_squash(SeqNum first, SeqNum last) override { squashed += last - first + 1; }
+};
+
+TEST(Observer, LifecycleOrderingFaultFree) {
+  const auto prof = workload::spec2006_profile("gobmk");
+  workload::TraceGenerator g(prof);
+  CoreConfig cfg;
+  Pipeline p(cfg, scheme_fault_free(), &g, nullptr, nullptr);
+  CountingObserver obs;
+  p.set_observer(&obs);
+  const PipelineResult r = p.run(5000);
+  EXPECT_EQ(r.committed, 5000u);
+  EXPECT_EQ(obs.commits, 5000u);
+  EXPECT_GE(obs.fetches, obs.dispatches);
+  EXPECT_GE(obs.dispatches, obs.issues);
+  EXPECT_GE(obs.issues, obs.completes);
+  EXPECT_GE(obs.completes, obs.commits);
+}
+
+TEST(Observer, SquashEventsUnderReplay) {
+  const auto prof = workload::spec2006_profile("gobmk");
+  workload::TraceGenerator g(prof);
+  timing::PathModelConfig pcfg{prof.seed, 0.12, 0.04};
+  const timing::FaultModel fm(pcfg, 0.97);
+  SchemeConfig razor = scheme_razor();
+  razor.recovery = RecoveryModel::kSquashRefetch;
+  CoreConfig cfg;
+  Pipeline p(cfg, razor, &g, &fm, nullptr);
+  CountingObserver obs;
+  p.set_observer(&obs);
+  const PipelineResult r = p.run(5000);
+  EXPECT_EQ(r.committed, 5000u);
+  EXPECT_GT(obs.squashed, 0u);
+  EXPECT_EQ(obs.squashed, r.stats.count("ev.squash"));
+  EXPECT_EQ(obs.commits, 5000u);
+}
+
+TEST(Kanata, WellFormedTrace) {
+  const isa::Program prog = isa::assemble(R"(
+      addi r1, r0, 0
+      addi r2, r0, 1
+      addi r3, r0, 40
+    loop:
+      add  r1, r1, r2
+      addi r2, r2, 1
+      blt  r2, r3, loop
+      halt
+  )");
+  isa::FunctionalCore src(&prog);
+  CoreConfig cfg;
+  Pipeline p(cfg, scheme_fault_free(), &src, nullptr, nullptr);
+  std::ostringstream trace;
+  KanataTraceWriter writer(&trace, 1000);
+  p.set_observer(&writer);
+  p.run(1'000'000);
+
+  const std::string t = trace.str();
+  EXPECT_EQ(t.rfind("Kanata\t0004\n", 0), 0u) << "header first";
+  EXPECT_NE(t.find("\nS\t0\t0\tF\n"), std::string::npos) << "fetch stage for seq 0";
+  EXPECT_NE(t.find("\nS\t0\t0\tIs\n"), std::string::npos);
+  EXPECT_NE(t.find("\nR\t0\t0\t0\n"), std::string::npos) << "seq 0 retires first";
+  EXPECT_NE(t.find(": alu"), std::string::npos) << "disassembly labels";
+  EXPECT_GT(writer.instructions_logged(), 100u);
+  // Every logged instruction eventually retires (no flushes here).
+  std::size_t retires = 0;
+  for (std::size_t pos = t.find("\nR\t"); pos != std::string::npos;
+       pos = t.find("\nR\t", pos + 1)) {
+    ++retires;
+  }
+  EXPECT_EQ(retires, writer.instructions_logged());
+}
+
+TEST(Kanata, CapsLogSize) {
+  const auto prof = workload::spec2006_profile("bzip2");
+  workload::TraceGenerator g(prof);
+  CoreConfig cfg;
+  Pipeline p(cfg, scheme_fault_free(), &g, nullptr, nullptr);
+  std::ostringstream trace;
+  KanataTraceWriter writer(&trace, 50);
+  p.set_observer(&writer);
+  p.run(5000);
+  EXPECT_EQ(writer.instructions_logged(), 50u);
+}
+
+}  // namespace
+}  // namespace vasim::cpu

@@ -1,0 +1,114 @@
+// Tests for the ancestor predictors (MRE [13], TVP [12]) and their
+// integration through the experiment runner.
+#include <gtest/gtest.h>
+
+#include "src/core/predictors.hpp"
+#include "src/core/runner.hpp"
+
+namespace vasim::core {
+namespace {
+
+using timing::OooStage;
+
+TEST(Mre, PredictsExactlyLastOutcome) {
+  MostRecentEntryPredictor mre(1024);
+  EXPECT_FALSE(mre.predict(0x100, 0, 0).predicted);
+  mre.train(0x100, 0, true, OooStage::kExecute);
+  EXPECT_TRUE(mre.predict(0x100, 0, 0).predicted);
+  EXPECT_EQ(mre.predict(0x100, 0, 0).stage, OooStage::kExecute);
+  mre.train(0x100, 0, false, OooStage::kExecute);
+  EXPECT_FALSE(mre.predict(0x100, 0, 0).predicted) << "MRE forgets on one clean instance";
+  mre.train(0x100, 0, true, OooStage::kMemory);
+  EXPECT_EQ(mre.predict(0x100, 0, 0).stage, OooStage::kMemory);
+}
+
+TEST(Mre, TagsPreventAliasing) {
+  MostRecentEntryPredictor mre(256);
+  mre.train(0x100, 0, true, OooStage::kIssueSelect);
+  const Pc alias = 0x100 + 256 * 4;  // same index, different tag
+  EXPECT_FALSE(mre.predict(alias, 0, 0).predicted);
+  // Clean instances of an unrelated PC do not evict the owner.
+  mre.train(alias, 0, false, OooStage::kIssueSelect);
+  EXPECT_TRUE(mre.predict(0x100, 0, 0).predicted);
+}
+
+TEST(Mre, HistoryIgnored) {
+  MostRecentEntryPredictor mre(1024);
+  mre.train(0x200, 0xAA, true, OooStage::kIssueSelect);
+  EXPECT_TRUE(mre.predict(0x200, 0x55, 0).predicted);
+}
+
+TEST(Tvp, HysteresisNeedsTwoFaults) {
+  TimingViolationPredictor tvp(1024);
+  tvp.train(0x100, 0, true, OooStage::kRegRead);
+  EXPECT_FALSE(tvp.predict(0x100, 0, 0).predicted) << "one fault is not enough (counter=1)";
+  tvp.train(0x100, 0, true, OooStage::kRegRead);
+  EXPECT_TRUE(tvp.predict(0x100, 0, 0).predicted);
+  tvp.train(0x100, 0, false, OooStage::kRegRead);
+  EXPECT_FALSE(tvp.predict(0x100, 0, 0).predicted);
+}
+
+TEST(Tvp, UntaggedTablesAlias) {
+  TimingViolationPredictor tvp(256);
+  tvp.train(0x100, 0, true, OooStage::kExecute);
+  tvp.train(0x100, 0, true, OooStage::kExecute);
+  const Pc alias = 0x100 + 256 * 4;
+  EXPECT_TRUE(tvp.predict(alias, 0, 0).predicted) << "TVP has no tags: aliases predict too";
+}
+
+TEST(Predictors, StorageOrdering) {
+  MostRecentEntryPredictor mre(4096);
+  TimingViolationPredictor tvp(4096);
+  TimingErrorPredictor tep;
+  EXPECT_LT(tvp.storage_bits(), mre.storage_bits());
+  EXPECT_LT(mre.storage_bits(), tep.storage_bits());
+}
+
+TEST(Predictors, PowerOfTwoEnforced) {
+  EXPECT_THROW(MostRecentEntryPredictor(300), std::invalid_argument);
+  EXPECT_THROW(TimingViolationPredictor(0), std::invalid_argument);
+}
+
+class PredictorKindSweep : public ::testing::TestWithParam<PredictorKind> {};
+
+TEST_P(PredictorKindSweep, RunnerReachesUsefulCoverage) {
+  RunnerConfig rc;
+  rc.instructions = 10000;
+  rc.warmup = 10000;
+  rc.predictor = GetParam();
+  const ExperimentRunner runner(rc);
+  const auto prof = workload::spec2006_profile("bzip2");
+  const RunResult r = runner.run(prof, cpu::scheme_abs(), 0.97);
+  EXPECT_EQ(r.committed, 10000u);
+  EXPECT_GT(r.predictor_accuracy, 0.6) << "every predictor must catch recurring faults";
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PredictorKindSweep,
+                         ::testing::Values(PredictorKind::kTep, PredictorKind::kMre,
+                                           PredictorKind::kTvp),
+                         [](const ::testing::TestParamInfo<PredictorKind>& info) {
+                           switch (info.param) {
+                             case PredictorKind::kTep: return "tep";
+                             case PredictorKind::kMre: return "mre";
+                             case PredictorKind::kTvp: return "tvp";
+                           }
+                           return "?";
+                         });
+
+TEST(Predictors, TepCutsFalsePositivesVsTvp) {
+  RunnerConfig rc;
+  rc.instructions = 20000;
+  rc.warmup = 15000;
+  const auto prof = workload::spec2006_profile("gcc");
+  rc.predictor = PredictorKind::kTep;
+  const RunResult tep = ExperimentRunner(rc).run(prof, cpu::scheme_error_padding(), 0.97);
+  rc.predictor = PredictorKind::kTvp;
+  const RunResult tvp = ExperimentRunner(rc).run(prof, cpu::scheme_error_padding(), 0.97);
+  // The TVP's untagged counters alias and over-predict relative to the
+  // tagged, sensor-gated TEP.
+  EXPECT_LE(tep.stats.count("fault.false_positive"),
+            tvp.stats.count("fault.false_positive") + 5);
+}
+
+}  // namespace
+}  // namespace vasim::core

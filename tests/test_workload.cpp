@@ -1,0 +1,360 @@
+// Unit tests for the workload substrate: profiles, trace generation,
+// gate-level input generation, and SimPoint phase selection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/cpu/pipeline.hpp"
+
+#include "src/isa/program.hpp"
+#include "src/workload/inputs.hpp"
+#include "src/workload/profiles.hpp"
+#include "src/workload/simpoint.hpp"
+#include "src/workload/trace_file.hpp"
+#include "src/workload/trace_generator.hpp"
+
+namespace vasim::workload {
+namespace {
+
+TEST(Profiles, TwelveSpec2006Benchmarks) {
+  const auto v = spec2006_profiles();
+  ASSERT_EQ(v.size(), 12u);
+  std::set<std::string> names;
+  std::set<u64> seeds;
+  for (const auto& p : v) {
+    names.insert(p.name);
+    seeds.insert(p.seed);
+    EXPECT_GT(p.fr_high_pct, p.fr_low_pct) << p.name;
+    EXPECT_GT(p.paper_ipc, 0.0);
+    EXPECT_LE(p.f_load + p.f_store + p.f_branch + p.f_mul + p.f_div, 1.0) << p.name;
+  }
+  EXPECT_EQ(names.size(), 12u) << "names must be unique";
+  EXPECT_EQ(seeds.size(), 12u) << "seeds must be unique";
+  EXPECT_EQ(spec2006_profile("mcf").name, "mcf");
+  EXPECT_THROW(spec2006_profile("nonesuch"), std::out_of_range);
+}
+
+TEST(Profiles, IpcOrderingMatchesTable1) {
+  // Table 1 extremes: mcf lowest, povray/sjeng highest.
+  const auto v = spec2006_profiles();
+  double mcf = 0, povray = 0, min_ipc = 99, max_ipc = 0;
+  for (const auto& p : v) {
+    if (p.name == "mcf") mcf = p.paper_ipc;
+    if (p.name == "povray") povray = p.paper_ipc;
+    min_ipc = std::min(min_ipc, p.paper_ipc);
+    max_ipc = std::max(max_ipc, p.paper_ipc);
+  }
+  EXPECT_EQ(mcf, min_ipc);
+  EXPECT_EQ(povray, max_ipc);
+}
+
+TEST(TraceGenerator, DeterministicStreams) {
+  const auto prof = spec2006_profile("gcc");
+  TraceGenerator a(prof), b(prof);
+  isa::DynInst da, db;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(a.next(da));
+    ASSERT_TRUE(b.next(db));
+    EXPECT_EQ(da.pc, db.pc);
+    EXPECT_EQ(da.mem_addr, db.mem_addr);
+    EXPECT_EQ(da.taken, db.taken);
+    EXPECT_EQ(da.src1, db.src1);
+  }
+}
+
+class TraceMix : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceMix, DynamicMixTracksProfile) {
+  const auto prof = spec2006_profile(GetParam());
+  TraceGenerator g(prof);
+  isa::DynInst d;
+  const int n = 120000;
+  std::map<isa::OpClass, int> mix;
+  for (int i = 0; i < n; ++i) {
+    g.next(d);
+    ++mix[d.op];
+  }
+  EXPECT_NEAR(mix[isa::OpClass::kLoad] / double(n), prof.f_load, 0.08);
+  EXPECT_NEAR(mix[isa::OpClass::kStore] / double(n), prof.f_store, 0.07);
+  EXPECT_NEAR(mix[isa::OpClass::kBranch] / double(n), prof.f_branch, 0.06);
+}
+
+TEST_P(TraceMix, FullStaticCoverage) {
+  const auto prof = spec2006_profile(GetParam());
+  TraceGenerator g(prof);
+  isa::DynInst d;
+  std::set<Pc> pcs;
+  for (int i = 0; i < 200000; ++i) {
+    g.next(d);
+    pcs.insert(d.pc);
+  }
+  // The forward-sweeping walk must keep a broad static footprint live (the
+  // deterministic taken-paths skip some fall-through blocks; a collapse into
+  // a tiny attractor cycle is the failure mode guarded against here).
+  EXPECT_GT(pcs.size(), g.static_footprint() / 4) << "walk collapsed into a small cycle";
+  EXPECT_GT(pcs.size(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, TraceMix,
+                         ::testing::Values("astar", "libquantum", "mcf", "sjeng", "gcc"));
+
+TEST(TraceGenerator, BranchNextPcConsistent) {
+  const auto prof = spec2006_profile("gobmk");
+  TraceGenerator g(prof);
+  isa::DynInst prev{};
+  bool have_prev = false;
+  for (int i = 0; i < 30000; ++i) {
+    isa::DynInst d;
+    g.next(d);
+    if (have_prev) {
+      EXPECT_EQ(d.pc, prev.next_pc) << "stream must follow its own next_pc chain";
+    }
+    prev = d;
+    have_prev = true;
+  }
+}
+
+TEST(TraceGenerator, BranchesAlwaysHaveTargets) {
+  const auto prof = spec2006_profile("perlbench");
+  TraceGenerator g(prof);
+  isa::DynInst d;
+  int taken = 0, total = 0;
+  for (int i = 0; i < 50000; ++i) {
+    g.next(d);
+    if (d.op != isa::OpClass::kBranch) continue;
+    ++total;
+    taken += d.taken;
+  }
+  EXPECT_GT(total, 1000);
+  EXPECT_GT(taken, 0);
+  EXPECT_LT(taken, total);
+}
+
+TEST(TraceGenerator, AddressesPartitionIntoRegions) {
+  auto prof = spec2006_profile("mcf");
+  TraceGenerator g(prof);
+  isa::DynInst d;
+  u64 hot = 0, warm = 0, cold = 0, mem = 0;
+  for (int i = 0; i < 150000; ++i) {
+    g.next(d);
+    if (!isa::is_mem(d.op)) continue;
+    ++mem;
+    if (d.mem_addr >= 0x4000'0000ULL) {
+      ++cold;
+    } else if (d.mem_addr >= 0x0800'0000ULL) {
+      ++warm;
+    } else {
+      ++hot;
+    }
+    EXPECT_EQ(d.mem_addr & 7u, 0u) << "8-byte aligned accesses";
+  }
+  EXPECT_NEAR(cold / double(mem), prof.cold_frac, 0.01);
+  EXPECT_NEAR(warm / double(mem), prof.warm_frac, 0.02);
+  EXPECT_GT(hot, mem / 2);
+}
+
+TEST(TraceGenerator, DestsAvoidSlackRegisters) {
+  const auto prof = spec2006_profile("sjeng");
+  TraceGenerator g(prof);
+  isa::DynInst d;
+  for (int i = 0; i < 20000; ++i) {
+    g.next(d);
+    if (d.dst != kNoReg) {
+      EXPECT_LT(d.dst, 29) << "r29-r31 are read-only slack registers";
+      EXPECT_GE(d.dst, 1);
+    }
+  }
+}
+
+TEST(Spec2000Profiles, SixBenchmarksVortexMostLocal) {
+  const auto v = spec2000_profiles();
+  ASSERT_EQ(v.size(), 6u);
+  double vortex = 0, max_loc = 0;
+  for (const auto& p : v) {
+    if (p.name == "vortex") vortex = p.locality;
+    max_loc = std::max(max_loc, p.locality);
+  }
+  EXPECT_EQ(vortex, max_loc);
+}
+
+TEST(ComponentInputGen, DeterministicAndWidthStable) {
+  const auto prof = spec2000_profiles()[0];
+  ComponentInputGen gen(prof, 35);
+  const auto a = gen.instance(0x1000, 3);
+  const auto b = gen.instance(0x1000, 3);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_EQ(a.first.size(), 35u);
+  EXPECT_EQ(a.second.size(), 35u);
+}
+
+TEST(ComponentInputGen, HighLocalityMeansFewFlips) {
+  Spec2000Profile hi{"hi", 0.98, 0.0, 0.0, 1};
+  Spec2000Profile lo{"lo", 0.50, 0.0, 0.0, 1};
+  ComponentInputGen ghi(hi, 64), glo(lo, 64);
+  auto count_flips = [](const ComponentInputGen& g) {
+    const auto base = g.instance(0x40, 0).second;
+    int flips = 0;
+    for (int i = 1; i < 20; ++i) {
+      const auto inst = g.instance(0x40, i).second;
+      for (std::size_t j = 0; j < inst.size(); ++j) flips += inst[j] != base[j];
+    }
+    return flips;
+  };
+  EXPECT_LT(count_flips(ghi), count_flips(glo));
+}
+
+TEST(ComponentInputGen, InstancesBatchMatchesSingles) {
+  const auto prof = spec2000_profiles()[2];
+  ComponentInputGen gen(prof, 16);
+  const auto batch = gen.instances(0x2000, 5);
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[static_cast<std::size_t>(i)], gen.instance(0x2000, i));
+  }
+}
+
+TEST(TraceFile, RoundTripPreservesEverything) {
+  const auto prof = spec2006_profile("gcc");
+  TraceGenerator gen(prof);
+  const std::vector<isa::DynInst> original = record_trace(gen, 500);
+  std::stringstream buf;
+  write_trace(buf, original);
+  TraceFileSource replay(buf);
+  ASSERT_EQ(replay.size(), 500u);
+  isa::DynInst d;
+  for (const isa::DynInst& expect : original) {
+    ASSERT_TRUE(replay.next(d));
+    EXPECT_EQ(d.pc, expect.pc);
+    EXPECT_EQ(d.op, expect.op);
+    EXPECT_EQ(d.src1, expect.src1);
+    EXPECT_EQ(d.src2, expect.src2);
+    EXPECT_EQ(d.dst, expect.dst);
+    EXPECT_EQ(d.mem_addr, expect.mem_addr);
+    EXPECT_EQ(d.taken, expect.taken);
+    EXPECT_EQ(d.next_pc, expect.next_pc);
+  }
+  EXPECT_FALSE(replay.next(d)) << "non-looping source must drain";
+}
+
+TEST(TraceFile, LoopRestartsAtEnd) {
+  std::stringstream buf;
+  buf << "vasim-trace 1\n";
+  buf << "1000 alu 1 -1 2 0 0 1004\n";
+  TraceFileSource replay(buf, /*loop=*/true);
+  isa::DynInst d;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(replay.next(d));
+    EXPECT_EQ(d.pc, 0x1000u);
+  }
+}
+
+TEST(TraceFile, RejectsMalformedInput) {
+  {
+    std::stringstream buf("not-a-trace\n");
+    EXPECT_THROW(TraceFileSource{buf}, TraceFormatError);
+  }
+  {
+    std::stringstream buf("vasim-trace 1\n1000 alu 1\n");
+    EXPECT_THROW(TraceFileSource{buf}, TraceFormatError);
+  }
+  {
+    std::stringstream buf("vasim-trace 1\n1000 teleport 1 -1 2 0 0 1004\n");
+    EXPECT_THROW(TraceFileSource{buf}, TraceFormatError);
+  }
+  {
+    std::stringstream buf("vasim-trace 1\n1000 alu 99 -1 2 0 0 1004\n");
+    try {
+      TraceFileSource src(buf);
+      FAIL();
+    } catch (const TraceFormatError& e) {
+      EXPECT_EQ(e.line(), 2u);
+    }
+  }
+}
+
+TEST(TraceFile, ReplayDrivesPipelineIdentically) {
+  const auto prof = spec2006_profile("tonto");
+  TraceGenerator gen(prof);
+  const std::vector<isa::DynInst> trace = record_trace(gen, 20000);
+  std::stringstream buf;
+  write_trace(buf, trace);
+  TraceFileSource replay(buf);
+
+  struct VectorSource final : isa::InstructionSource {
+    const std::vector<isa::DynInst>* v;
+    std::size_t pos = 0;
+    explicit VectorSource(const std::vector<isa::DynInst>* t) : v(t) {}
+    bool next(isa::DynInst& out) override {
+      if (pos >= v->size()) return false;
+      out = (*v)[pos++];
+      return true;
+    }
+    std::string name() const override { return "vector"; }
+  } direct(&trace);
+
+  cpu::CoreConfig cfg;
+  cpu::Pipeline pa(cfg, cpu::scheme_fault_free(), &direct, nullptr, nullptr);
+  cpu::Pipeline pb(cfg, cpu::scheme_fault_free(), &replay, nullptr, nullptr);
+  const cpu::PipelineResult ra = pa.run(15000);
+  const cpu::PipelineResult rb = pb.run(15000);
+  EXPECT_EQ(ra.cycles, rb.cycles) << "replayed trace must time identically";
+}
+
+TEST(SimPoint, FindsPhasesInPhasedStream) {
+  // Synthetic two-phase source: alternating PC neighborhoods.
+  struct Phased : isa::InstructionSource {
+    u64 n = 0;
+    bool next(isa::DynInst& d) override {
+      d = {};
+      const bool phase_b = (n / 5000) % 2 == 1;
+      d.pc = (phase_b ? 0x8000 : 0x1000) + (n % 64) * 4;
+      d.op = isa::OpClass::kIntAlu;
+      d.next_pc = d.pc + 4;
+      ++n;
+      return true;
+    }
+    std::string name() const override { return "phased"; }
+  } src;
+
+  SimPointConfig cfg;
+  cfg.interval_len = 1000;
+  cfg.num_intervals = 40;
+  cfg.clusters = 2;
+  const SimPointResult r = select_phases(src, cfg);
+  EXPECT_EQ(r.intervals_analyzed, 40);
+  ASSERT_EQ(r.phases.size(), 2u);
+  double weight = 0;
+  for (const auto& p : r.phases) weight += p.weight;
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+  // The two phases alternate in blocks of 5 intervals; assignments should
+  // split evenly.
+  int c0 = 0;
+  for (const int a : r.assignment) c0 += a == r.assignment[0];
+  EXPECT_NEAR(c0, 20, 3);
+}
+
+TEST(SimPoint, HandlesShortStreams) {
+  struct Tiny : isa::InstructionSource {
+    u64 n = 0;
+    bool next(isa::DynInst& d) override {
+      d = {};
+      d.pc = 0x1000;
+      ++n;
+      return n < 1500;
+    }
+    std::string name() const override { return "tiny"; }
+  } src;
+  SimPointConfig cfg;
+  cfg.interval_len = 1000;
+  cfg.num_intervals = 10;
+  cfg.clusters = 4;
+  const SimPointResult r = select_phases(src, cfg);
+  EXPECT_EQ(r.intervals_analyzed, 2);
+  EXPECT_LE(r.phases.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vasim::workload

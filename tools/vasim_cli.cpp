@@ -1,0 +1,278 @@
+// vasim command-line driver.
+//
+// Usage:
+//   vasim list
+//       List the available benchmark profiles and schemes.
+//   vasim run --bench <name> --scheme <name> [--vdd V] [--instr N]
+//             [--warmup N] [--predictor tep|mre|tvp] [--kanata FILE]
+//             [--stats] [--csv]
+//       Run one simulation and print a summary (or CSV row / full stats).
+//   vasim sweep --bench <name> [--instr N] [--warmup N]
+//       Run every scheme at both faulty supplies for one benchmark.
+//   vasim record --bench <name> --out FILE [--instr N]
+//       Capture a committed-path trace to a vasim-trace file.
+//   vasim replay --trace FILE --scheme <name> [--vdd V] [--instr N]
+//       Drive the pipeline from a recorded (or external) trace file.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/table.hpp"
+#include "src/core/runner.hpp"
+#include "src/cpu/observer.hpp"
+#include "src/workload/trace_file.hpp"
+#include "src/workload/trace_generator.hpp"
+
+namespace {
+
+using namespace vasim;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return options.count(key) != 0; }
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return std::nullopt;
+    key = key.substr(2);
+    if (key == "stats" || key == "csv") {
+      a.options[key] = "1";
+    } else {
+      if (i + 1 >= argc) return std::nullopt;
+      a.options[key] = argv[++i];
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  vasim list\n"
+            << "  vasim run --bench <name> --scheme "
+               "fault-free|razor|ep|abs|ffs|cds [--vdd V]\n"
+            << "            [--instr N] [--warmup N] [--predictor tep|mre|tvp]\n"
+            << "            [--kanata FILE] [--stats] [--csv]\n"
+            << "  vasim sweep --bench <name> [--instr N] [--warmup N]\n";
+  return 2;
+}
+
+std::optional<cpu::SchemeConfig> scheme_by_name(const std::string& name) {
+  if (name == "fault-free") return cpu::scheme_fault_free();
+  for (const auto& s : core::comparative_schemes()) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+int cmd_list() {
+  TextTable t({"benchmark", "paper-IPC", "FR%@0.97", "FR%@1.04"});
+  for (const auto& p : workload::spec2006_profiles()) {
+    t.add_row({p.name, TextTable::fmt(p.paper_ipc, 2), TextTable::fmt(p.fr_high_pct, 2),
+               TextTable::fmt(p.fr_low_pct, 2)});
+  }
+  std::cout << t.render("SPEC2006-like benchmark profiles") << "\n";
+  std::cout << "schemes: fault-free razor ep abs ffs cds\n"
+            << "supplies: 1.10 (fault-free) 1.04 (low FR) 0.97 (high FR)\n";
+  return 0;
+}
+
+core::RunnerConfig runner_config(const Args& args) {
+  core::RunnerConfig rc;
+  rc.instructions = std::strtoull(args.get("instr", "150000").c_str(), nullptr, 10);
+  rc.warmup = std::strtoull(args.get("warmup", "150000").c_str(), nullptr, 10);
+  const std::string pred = args.get("predictor", "tep");
+  if (pred == "mre") {
+    rc.predictor = core::PredictorKind::kMre;
+  } else if (pred == "tvp") {
+    rc.predictor = core::PredictorKind::kTvp;
+  }
+  return rc;
+}
+
+void print_result(const core::RunResult& r, const core::RunResult* baseline, bool csv) {
+  if (csv) {
+    std::cout << r.benchmark << "," << r.scheme << "," << r.vdd << "," << r.committed << ","
+              << r.cycles << "," << TextTable::fmt(r.ipc, 4) << ","
+              << TextTable::fmt(r.fault_rate_pct, 3) << "," << r.replays << ","
+              << TextTable::fmt(r.energy.total_nj(), 1) << ","
+              << TextTable::fmt(r.energy.edp, 0) << "\n";
+    return;
+  }
+  std::cout << r.benchmark << " / " << r.scheme << " @ " << TextTable::fmt(r.vdd, 2)
+            << " V: IPC " << TextTable::fmt(r.ipc) << ", FR " << TextTable::fmt(r.fault_rate_pct, 2)
+            << "%, replays " << TextTable::fmt(r.replays, 0) << ", energy "
+            << TextTable::fmt(r.energy.total_nj(), 1) << " nJ\n";
+  if (baseline != nullptr) {
+    const core::Overheads o = core::overhead_vs(*baseline, r);
+    std::cout << "  vs fault-free: perf overhead " << TextTable::fmt(o.perf_pct, 2)
+              << "%, ED overhead " << TextTable::fmt(o.ed_pct, 2) << "%\n";
+  }
+}
+
+int cmd_run(const Args& args) {
+  if (!args.has("bench") || !args.has("scheme")) return usage();
+  const auto scheme = scheme_by_name(args.get("scheme", ""));
+  if (!scheme) {
+    std::cerr << "unknown scheme '" << args.get("scheme", "") << "'\n";
+    return 2;
+  }
+  workload::BenchmarkProfile prof;
+  try {
+    prof = workload::spec2006_profile(args.get("bench", ""));
+  } catch (const std::out_of_range& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  const double vdd = std::strtod(args.get("vdd", "0.97").c_str(), nullptr);
+  const core::RunnerConfig rc = runner_config(args);
+  const core::ExperimentRunner runner(rc);
+
+  if (args.has("kanata")) {
+    // Kanata dumps need a hand-built pipeline to attach the observer.
+    workload::TraceGenerator gen(prof);
+    timing::PathModelConfig pcfg;
+    pcfg.seed = prof.seed;
+    pcfg.p_faulty_high = prof.fr_high_pct / 100.0 * prof.fr_calib_high;
+    pcfg.p_faulty_low = prof.fr_low_pct / 100.0 * prof.fr_calib_low;
+    const timing::FaultModel fm(pcfg, vdd);
+    core::TimingErrorPredictor tep(rc.tep, &fm.environment());
+    cpu::Pipeline pipe(rc.core, *scheme, &gen, &fm,
+                       scheme->use_predictor ? &tep : nullptr);
+    std::ofstream out(args.get("kanata", "trace.kanata"));
+    cpu::KanataTraceWriter writer(&out, 20'000);
+    pipe.set_observer(&writer);
+    const cpu::PipelineResult pr = pipe.run(rc.instructions, rc.warmup);
+    std::cout << "committed " << pr.committed << " in " << pr.cycles << " cycles (IPC "
+              << TextTable::fmt(pr.ipc()) << "); Kanata trace with "
+              << writer.instructions_logged() << " instructions written to "
+              << args.get("kanata", "") << "\n";
+    return 0;
+  }
+
+  const core::RunResult r = scheme->name == "fault-free"
+                                ? runner.run_fault_free(prof, vdd)
+                                : runner.run(prof, *scheme, vdd);
+  std::optional<core::RunResult> baseline;
+  if (scheme->name != "fault-free") baseline = runner.run_fault_free(prof, vdd);
+  if (args.has("csv")) {
+    std::cout << "benchmark,scheme,vdd,committed,cycles,ipc,fr_pct,replays,energy_nj,edp\n";
+  }
+  print_result(r, baseline ? &*baseline : nullptr, args.has("csv"));
+  if (args.has("stats")) std::cout << "\n" << r.stats.to_string();
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  if (!args.has("bench")) return usage();
+  workload::BenchmarkProfile prof;
+  try {
+    prof = workload::spec2006_profile(args.get("bench", ""));
+  } catch (const std::out_of_range& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  const core::ExperimentRunner runner(runner_config(args));
+  for (const double vdd : {timing::SupplyPoints::kLowFault, timing::SupplyPoints::kHighFault}) {
+    const core::RunResult base = runner.run_fault_free(prof, vdd);
+    TextTable t({"scheme", "IPC", "FR%", "replays", "perf-ovh%", "ED-ovh%"});
+    t.add_row({"fault-free", TextTable::fmt(base.ipc), "-", "-", "0.00", "0.00"});
+    for (const auto& scheme : core::comparative_schemes()) {
+      const core::RunResult r = runner.run(prof, scheme, vdd);
+      const core::Overheads o = core::overhead_vs(base, r);
+      t.add_row({r.scheme, TextTable::fmt(r.ipc), TextTable::fmt(r.fault_rate_pct, 2),
+                 TextTable::fmt(r.replays, 0), TextTable::fmt(o.perf_pct, 2),
+                 TextTable::fmt(o.ed_pct, 2)});
+    }
+    std::cout << t.render(prof.name + " @ " + TextTable::fmt(vdd, 2) + " V") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+namespace {
+
+int cmd_record(const Args& args) {
+  if (!args.has("bench") || !args.has("out")) return usage();
+  workload::BenchmarkProfile prof;
+  try {
+    prof = workload::spec2006_profile(args.get("bench", ""));
+  } catch (const std::out_of_range& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  const u64 n = std::strtoull(args.get("instr", "100000").c_str(), nullptr, 10);
+  workload::TraceGenerator gen(prof);
+  const auto trace = workload::record_trace(gen, n);
+  std::ofstream out(args.get("out", ""));
+  if (!out) {
+    std::cerr << "cannot open " << args.get("out", "") << "\n";
+    return 2;
+  }
+  workload::write_trace(out, trace);
+  std::cout << "wrote " << trace.size() << " instructions to " << args.get("out", "") << "\n";
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (!args.has("trace") || !args.has("scheme")) return usage();
+  const auto scheme = scheme_by_name(args.get("scheme", ""));
+  if (!scheme) {
+    std::cerr << "unknown scheme '" << args.get("scheme", "") << "'\n";
+    return 2;
+  }
+  std::ifstream in(args.get("trace", ""));
+  if (!in) {
+    std::cerr << "cannot open " << args.get("trace", "") << "\n";
+    return 2;
+  }
+  std::unique_ptr<workload::TraceFileSource> src;
+  try {
+    src = std::make_unique<workload::TraceFileSource>(in, /*loop=*/true);
+  } catch (const workload::TraceFormatError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  const double vdd = std::strtod(args.get("vdd", "0.97").c_str(), nullptr);
+  const core::RunnerConfig rc = runner_config(args);
+  timing::PathModelConfig pcfg;
+  pcfg.seed = std::strtoull(args.get("seed", "2013").c_str(), nullptr, 10);
+  const timing::FaultModel fm(pcfg, vdd);
+  core::TimingErrorPredictor tep(rc.tep, &fm.environment());
+  cpu::Pipeline pipe(rc.core, *scheme, src.get(), &fm,
+                     scheme->use_predictor ? &tep : nullptr);
+  const cpu::PipelineResult pr = pipe.run(rc.instructions, rc.warmup);
+  std::cout << "trace of " << src->size() << " instructions (looped): committed "
+            << pr.committed << " in " << pr.cycles << " cycles (IPC "
+            << TextTable::fmt(pr.ipc()) << "), " << pr.stats.count("fault.actual")
+            << " faults, " << pr.stats.count("fault.replays") << " replays\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  if (args->command == "list") return cmd_list();
+  if (args->command == "run") return cmd_run(*args);
+  if (args->command == "sweep") return cmd_sweep(*args);
+  if (args->command == "record") return cmd_record(*args);
+  if (args->command == "replay") return cmd_replay(*args);
+  return usage();
+}
