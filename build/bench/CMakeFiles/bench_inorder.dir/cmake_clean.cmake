@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inorder.dir/bench_inorder.cpp.o"
+  "CMakeFiles/bench_inorder.dir/bench_inorder.cpp.o.d"
+  "bench_inorder"
+  "bench_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

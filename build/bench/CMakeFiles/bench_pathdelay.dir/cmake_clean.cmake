@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pathdelay.dir/bench_pathdelay.cpp.o"
+  "CMakeFiles/bench_pathdelay.dir/bench_pathdelay.cpp.o.d"
+  "bench_pathdelay"
+  "bench_pathdelay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathdelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_predictors.cpp" "bench/CMakeFiles/bench_predictors.dir/bench_predictors.cpp.o" "gcc" "bench/CMakeFiles/bench_predictors.dir/bench_predictors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vasim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vasim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vasim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vasim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/vasim_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vasim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vasim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

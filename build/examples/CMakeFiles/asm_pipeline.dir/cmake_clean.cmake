@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_pipeline.dir/asm_pipeline.cpp.o"
+  "CMakeFiles/asm_pipeline.dir/asm_pipeline.cpp.o.d"
+  "asm_pipeline"
+  "asm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

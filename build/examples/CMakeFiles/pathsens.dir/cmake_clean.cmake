@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathsens.dir/pathsens.cpp.o"
+  "CMakeFiles/pathsens.dir/pathsens.cpp.o.d"
+  "pathsens"
+  "pathsens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathsens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

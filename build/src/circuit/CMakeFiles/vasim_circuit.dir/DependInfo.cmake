@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/builders.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/builders.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/builders.cpp.o.d"
+  "/root/repo/src/circuit/cell_library.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/cell_library.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/cell_library.cpp.o.d"
+  "/root/repo/src/circuit/dynamic.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/dynamic.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/dynamic.cpp.o.d"
+  "/root/repo/src/circuit/gatesim.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/gatesim.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/gatesim.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/power.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/power.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/power.cpp.o.d"
+  "/root/repo/src/circuit/scheduler_blocks.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/scheduler_blocks.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/scheduler_blocks.cpp.o.d"
+  "/root/repo/src/circuit/sta.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/sta.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/sta.cpp.o.d"
+  "/root/repo/src/circuit/verilog.cpp" "src/circuit/CMakeFiles/vasim_circuit.dir/verilog.cpp.o" "gcc" "src/circuit/CMakeFiles/vasim_circuit.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vasim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/vasim_timing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasim_circuit.dir/builders.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/builders.cpp.o.d"
+  "CMakeFiles/vasim_circuit.dir/cell_library.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/cell_library.cpp.o.d"
+  "CMakeFiles/vasim_circuit.dir/dynamic.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/dynamic.cpp.o.d"
+  "CMakeFiles/vasim_circuit.dir/gatesim.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/gatesim.cpp.o.d"
+  "CMakeFiles/vasim_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/vasim_circuit.dir/power.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/power.cpp.o.d"
+  "CMakeFiles/vasim_circuit.dir/scheduler_blocks.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/scheduler_blocks.cpp.o.d"
+  "CMakeFiles/vasim_circuit.dir/sta.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/sta.cpp.o.d"
+  "CMakeFiles/vasim_circuit.dir/verilog.cpp.o"
+  "CMakeFiles/vasim_circuit.dir/verilog.cpp.o.d"
+  "libvasim_circuit.a"
+  "libvasim_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasim_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

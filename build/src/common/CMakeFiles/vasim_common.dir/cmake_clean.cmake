@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasim_common.dir/env.cpp.o"
+  "CMakeFiles/vasim_common.dir/env.cpp.o.d"
+  "CMakeFiles/vasim_common.dir/rng.cpp.o"
+  "CMakeFiles/vasim_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vasim_common.dir/stats.cpp.o"
+  "CMakeFiles/vasim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vasim_common.dir/table.cpp.o"
+  "CMakeFiles/vasim_common.dir/table.cpp.o.d"
+  "libvasim_common.a"
+  "libvasim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasim_core.dir/energy.cpp.o"
+  "CMakeFiles/vasim_core.dir/energy.cpp.o.d"
+  "CMakeFiles/vasim_core.dir/predictors.cpp.o"
+  "CMakeFiles/vasim_core.dir/predictors.cpp.o.d"
+  "CMakeFiles/vasim_core.dir/runner.cpp.o"
+  "CMakeFiles/vasim_core.dir/runner.cpp.o.d"
+  "CMakeFiles/vasim_core.dir/tep.cpp.o"
+  "CMakeFiles/vasim_core.dir/tep.cpp.o.d"
+  "libvasim_core.a"
+  "libvasim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_pred.cpp" "src/cpu/CMakeFiles/vasim_cpu.dir/branch_pred.cpp.o" "gcc" "src/cpu/CMakeFiles/vasim_cpu.dir/branch_pred.cpp.o.d"
+  "/root/repo/src/cpu/cache.cpp" "src/cpu/CMakeFiles/vasim_cpu.dir/cache.cpp.o" "gcc" "src/cpu/CMakeFiles/vasim_cpu.dir/cache.cpp.o.d"
+  "/root/repo/src/cpu/fu_pool.cpp" "src/cpu/CMakeFiles/vasim_cpu.dir/fu_pool.cpp.o" "gcc" "src/cpu/CMakeFiles/vasim_cpu.dir/fu_pool.cpp.o.d"
+  "/root/repo/src/cpu/inorder.cpp" "src/cpu/CMakeFiles/vasim_cpu.dir/inorder.cpp.o" "gcc" "src/cpu/CMakeFiles/vasim_cpu.dir/inorder.cpp.o.d"
+  "/root/repo/src/cpu/observer.cpp" "src/cpu/CMakeFiles/vasim_cpu.dir/observer.cpp.o" "gcc" "src/cpu/CMakeFiles/vasim_cpu.dir/observer.cpp.o.d"
+  "/root/repo/src/cpu/pipeline.cpp" "src/cpu/CMakeFiles/vasim_cpu.dir/pipeline.cpp.o" "gcc" "src/cpu/CMakeFiles/vasim_cpu.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vasim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vasim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/vasim_timing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasim_cpu.dir/branch_pred.cpp.o"
+  "CMakeFiles/vasim_cpu.dir/branch_pred.cpp.o.d"
+  "CMakeFiles/vasim_cpu.dir/cache.cpp.o"
+  "CMakeFiles/vasim_cpu.dir/cache.cpp.o.d"
+  "CMakeFiles/vasim_cpu.dir/fu_pool.cpp.o"
+  "CMakeFiles/vasim_cpu.dir/fu_pool.cpp.o.d"
+  "CMakeFiles/vasim_cpu.dir/inorder.cpp.o"
+  "CMakeFiles/vasim_cpu.dir/inorder.cpp.o.d"
+  "CMakeFiles/vasim_cpu.dir/observer.cpp.o"
+  "CMakeFiles/vasim_cpu.dir/observer.cpp.o.d"
+  "CMakeFiles/vasim_cpu.dir/pipeline.cpp.o"
+  "CMakeFiles/vasim_cpu.dir/pipeline.cpp.o.d"
+  "libvasim_cpu.a"
+  "libvasim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasim_isa.dir/assembler.cpp.o"
+  "CMakeFiles/vasim_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/vasim_isa.dir/executor.cpp.o"
+  "CMakeFiles/vasim_isa.dir/executor.cpp.o.d"
+  "CMakeFiles/vasim_isa.dir/program.cpp.o"
+  "CMakeFiles/vasim_isa.dir/program.cpp.o.d"
+  "libvasim_isa.a"
+  "libvasim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/fault_model.cpp" "src/timing/CMakeFiles/vasim_timing.dir/fault_model.cpp.o" "gcc" "src/timing/CMakeFiles/vasim_timing.dir/fault_model.cpp.o.d"
+  "/root/repo/src/timing/path_model.cpp" "src/timing/CMakeFiles/vasim_timing.dir/path_model.cpp.o" "gcc" "src/timing/CMakeFiles/vasim_timing.dir/path_model.cpp.o.d"
+  "/root/repo/src/timing/process_variation.cpp" "src/timing/CMakeFiles/vasim_timing.dir/process_variation.cpp.o" "gcc" "src/timing/CMakeFiles/vasim_timing.dir/process_variation.cpp.o.d"
+  "/root/repo/src/timing/sensors.cpp" "src/timing/CMakeFiles/vasim_timing.dir/sensors.cpp.o" "gcc" "src/timing/CMakeFiles/vasim_timing.dir/sensors.cpp.o.d"
+  "/root/repo/src/timing/voltage.cpp" "src/timing/CMakeFiles/vasim_timing.dir/voltage.cpp.o" "gcc" "src/timing/CMakeFiles/vasim_timing.dir/voltage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vasim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

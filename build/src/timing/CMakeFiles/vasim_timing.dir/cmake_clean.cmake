@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasim_timing.dir/fault_model.cpp.o"
+  "CMakeFiles/vasim_timing.dir/fault_model.cpp.o.d"
+  "CMakeFiles/vasim_timing.dir/path_model.cpp.o"
+  "CMakeFiles/vasim_timing.dir/path_model.cpp.o.d"
+  "CMakeFiles/vasim_timing.dir/process_variation.cpp.o"
+  "CMakeFiles/vasim_timing.dir/process_variation.cpp.o.d"
+  "CMakeFiles/vasim_timing.dir/sensors.cpp.o"
+  "CMakeFiles/vasim_timing.dir/sensors.cpp.o.d"
+  "CMakeFiles/vasim_timing.dir/voltage.cpp.o"
+  "CMakeFiles/vasim_timing.dir/voltage.cpp.o.d"
+  "libvasim_timing.a"
+  "libvasim_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasim_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/inputs.cpp" "src/workload/CMakeFiles/vasim_workload.dir/inputs.cpp.o" "gcc" "src/workload/CMakeFiles/vasim_workload.dir/inputs.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/workload/CMakeFiles/vasim_workload.dir/profiles.cpp.o" "gcc" "src/workload/CMakeFiles/vasim_workload.dir/profiles.cpp.o.d"
+  "/root/repo/src/workload/simpoint.cpp" "src/workload/CMakeFiles/vasim_workload.dir/simpoint.cpp.o" "gcc" "src/workload/CMakeFiles/vasim_workload.dir/simpoint.cpp.o.d"
+  "/root/repo/src/workload/trace_file.cpp" "src/workload/CMakeFiles/vasim_workload.dir/trace_file.cpp.o" "gcc" "src/workload/CMakeFiles/vasim_workload.dir/trace_file.cpp.o.d"
+  "/root/repo/src/workload/trace_generator.cpp" "src/workload/CMakeFiles/vasim_workload.dir/trace_generator.cpp.o" "gcc" "src/workload/CMakeFiles/vasim_workload.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vasim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vasim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/vasim_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vasim_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasim_workload.dir/inputs.cpp.o"
+  "CMakeFiles/vasim_workload.dir/inputs.cpp.o.d"
+  "CMakeFiles/vasim_workload.dir/profiles.cpp.o"
+  "CMakeFiles/vasim_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/vasim_workload.dir/simpoint.cpp.o"
+  "CMakeFiles/vasim_workload.dir/simpoint.cpp.o.d"
+  "CMakeFiles/vasim_workload.dir/trace_file.cpp.o"
+  "CMakeFiles/vasim_workload.dir/trace_file.cpp.o.d"
+  "CMakeFiles/vasim_workload.dir/trace_generator.cpp.o"
+  "CMakeFiles/vasim_workload.dir/trace_generator.cpp.o.d"
+  "libvasim_workload.a"
+  "libvasim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvasim_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_analysis.dir/test_circuit_analysis.cpp.o"
+  "CMakeFiles/test_circuit_analysis.dir/test_circuit_analysis.cpp.o.d"
+  "test_circuit_analysis"
+  "test_circuit_analysis.pdb"
+  "test_circuit_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_components.dir/test_cpu_components.cpp.o"
+  "CMakeFiles/test_cpu_components.dir/test_cpu_components.cpp.o.d"
+  "test_cpu_components"
+  "test_cpu_components.pdb"
+  "test_cpu_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

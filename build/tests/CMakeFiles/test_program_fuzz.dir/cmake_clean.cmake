@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program_fuzz.dir/test_program_fuzz.cpp.o"
+  "CMakeFiles/test_program_fuzz.dir/test_program_fuzz.cpp.o.d"
+  "test_program_fuzz"
+  "test_program_fuzz.pdb"
+  "test_program_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

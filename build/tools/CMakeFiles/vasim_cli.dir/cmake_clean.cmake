@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vasim_cli.dir/vasim_cli.cpp.o"
+  "CMakeFiles/vasim_cli.dir/vasim_cli.cpp.o.d"
+  "vasim"
+  "vasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vasim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

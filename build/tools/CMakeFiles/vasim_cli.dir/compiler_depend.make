@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vasim_cli.
+# This may be replaced when dependencies are built.
