@@ -7,9 +7,10 @@ using namespace vasim;
 
 int main() {
   const core::RunnerConfig rc = bench::runner_config_from_env();
-  const core::ExperimentRunner runner(rc);
+  const core::SweepRunner sweeper(rc);
   bench::print_run_header(
-      "Figures 8 & 9: ABS/FFS/CDS overheads normalized to EP at VDD = 0.97 V", rc);
+      "Figures 8 & 9: ABS/FFS/CDS overheads normalized to EP at VDD = 0.97 V", rc,
+      sweeper.workers());
 
   TextTable perf({"benchmark", "ABS", "FFS", "CDS"});
   TextTable ed({"benchmark", "ABS", "FFS", "CDS"});
@@ -17,13 +18,15 @@ int main() {
   double sum_ed[3] = {0, 0, 0};
   int n = 0;
 
-  for (const auto& prof : workload::spec2006_profiles()) {
-    const bench::SupplyResults r =
-        bench::run_all_schemes(runner, prof, timing::SupplyPoints::kHighFault);
+  core::SweepReport report;
+  const std::vector<bench::SupplyResults> grid = bench::run_grid(
+      sweeper, workload::spec2006_profiles(), timing::SupplyPoints::kHighFault, &report);
+  for (const bench::SupplyResults& r : grid) {
+    const std::string& bench_name = r.fault_free.benchmark;
     const core::Overheads ep = bench::scheme_overhead(r, "ep");
     const char* names[3] = {"abs", "ffs", "cds"};
-    std::vector<std::string> prow = {prof.name};
-    std::vector<std::string> erow = {prof.name};
+    std::vector<std::string> prow = {bench_name};
+    std::vector<std::string> erow = {bench_name};
     for (int i = 0; i < 3; ++i) {
       const core::Overheads o = bench::scheme_overhead(r, names[i]);
       const double np = bench::normalized_to_ep(o.perf_pct, ep.perf_pct);
@@ -55,5 +58,6 @@ int main() {
             << TextTable::fmt((1.0 - best_perf) * 100.0, 0)
             << "% of EP's performance overhead on average at 0.97 V\n"
             << "(paper: 88% average reduction; ED reduction 83%).\n";
+  bench::emit_json("fig8_9", report);
   return 0;
 }

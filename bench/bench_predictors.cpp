@@ -10,7 +10,9 @@ using namespace vasim;
 int main() {
   core::RunnerConfig rc = bench::runner_config_from_env();
   rc.instructions = env_u64("VASIM_INSTR", 100'000);
-  bench::print_run_header("Predictor study: TEP vs MRE [13] vs TVP [12] (ABS @ 0.97 V)", rc);
+  const core::SweepRunner sweeper(rc);
+  bench::print_run_header("Predictor study: TEP vs MRE [13] vs TVP [12] (ABS @ 0.97 V)", rc,
+                          sweeper.workers());
 
   const struct {
     const char* name;
@@ -19,16 +21,30 @@ int main() {
                {"MRE", core::PredictorKind::kMre},
                {"TVP", core::PredictorKind::kTvp}};
 
-  TextTable t({"predictor", "coverage", "false-pos/kinstr", "replays/kinstr", "ABS perf-ovh%"});
+  // One grid: per predictor kind (a per-job config override), per profile,
+  // the fault-free baseline and the ABS run -- 72 jobs for the default 12
+  // SPEC2006 workloads.
+  const auto profiles = workload::spec2006_profiles();
+  std::vector<core::SweepJob> jobs;
+  jobs.reserve(std::size(kinds) * profiles.size() * 2);
   for (const auto& kind : kinds) {
     core::RunnerConfig c = rc;
     c.predictor = kind.kind;
-    const core::ExperimentRunner runner(c);
+    for (const auto& prof : profiles) {
+      jobs.push_back({prof, std::nullopt, 0.97, c});
+      jobs.push_back({prof, cpu::scheme_abs(), 0.97, c});
+    }
+  }
+  const core::SweepReport report = sweeper.run(jobs);
+
+  TextTable t({"predictor", "coverage", "false-pos/kinstr", "replays/kinstr", "ABS perf-ovh%"});
+  std::size_t at = 0;
+  for (const auto& kind : kinds) {
     double cov = 0, fp = 0, rp = 0, ovh = 0;
     int n = 0;
-    for (const auto& prof : workload::spec2006_profiles()) {
-      const core::RunResult ff = runner.run_fault_free(prof, 0.97);
-      const core::RunResult r = runner.run(prof, cpu::scheme_abs(), 0.97);
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      const core::RunResult& ff = report.jobs[at++].result;
+      const core::RunResult& r = report.jobs[at++].result;
       cov += r.predictor_accuracy;
       fp += static_cast<double>(r.stats.count("fault.false_positive")) /
             static_cast<double>(r.committed) * 1000.0;
@@ -49,5 +65,6 @@ int main() {
                "last-outcome MRE is hard to beat -- history indexing pays off only\n"
                "when fault behaviour is context-dependent (see Ablation 2's table-size\n"
                "interaction).\n";
+  bench::emit_json("predictors", report);
   return 0;
 }

@@ -1,0 +1,66 @@
+// Sweep-engine micro-bench: runs the same (benchmark, scheme, VDD) grid
+// sequentially (1 worker) and thread-pooled (VASIM_JOBS workers, default =
+// hardware threads) and reports the wall-clock speedup plus a determinism
+// checksum over every RunResult.  Matching checksums are the witness that
+// the parallel sweep is bitwise identical to the sequential one.
+//
+//   VASIM_INSTR / VASIM_WARMUP  run length  (default 25000 / 25000 here)
+//   VASIM_JOBS                  parallel worker count under test
+//   VASIM_SWEEP_BENCHES         how many profiles to sweep (default all 12)
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace vasim;
+
+int main() {
+  core::RunnerConfig rc = bench::runner_config_from_env();
+  rc.instructions = env_u64("VASIM_INSTR", 25'000);
+  rc.warmup = env_u64("VASIM_WARMUP", 25'000);
+
+  auto profiles = workload::spec2006_profiles();
+  const std::size_t nbench =
+      static_cast<std::size_t>(env_u64("VASIM_SWEEP_BENCHES", profiles.size()));
+  if (nbench < profiles.size()) profiles.resize(nbench);
+
+  const std::size_t parallel_workers = core::sweep_workers_from_env();
+  bench::print_run_header("Sweep engine: sequential vs thread-pooled wall clock", rc,
+                          parallel_workers);
+
+  std::vector<core::SweepJob> jobs;
+  for (const auto& prof : profiles) {
+    bench::push_all_scheme_jobs(jobs, prof, timing::SupplyPoints::kHighFault);
+  }
+  std::cout << jobs.size() << " jobs (" << profiles.size()
+            << " benchmarks x (fault-free + 5 schemes) @ 0.97 V)\n\n";
+
+  const core::SweepRunner sequential(rc, 1);
+  const core::SweepReport seq = sequential.run(jobs);
+  const u64 seq_sum = core::sweep_checksum(seq);
+
+  const core::SweepRunner pooled(rc, parallel_workers);
+  const core::SweepReport par = pooled.run(jobs);
+  const u64 par_sum = core::sweep_checksum(par);
+
+  TextTable t({"configuration", "workers", "wall ms", "speedup", "checksum"});
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(seq_sum));
+  t.add_row({"sequential", "1", TextTable::fmt(seq.wall_ms, 0), "1.000", buf});
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(par_sum));
+  t.add_row({"thread-pooled", std::to_string(par.workers), TextTable::fmt(par.wall_ms, 0),
+             TextTable::fmt(par.wall_ms > 0 ? seq.wall_ms / par.wall_ms : 0.0, 3), buf});
+  std::cout << t.render() << "\n";
+
+  if (seq_sum != par_sum) {
+    std::cout << "DETERMINISM VIOLATION: checksums differ between 1 and " << par.workers
+              << " workers\n";
+    return 1;
+  }
+  std::cout << "determinism: OK (results bitwise identical at 1 and " << par.workers
+            << " workers)\n";
+  if (parallel_workers == 1) {
+    std::cout << "note: only one worker available/configured; speedup degenerates to ~1.\n";
+  }
+  bench::emit_json("sweep", par);
+  return 0;
+}

@@ -7,20 +7,37 @@ using namespace vasim;
 
 int main() {
   const core::RunnerConfig rc = bench::runner_config_from_env();
-  const core::ExperimentRunner runner(rc);
-  bench::print_run_header("Table 1: Benchmark Fault Rates and Razor/EP overheads", rc);
+  const core::SweepRunner sweeper(rc);
+  bench::print_run_header("Table 1: Benchmark Fault Rates and Razor/EP overheads", rc,
+                          sweeper.workers());
+
+  // Per profile: fault-free @ nominal, then (fault-free, razor, ep) at the
+  // high- and low-fault supplies -- 7 jobs, fanned out as one grid.
+  const auto profiles = workload::spec2006_profiles();
+  std::vector<core::SweepJob> jobs;
+  jobs.reserve(profiles.size() * 7);
+  for (const auto& prof : profiles) {
+    jobs.push_back({prof, std::nullopt, timing::SupplyPoints::kNominal, std::nullopt});
+    for (const double vdd : {timing::SupplyPoints::kHighFault, timing::SupplyPoints::kLowFault}) {
+      jobs.push_back({prof, std::nullopt, vdd, std::nullopt});
+      jobs.push_back({prof, cpu::scheme_razor(), vdd, std::nullopt});
+      jobs.push_back({prof, cpu::scheme_error_padding(), vdd, std::nullopt});
+    }
+  }
+  const core::SweepReport report = sweeper.run(jobs);
 
   TextTable t({"benchmark", "FF-IPC", "(paper)", "FR%@0.97", "Razor(perf,ED)%", "EP(perf,ED)%",
                "FR%@1.04", "Razor(perf,ED)%", "EP(perf,ED)%"});
 
-  for (const auto& prof : workload::spec2006_profiles()) {
-    const core::RunResult ff = runner.run_fault_free(prof, timing::SupplyPoints::kNominal);
-    std::vector<std::string> row = {prof.name, TextTable::fmt(ff.ipc, 2),
-                                    "(" + TextTable::fmt(prof.paper_ipc, 2) + ")"};
-    for (const double vdd : {timing::SupplyPoints::kHighFault, timing::SupplyPoints::kLowFault}) {
-      const core::RunResult base = runner.run_fault_free(prof, vdd);
-      const core::RunResult razor = runner.run(prof, cpu::scheme_razor(), vdd);
-      const core::RunResult ep = runner.run(prof, cpu::scheme_error_padding(), vdd);
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const std::size_t at = p * 7;
+    const core::RunResult& ff = report.jobs[at].result;
+    std::vector<std::string> row = {profiles[p].name, TextTable::fmt(ff.ipc, 2),
+                                    "(" + TextTable::fmt(profiles[p].paper_ipc, 2) + ")"};
+    for (int v = 0; v < 2; ++v) {
+      const core::RunResult& base = report.jobs[at + 1 + 3 * static_cast<std::size_t>(v)].result;
+      const core::RunResult& razor = report.jobs[at + 2 + 3 * static_cast<std::size_t>(v)].result;
+      const core::RunResult& ep = report.jobs[at + 3 + 3 * static_cast<std::size_t>(v)].result;
       const core::Overheads orz = core::overhead_vs(base, razor);
       const core::Overheads oep = core::overhead_vs(base, ep);
       row.push_back(TextTable::fmt(razor.fault_rate_pct, 2));
@@ -35,5 +52,6 @@ int main() {
   std::cout << "Paper reference (Table 1): FR 5.6-10.5% @0.97V and 1.4-2.3% @1.04V;\n"
                "Razor overhead 25-59% @0.97V, 7-25% @1.04V; EP overhead 2-15% @0.97V,\n"
                "0.5-3.8% @1.04V.  Expected shape: Razor >> EP at both supplies.\n";
+  bench::emit_json("table1", report);
   return 0;
 }

@@ -12,22 +12,32 @@ using namespace vasim;
 int main() {
   core::RunnerConfig rc = bench::runner_config_from_env();
   rc.instructions = env_u64("VASIM_INSTR", 100'000);
-  const core::ExperimentRunner runner(rc);
-  bench::print_run_header("Voltage sweep: undervolting headroom per scheme (bzip2)", rc);
+  const core::SweepRunner sweeper(rc);
+  bench::print_run_header("Voltage sweep: undervolting headroom per scheme (bzip2)", rc,
+                          sweeper.workers());
 
   const auto prof = workload::spec2006_profile("bzip2");
-  const core::RunResult nominal = runner.run_fault_free(prof, timing::SupplyPoints::kNominal);
+  const double vdds[] = {1.10, 1.07, 1.04, 1.00, 0.97};
+  const char* names[] = {"razor", "ep", "abs"};
+
+  // Job 0: nominal fault-free baseline; then (razor, ep, abs) per supply.
+  std::vector<core::SweepJob> jobs;
+  jobs.push_back({prof, std::nullopt, timing::SupplyPoints::kNominal, std::nullopt});
+  for (const double vdd : vdds) {
+    for (const char* name : names) {
+      jobs.push_back({prof, *core::scheme_by_name(name), vdd, std::nullopt});
+    }
+  }
+  const core::SweepReport report = sweeper.run(jobs);
+  const core::RunResult& nominal = report.jobs[0].result;
 
   TextTable t({"VDD", "FR%", "razor perf%/energy", "ep perf%/energy", "abs perf%/energy"});
-  for (const double vdd : {1.10, 1.07, 1.04, 1.00, 0.97}) {
+  std::size_t at = 1;
+  for (const double vdd : vdds) {
     std::vector<std::string> row = {TextTable::fmt(vdd, 2)};
     std::string fr;
-    for (const auto* name : {"razor", "ep", "abs"}) {
-      cpu::SchemeConfig scheme;
-      for (const auto& s : core::comparative_schemes()) {
-        if (s.name == name) scheme = s;
-      }
-      const core::RunResult r = runner.run(prof, scheme, vdd);
+    for (std::size_t s = 0; s < std::size(names); ++s) {
+      const core::RunResult& r = report.jobs[at++].result;
       if (fr.empty()) fr = TextTable::fmt(r.fault_rate_pct, 2);
       // Performance vs *nominal* fault-free; energy relative to nominal run.
       const double perf = (nominal.ipc / r.ipc - 1.0) * 100.0;
@@ -43,5 +53,6 @@ int main() {
                "quickly; violation-aware scheduling holds the performance line, letting\n"
                "the core run at the lowest supply -- the paper's \"energy-efficient\n"
                "alternative for robust pipelines\".\n";
+  bench::emit_json("voltage_sweep", report);
   return 0;
 }

@@ -75,9 +75,19 @@ RunResult ExperimentRunner::run_fault_free(const workload::BenchmarkProfile& pro
   return r;
 }
 
-std::vector<cpu::SchemeConfig> comparative_schemes() {
-  return {cpu::scheme_razor(), cpu::scheme_error_padding(), cpu::scheme_abs(),
-          cpu::scheme_ffs(), cpu::scheme_cds()};
+const std::vector<cpu::SchemeConfig>& comparative_schemes() {
+  static const std::vector<cpu::SchemeConfig> schemes = {
+      cpu::scheme_razor(), cpu::scheme_error_padding(), cpu::scheme_abs(),
+      cpu::scheme_ffs(), cpu::scheme_cds()};
+  return schemes;
+}
+
+std::optional<cpu::SchemeConfig> scheme_by_name(const std::string& name) {
+  if (name == "fault-free") return cpu::scheme_fault_free();
+  for (const cpu::SchemeConfig& s : comparative_schemes()) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
 }
 
 }  // namespace vasim::core

@@ -4,6 +4,7 @@
 #ifndef VASIM_CORE_RUNNER_HPP
 #define VASIM_CORE_RUNNER_HPP
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,8 +76,14 @@ class ExperimentRunner {
   RunnerConfig cfg_;
 };
 
-/// All comparative schemes of Section 5 in presentation order.
-std::vector<cpu::SchemeConfig> comparative_schemes();
+/// All comparative schemes of Section 5 in presentation order.  Built once
+/// and cached (the schemes are immutable configuration); callers needing a
+/// mutated variant copy the element.
+const std::vector<cpu::SchemeConfig>& comparative_schemes();
+
+/// Scheme lookup by table name ("fault-free", "razor", "ep", "abs", "ffs",
+/// "cds"); nullopt for unknown names.
+std::optional<cpu::SchemeConfig> scheme_by_name(const std::string& name);
 
 }  // namespace vasim::core
 

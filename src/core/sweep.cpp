@@ -1,0 +1,212 @@
+#include "src/core/sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "src/common/env.hpp"
+#include "src/common/thread_pool.hpp"
+
+namespace vasim::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// ---- checksum --------------------------------------------------------------
+
+constexpr u64 kFnvOffset = 1469598103934665603ULL;
+constexpr u64 kFnvPrime = 1099511628211ULL;
+
+void fnv_bytes(u64& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(u64& h, u64 v) { fnv_bytes(h, &v, sizeof v); }
+
+void fnv_f64(u64& h, double v) {
+  u64 bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  fnv_u64(h, bits);
+}
+
+void fnv_str(u64& h, const std::string& s) {
+  fnv_u64(h, s.size());
+  fnv_bytes(h, s.data(), s.size());
+}
+
+void fnv_result(u64& h, const RunResult& r) {
+  fnv_str(h, r.benchmark);
+  fnv_str(h, r.scheme);
+  fnv_f64(h, r.vdd);
+  fnv_u64(h, r.committed);
+  fnv_u64(h, r.cycles);
+  fnv_f64(h, r.ipc);
+  fnv_f64(h, r.fault_rate_pct);
+  fnv_f64(h, r.replays);
+  fnv_f64(h, r.predictor_accuracy);
+  fnv_f64(h, r.energy.dynamic_nj);
+  fnv_f64(h, r.energy.leakage_nj);
+  fnv_f64(h, r.energy.edp);
+  for (const auto& [name, count] : r.stats.counters()) {
+    fnv_str(h, name);
+    fnv_u64(h, count);
+  }
+  for (const auto& [name, value] : r.stats.scalars()) {
+    fnv_str(h, name);
+    fnv_f64(h, value);
+  }
+}
+
+// ---- JSON ------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_f64(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t sweep_workers_from_env() { return ThreadPool::default_worker_count(); }
+
+SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
+  SweepReport report;
+  report.workers = workers_;
+  report.jobs.resize(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+
+  const auto run_one = [this](const SweepJob& job, SweepOutcome& out) {
+    const auto t0 = Clock::now();
+    const ExperimentRunner runner(job.config ? *job.config : cfg_);
+    out.result = job.scheme ? runner.run(job.profile, *job.scheme, job.vdd)
+                            : runner.run_fault_free(job.profile, job.vdd);
+    out.wall_ms = ms_between(t0, Clock::now());
+  };
+
+  const auto t0 = Clock::now();
+  if (workers_ <= 1) {
+    // Sequential path: exactly the historical bench behaviour, no pool.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      try {
+        run_one(jobs[i], report.jobs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    ThreadPool pool(workers_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      pool.submit([&, i] {
+        try {
+          run_one(jobs[i], report.jobs[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  report.wall_ms = ms_between(t0, Clock::now());
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return report;
+}
+
+std::vector<RunResult> SweepRunner::run_results(const std::vector<SweepJob>& jobs) const {
+  SweepReport report = run(jobs);
+  std::vector<RunResult> out;
+  out.reserve(report.jobs.size());
+  for (SweepOutcome& j : report.jobs) out.push_back(std::move(j.result));
+  return out;
+}
+
+u64 sweep_checksum(const std::vector<RunResult>& results) {
+  u64 h = kFnvOffset;
+  fnv_u64(h, results.size());
+  for (const RunResult& r : results) fnv_result(h, r);
+  return h;
+}
+
+u64 sweep_checksum(const SweepReport& report) {
+  u64 h = kFnvOffset;
+  fnv_u64(h, report.jobs.size());
+  for (const SweepOutcome& j : report.jobs) fnv_result(h, j.result);
+  return h;
+}
+
+void write_sweep_json(std::ostream& os, const std::string& name, const SweepReport& report) {
+  os << "{\n"
+     << "  \"bench\": \"" << json_escape(name) << "\",\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"workers\": " << report.workers << ",\n"
+     << "  \"wall_ms\": " << json_f64(report.wall_ms) << ",\n"
+     << "  \"checksum\": \"" << std::hex << sweep_checksum(report) << std::dec << "\",\n"
+     << "  \"jobs\": [";
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const SweepOutcome& j = report.jobs[i];
+    const RunResult& r = j.result;
+    os << (i == 0 ? "\n" : ",\n")
+       << "    {\"benchmark\": \"" << json_escape(r.benchmark) << "\""
+       << ", \"scheme\": \"" << json_escape(r.scheme) << "\""
+       << ", \"vdd\": " << json_f64(r.vdd)
+       << ", \"committed\": " << r.committed
+       << ", \"cycles\": " << r.cycles
+       << ", \"ipc\": " << json_f64(r.ipc)
+       << ", \"fault_rate_pct\": " << json_f64(r.fault_rate_pct)
+       << ", \"replays\": " << json_f64(r.replays)
+       << ", \"predictor_accuracy\": " << json_f64(r.predictor_accuracy)
+       << ", \"energy_nj\": " << json_f64(r.energy.total_nj())
+       << ", \"edp\": " << json_f64(r.energy.edp)
+       << ", \"wall_ms\": " << json_f64(j.wall_ms) << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string emit_sweep_json(const std::string& name, const SweepReport& report) {
+  if (env_u64("VASIM_JSON", 1) == 0) return {};
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) return {};
+  write_sweep_json(out, name, report);
+  return out ? path : std::string{};
+}
+
+}  // namespace vasim::core

@@ -1,0 +1,93 @@
+// Parallel sweep engine: fans a grid of independent (benchmark, scheme,
+// VDD) simulations out over a thread pool and returns results in submission
+// order.
+//
+// Determinism guarantee: every job constructs its own TraceGenerator,
+// FaultModel, predictor and Pipeline inside ExperimentRunner::run, and no
+// state is shared between jobs, so the RunResults are bitwise identical
+// regardless of worker count.  `VASIM_JOBS=1` reproduces the historical
+// strictly-sequential behaviour; the default is hardware_concurrency().
+//
+// Results can be serialized to a machine-readable `BENCH_<name>.json` so the
+// perf trajectory of the reproduction is diffable across PRs (schema in
+// docs/sweep.md).
+#ifndef VASIM_CORE_SWEEP_HPP
+#define VASIM_CORE_SWEEP_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.hpp"
+
+namespace vasim::core {
+
+/// One cell of a sweep grid.  `scheme == nullopt` requests the fault-free
+/// baseline at `vdd`; `config` overrides the sweep-wide RunnerConfig for
+/// jobs that vary machine or predictor parameters (ablations).
+struct SweepJob {
+  workload::BenchmarkProfile profile;
+  std::optional<cpu::SchemeConfig> scheme;
+  double vdd = timing::SupplyPoints::kNominal;
+  std::optional<RunnerConfig> config;
+};
+
+/// One finished job: the simulation outcome plus its wall-clock cost.
+struct SweepOutcome {
+  RunResult result;
+  double wall_ms = 0.0;
+};
+
+/// A whole sweep: outcomes in submission order plus aggregate timing.
+struct SweepReport {
+  std::vector<SweepOutcome> jobs;
+  double wall_ms = 0.0;      ///< end-to-end sweep wall time
+  std::size_t workers = 1;   ///< pool size the sweep ran with
+};
+
+/// Worker count resolution: `VASIM_JOBS` when set, else hardware threads.
+[[nodiscard]] std::size_t sweep_workers_from_env();
+
+/// Thread-pooled experiment fan-out.  Stateless between sweeps.
+class SweepRunner {
+ public:
+  explicit SweepRunner(const RunnerConfig& cfg = {},
+                       std::size_t workers = sweep_workers_from_env())
+      : cfg_(cfg), workers_(workers == 0 ? 1 : workers) {}
+
+  /// Runs every job; outcomes come back in submission order.  If any job
+  /// threw, the first failure (by submission index) is rethrown after the
+  /// whole grid has drained -- one bad job never deadlocks the pool.
+  [[nodiscard]] SweepReport run(const std::vector<SweepJob>& jobs) const;
+
+  /// Convenience: just the RunResults, submission order.
+  [[nodiscard]] std::vector<RunResult> run_results(const std::vector<SweepJob>& jobs) const;
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+  [[nodiscard]] const RunnerConfig& config() const { return cfg_; }
+
+ private:
+  RunnerConfig cfg_;
+  std::size_t workers_;
+};
+
+/// FNV-1a checksum over the order-sensitive, thread-count-invariant fields
+/// of a result sequence (identities, counts, bit patterns of the doubles,
+/// and all stat counters).  Equal checksums across worker counts are the
+/// determinism witness used by tests and bench_sweep_speedup.
+[[nodiscard]] u64 sweep_checksum(const std::vector<RunResult>& results);
+[[nodiscard]] u64 sweep_checksum(const SweepReport& report);
+
+/// Serializes a sweep as JSON: run identity, per-job metrics and wall
+/// times, aggregate wall time, worker count and checksum.
+void write_sweep_json(std::ostream& os, const std::string& name, const SweepReport& report);
+
+/// Writes `BENCH_<name>.json` in the working directory unless `VASIM_JSON=0`.
+/// Returns the path written, or empty when disabled / on I/O failure.
+std::string emit_sweep_json(const std::string& name, const SweepReport& report);
+
+}  // namespace vasim::core
+
+#endif  // VASIM_CORE_SWEEP_HPP

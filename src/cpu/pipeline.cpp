@@ -22,8 +22,11 @@ Pipeline::Pipeline(const CoreConfig& cfg, const SchemeConfig& scheme,
   }
   rename_map_.resize(isa::kNumArchRegs);
   for (int a = 0; a < isa::kNumArchRegs; ++a) rename_map_[static_cast<std::size_t>(a)] = a;
+  free_list_.reserve(static_cast<std::size_t>(cfg_.phys_regs));
   for (int p = cfg_.phys_regs - 1; p >= isa::kNumArchRegs; --p) free_list_.push_back(p);
   phys_ready_.assign(static_cast<std::size_t>(cfg_.phys_regs), 1);
+  due_.reserve(static_cast<std::size_t>(2 * cfg_.issue_width + 8));
+  cand_.reserve(static_cast<std::size_t>(cfg_.rob_entries));
 }
 
 bool Pipeline::faults_enabled() const { return fault_model_ != nullptr && fault_model_->enabled(); }
@@ -36,7 +39,10 @@ Pipeline::InstState* Pipeline::find(SeqNum seq) {
 }
 
 void Pipeline::schedule(Cycle cycle, EventKind kind, SeqNum seq) {
-  events_.push_back(Event{cycle, kind, seq});
+  // `cycle >= now_ >= event_shift_` always holds (the shift only grows by
+  // one per stall cycle, and every stall cycle also advances now_), so the
+  // stored key never underflows.
+  event_buckets_[cycle - event_shift_].push_back(Event{cycle, kind, seq});
 }
 
 Cycle Pipeline::stage_offset(timing::OooStage stage, Cycle exec_lat) const {
@@ -51,7 +57,7 @@ Cycle Pipeline::stage_offset(timing::OooStage stage, Cycle exec_lat) const {
 }
 
 void Pipeline::shift_all_times(Cycle delta) {
-  for (Event& e : events_) e.cycle += delta;
+  event_shift_ += delta;  // all pending events move as one
   for (FetchedInst& fi : frontend_) fi.arrive += delta;
   fus_.shift_time(delta);
   fetch_stall_until_ += delta;
@@ -82,24 +88,21 @@ void Pipeline::broadcast(InstState& is) {
 }
 
 void Pipeline::process_events() {
-  // Pull events due this cycle; keep the rest.
-  std::vector<Event> due;
-  auto keep = events_.begin();
-  for (auto it = events_.begin(); it != events_.end(); ++it) {
-    if (it->cycle <= now_) {
-      due.push_back(*it);
-    } else {
-      *keep++ = *it;
-    }
+  // Pop the buckets due this cycle; later buckets are untouched.
+  due_.clear();
+  while (!event_buckets_.empty()) {
+    const auto it = event_buckets_.begin();
+    if (it->first + event_shift_ > now_) break;
+    due_.insert(due_.end(), it->second.begin(), it->second.end());
+    event_buckets_.erase(it);
   }
-  events_.erase(keep, events_.end());
   // Deterministic order: broadcasts, completes, EP stalls, replays; then age.
-  std::sort(due.begin(), due.end(), [](const Event& a, const Event& b) {
+  std::sort(due_.begin(), due_.end(), [](const Event& a, const Event& b) {
     if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
     return a.seq < b.seq;
   });
 
-  for (const Event& e : due) {
+  for (const Event& e : due_) {
     switch (e.kind) {
       case EventKind::kBroadcast: {
         InstState* is = find(e.seq);
@@ -201,7 +204,10 @@ void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
 
   // Seq numbers above `last_kept` are recycled, so stale events for squashed
   // instructions must not fire on their successors.
-  std::erase_if(events_, [last_kept](const Event& e) { return e.seq > last_kept; });
+  for (auto it = event_buckets_.begin(); it != event_buckets_.end();) {
+    std::erase_if(it->second, [last_kept](const Event& e) { return e.seq > last_kept; });
+    it = it->second.empty() ? event_buckets_.erase(it) : std::next(it);
+  }
   next_seq_ = last_kept + 1;
 
   refetch_.insert(refetch_.begin(), re.begin(), re.end());
@@ -304,7 +310,8 @@ void Pipeline::select_stage() {
   int width = cfg_.issue_width - slots_frozen_now_;
   if (width <= 0) return;
 
-  std::vector<InstState*> cand;
+  std::vector<InstState*>& cand = cand_;
+  cand.clear();
   for (InstState& is : window_) {
     if (!is.in_iq || is.issued || !operands_ready(is)) continue;
     if (mem_blocked_now_ && isa::is_mem(is.di.op)) continue;

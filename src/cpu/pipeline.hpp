@@ -18,6 +18,7 @@
 #define VASIM_CPU_PIPELINE_HPP
 
 #include <deque>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -176,7 +177,14 @@ class Pipeline {
   SeqNum next_seq_ = 0;
   std::deque<FetchedInst> frontend_;  ///< fetched, not yet dispatched
   std::deque<RefetchInst> refetch_;   ///< squashed work awaiting refetch
-  std::vector<Event> events_;         ///< unordered; scanned per cycle
+  // Pending events bucketed by due cycle, so each cycle pops only the front
+  // buckets instead of scanning every in-flight event.  Keys are *stored*
+  // cycles: effective due cycle = key + event_shift_, which makes the global
+  // stall shift O(1) for events (only the offset moves).
+  std::map<Cycle, std::vector<Event>> event_buckets_;
+  Cycle event_shift_ = 0;
+  std::vector<Event> due_;            ///< per-cycle scratch, capacity reused
+  std::vector<InstState*> cand_;      ///< select-stage scratch, capacity reused
 
   // ---- cycle state ---------------------------------------------------------
   Cycle now_ = 0;

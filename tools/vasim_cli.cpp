@@ -7,8 +7,12 @@
 //             [--warmup N] [--predictor tep|mre|tvp] [--kanata FILE]
 //             [--stats] [--csv]
 //       Run one simulation and print a summary (or CSV row / full stats).
-//   vasim sweep --bench <name> [--instr N] [--warmup N]
-//       Run every scheme at both faulty supplies for one benchmark.
+//   vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]
+//               [--json FILE]
+//       Run every scheme at both faulty supplies for one benchmark (or the
+//       whole suite), fanned out over a thread pool (VASIM_JOBS or --jobs;
+//       results are deterministic at any worker count), optionally dumping
+//       the machine-readable JSON result sink to FILE.
 //   vasim record --bench <name> --out FILE [--instr N]
 //       Capture a committed-path trace to a vasim-trace file.
 //   vasim replay --trace FILE --scheme <name> [--vdd V] [--instr N]
@@ -23,6 +27,7 @@
 
 #include "src/common/table.hpp"
 #include "src/core/runner.hpp"
+#include "src/core/sweep.hpp"
 #include "src/cpu/observer.hpp"
 #include "src/workload/trace_file.hpp"
 #include "src/workload/trace_generator.hpp"
@@ -67,16 +72,9 @@ int usage() {
                "fault-free|razor|ep|abs|ffs|cds [--vdd V]\n"
             << "            [--instr N] [--warmup N] [--predictor tep|mre|tvp]\n"
             << "            [--kanata FILE] [--stats] [--csv]\n"
-            << "  vasim sweep --bench <name> [--instr N] [--warmup N]\n";
+            << "  vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]\n"
+            << "              [--json FILE]\n";
   return 2;
-}
-
-std::optional<cpu::SchemeConfig> scheme_by_name(const std::string& name) {
-  if (name == "fault-free") return cpu::scheme_fault_free();
-  for (const auto& s : core::comparative_schemes()) {
-    if (s.name == name) return s;
-  }
-  return std::nullopt;
 }
 
 int cmd_list() {
@@ -126,7 +124,7 @@ void print_result(const core::RunResult& r, const core::RunResult* baseline, boo
 
 int cmd_run(const Args& args) {
   if (!args.has("bench") || !args.has("scheme")) return usage();
-  const auto scheme = scheme_by_name(args.get("scheme", ""));
+  const auto scheme = core::scheme_by_name(args.get("scheme", ""));
   if (!scheme) {
     std::cerr << "unknown scheme '" << args.get("scheme", "") << "'\n";
     return 2;
@@ -179,26 +177,65 @@ int cmd_run(const Args& args) {
 
 int cmd_sweep(const Args& args) {
   if (!args.has("bench")) return usage();
-  workload::BenchmarkProfile prof;
-  try {
-    prof = workload::spec2006_profile(args.get("bench", ""));
-  } catch (const std::out_of_range& e) {
-    std::cerr << e.what() << "\n";
-    return 2;
-  }
-  const core::ExperimentRunner runner(runner_config(args));
-  for (const double vdd : {timing::SupplyPoints::kLowFault, timing::SupplyPoints::kHighFault}) {
-    const core::RunResult base = runner.run_fault_free(prof, vdd);
-    TextTable t({"scheme", "IPC", "FR%", "replays", "perf-ovh%", "ED-ovh%"});
-    t.add_row({"fault-free", TextTable::fmt(base.ipc), "-", "-", "0.00", "0.00"});
-    for (const auto& scheme : core::comparative_schemes()) {
-      const core::RunResult r = runner.run(prof, scheme, vdd);
-      const core::Overheads o = core::overhead_vs(base, r);
-      t.add_row({r.scheme, TextTable::fmt(r.ipc), TextTable::fmt(r.fault_rate_pct, 2),
-                 TextTable::fmt(r.replays, 0), TextTable::fmt(o.perf_pct, 2),
-                 TextTable::fmt(o.ed_pct, 2)});
+  std::vector<workload::BenchmarkProfile> profiles;
+  const std::string which = args.get("bench", "");
+  if (which == "all") {
+    profiles = workload::spec2006_profiles();
+  } else {
+    try {
+      profiles.push_back(workload::spec2006_profile(which));
+    } catch (const std::out_of_range& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
     }
-    std::cout << t.render(prof.name + " @ " + TextTable::fmt(vdd, 2) + " V") << "\n";
+  }
+
+  const std::size_t workers =
+      args.has("jobs") ? std::strtoull(args.get("jobs", "1").c_str(), nullptr, 10)
+                       : core::sweep_workers_from_env();
+  const core::SweepRunner sweeper(runner_config(args), workers);
+
+  // (fault-free + every scheme) x both faulty supplies per profile, one
+  // thread-pooled grid; results come back in submission order.
+  const double vdds[] = {timing::SupplyPoints::kLowFault, timing::SupplyPoints::kHighFault};
+  std::vector<core::SweepJob> jobs;
+  for (const auto& prof : profiles) {
+    for (const double vdd : vdds) {
+      jobs.push_back({prof, std::nullopt, vdd, std::nullopt});
+      for (const auto& scheme : core::comparative_schemes()) {
+        jobs.push_back({prof, scheme, vdd, std::nullopt});
+      }
+    }
+  }
+  const core::SweepReport report = sweeper.run(jobs);
+
+  std::size_t at = 0;
+  for (const auto& prof : profiles) {
+    for (const double vdd : vdds) {
+      const core::RunResult& base = report.jobs[at++].result;
+      TextTable t({"scheme", "IPC", "FR%", "replays", "perf-ovh%", "ED-ovh%"});
+      t.add_row({"fault-free", TextTable::fmt(base.ipc), "-", "-", "0.00", "0.00"});
+      for (std::size_t s = 0; s < core::comparative_schemes().size(); ++s) {
+        const core::RunResult& r = report.jobs[at++].result;
+        const core::Overheads o = core::overhead_vs(base, r);
+        t.add_row({r.scheme, TextTable::fmt(r.ipc), TextTable::fmt(r.fault_rate_pct, 2),
+                   TextTable::fmt(r.replays, 0), TextTable::fmt(o.perf_pct, 2),
+                   TextTable::fmt(o.ed_pct, 2)});
+      }
+      std::cout << t.render(prof.name + " @ " + TextTable::fmt(vdd, 2) + " V") << "\n";
+    }
+  }
+  std::cout << report.jobs.size() << " runs in " << TextTable::fmt(report.wall_ms, 0)
+            << " ms on " << report.workers << " worker(s)\n";
+
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", ""));
+    if (!out) {
+      std::cerr << "cannot open " << args.get("json", "") << "\n";
+      return 2;
+    }
+    core::write_sweep_json(out, "cli_sweep", report);
+    std::cout << "JSON results written to " << args.get("json", "") << "\n";
   }
   return 0;
 }
@@ -231,7 +268,7 @@ int cmd_record(const Args& args) {
 
 int cmd_replay(const Args& args) {
   if (!args.has("trace") || !args.has("scheme")) return usage();
-  const auto scheme = scheme_by_name(args.get("scheme", ""));
+  const auto scheme = core::scheme_by_name(args.get("scheme", ""));
   if (!scheme) {
     std::cerr << "unknown scheme '" << args.get("scheme", "") << "'\n";
     return 2;
