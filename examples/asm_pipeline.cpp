@@ -100,14 +100,14 @@ int main(int argc, char** argv) {
     for (u64 chunk = 1; chunk * 1000 <= dynamic_instructions; ++chunk) {
       while (pipe.committed() < chunk * 1000 && pipe.step()) {
       }
-      const u64 replays = pipe.stats().count("fault.replays");
+      const u64 replays = pipe.registry().counter_value("fault.replays");
       std::cout << "  [" << (chunk - 1) * 1000 << ".." << chunk * 1000
                 << "): " << (replays - last_replays) << "\n";
       last_replays = replays;
     }
     while (pipe.step()) {
     }
-    const auto& s = pipe.stats();
+    const StatSet s = pipe.snapshot_stats();
     std::cout << "total: " << s.count("fault.actual") << " faults, " << s.count("fault.handled")
               << " handled by violation-aware scheduling, " << s.count("fault.replays")
               << " replays; " << pipe.committed() << " committed in " << pipe.now()

@@ -52,6 +52,7 @@ RunResult ExperimentRunner::run(const workload::BenchmarkProfile& profile,
       actual > 0.0 ? static_cast<double>(pr.stats.count("fault.handled")) / actual : 0.0;
   const EnergyModel em(cfg_.energy);
   r.energy = em.compute(pr.stats, vdd);
+  r.cpi = pr.cpi;
   r.stats = std::move(pr.stats);
   return r;
 }
@@ -71,6 +72,7 @@ RunResult ExperimentRunner::run_fault_free(const workload::BenchmarkProfile& pro
   r.ipc = pr.ipc();
   const EnergyModel em(cfg_.energy);
   r.energy = em.compute(pr.stats, vdd);
+  r.cpi = pr.cpi;
   r.stats = std::move(pr.stats);
   return r;
 }

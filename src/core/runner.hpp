@@ -28,6 +28,9 @@ struct RunResult {
   double replays = 0.0;
   double predictor_accuracy = 0.0;  ///< handled / actual (0 when no faults)
   EnergyReport energy;
+  /// Per-cause commit-slot attribution of the measured window; the
+  /// invariant cpi.total() == cycles * commit_width always holds.
+  obs::CpiStack cpi;
   StatSet stats;
 };
 

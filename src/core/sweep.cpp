@@ -1,16 +1,22 @@
 #include "src/core/sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "src/common/env.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/obs/cpi.hpp"
+#include "src/obs/trace.hpp"
 
 namespace vasim::core {
 namespace {
@@ -111,15 +117,44 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
   report.jobs.resize(jobs.size());
   std::vector<std::exception_ptr> errors(jobs.size());
 
-  const auto run_one = [this](const SweepJob& job, SweepOutcome& out) {
-    const auto t0 = Clock::now();
+  const auto t0 = Clock::now();
+
+  // Trace/progress bookkeeping.  Worker ids are assigned on first encounter
+  // (pool threads have no public index); done/start/worker never feed the
+  // checksum, so none of this perturbs determinism.
+  std::mutex meta_mu;
+  std::map<std::thread::id, std::size_t> worker_ids;
+  std::atomic<std::size_t> done{0};
+
+  const auto worker_of = [&](std::thread::id tid) {
+    std::lock_guard<std::mutex> lock(meta_mu);
+    return worker_ids.emplace(tid, worker_ids.size()).first->second;
+  };
+  const auto note_progress = [&] {
+    const std::size_t d = ++done;
+    if (!progress_) return;
+    const double elapsed = ms_between(t0, Clock::now());
+    const double eta_ms =
+        d == 0 ? 0.0 : elapsed / static_cast<double>(d) *
+                           static_cast<double>(jobs.size() - d);
+    std::lock_guard<std::mutex> lock(meta_mu);
+    std::fprintf(stderr, "\r[sweep] %zu/%zu jobs done, ETA %.1fs ", d, jobs.size(),
+                 eta_ms / 1000.0);
+    if (d == jobs.size()) std::fputc('\n', stderr);
+    std::fflush(stderr);
+  };
+
+  const auto run_one = [&](const SweepJob& job, SweepOutcome& out) {
+    const auto j0 = Clock::now();
+    out.start_ms = ms_between(t0, j0);
+    out.worker = worker_of(std::this_thread::get_id());
     const ExperimentRunner runner(job.config ? *job.config : cfg_);
     out.result = job.scheme ? runner.run(job.profile, *job.scheme, job.vdd)
                             : runner.run_fault_free(job.profile, job.vdd);
-    out.wall_ms = ms_between(t0, Clock::now());
+    out.wall_ms = ms_between(j0, Clock::now());
+    note_progress();
   };
 
-  const auto t0 = Clock::now();
   if (workers_ <= 1) {
     // Sequential path: exactly the historical bench behaviour, no pool.
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -127,6 +162,7 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
         run_one(jobs[i], report.jobs[i]);
       } catch (...) {
         errors[i] = std::current_exception();
+        note_progress();
       }
     }
   } else {
@@ -137,6 +173,7 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
           run_one(jobs[i], report.jobs[i]);
         } catch (...) {
           errors[i] = std::current_exception();
+          note_progress();
         }
       });
     }
@@ -175,7 +212,7 @@ u64 sweep_checksum(const SweepReport& report) {
 void write_sweep_json(std::ostream& os, const std::string& name, const SweepReport& report) {
   os << "{\n"
      << "  \"bench\": \"" << json_escape(name) << "\",\n"
-     << "  \"schema_version\": 1,\n"
+     << "  \"schema_version\": 2,\n"
      << "  \"workers\": " << report.workers << ",\n"
      << "  \"wall_ms\": " << json_f64(report.wall_ms) << ",\n"
      << "  \"checksum\": \"" << std::hex << sweep_checksum(report) << std::dec << "\",\n"
@@ -195,6 +232,12 @@ void write_sweep_json(std::ostream& os, const std::string& name, const SweepRepo
        << ", \"predictor_accuracy\": " << json_f64(r.predictor_accuracy)
        << ", \"energy_nj\": " << json_f64(r.energy.total_nj())
        << ", \"edp\": " << json_f64(r.energy.edp)
+       << ", \"cpi\": {";
+    for (int c = 0; c < obs::kNumCpiCauses; ++c) {
+      os << (c == 0 ? "" : ", ") << "\"" << obs::to_string(static_cast<obs::CpiCause>(c))
+         << "\": " << r.cpi.slots[static_cast<std::size_t>(c)];
+    }
+    os << "}"
        << ", \"wall_ms\": " << json_f64(j.wall_ms) << "}";
   }
   os << "\n  ]\n}\n";
@@ -207,6 +250,28 @@ std::string emit_sweep_json(const std::string& name, const SweepReport& report) 
   if (!out) return {};
   write_sweep_json(out, name, report);
   return out ? path : std::string{};
+}
+
+void write_chrome_trace(std::ostream& os, const SweepReport& report) {
+  obs::ChromeTraceWriter trace(&os);
+  constexpr u64 kPid = 0;
+  trace.process_name(kPid, "vasim sweep");
+  std::size_t max_worker = 0;
+  for (const SweepOutcome& j : report.jobs) max_worker = std::max(max_worker, j.worker);
+  for (std::size_t w = 0; w <= max_worker; ++w) {
+    trace.thread_name(kPid, w, "worker " + std::to_string(w));
+  }
+  for (const SweepOutcome& j : report.jobs) {
+    const RunResult& r = j.result;
+    char vdd[32];
+    std::snprintf(vdd, sizeof vdd, "%g", r.vdd);
+    trace.complete_event(r.benchmark + "/" + r.scheme + "@" + vdd, "job", kPid, j.worker,
+                         j.start_ms * 1000.0, j.wall_ms * 1000.0,
+                         {{"ipc", std::to_string(r.ipc)},
+                          {"committed", std::to_string(r.committed)},
+                          {"cycles", std::to_string(r.cycles)}});
+  }
+  trace.finish();
 }
 
 }  // namespace vasim::core

@@ -34,10 +34,14 @@ struct SweepJob {
   std::optional<RunnerConfig> config;
 };
 
-/// One finished job: the simulation outcome plus its wall-clock cost.
+/// One finished job: the simulation outcome plus its wall-clock cost and
+/// scheduling info (start offset from sweep t0 and the pool worker that ran
+/// it -- trace/progress metadata, deliberately excluded from the checksum).
 struct SweepOutcome {
   RunResult result;
   double wall_ms = 0.0;
+  double start_ms = 0.0;
+  std::size_t worker = 0;
 };
 
 /// A whole sweep: outcomes in submission order plus aggregate timing.
@@ -68,9 +72,13 @@ class SweepRunner {
   [[nodiscard]] std::size_t workers() const { return workers_; }
   [[nodiscard]] const RunnerConfig& config() const { return cfg_; }
 
+  /// Live `jobs done/total + ETA` line on stderr while the sweep runs.
+  void set_progress(bool on) { progress_ = on; }
+
  private:
   RunnerConfig cfg_;
   std::size_t workers_;
+  bool progress_ = false;
 };
 
 /// FNV-1a checksum over the order-sensitive, thread-count-invariant fields
@@ -87,6 +95,11 @@ void write_sweep_json(std::ostream& os, const std::string& name, const SweepRepo
 /// Writes `BENCH_<name>.json` in the working directory unless `VASIM_JSON=0`.
 /// Returns the path written, or empty when disabled / on I/O failure.
 std::string emit_sweep_json(const std::string& name, const SweepReport& report);
+
+/// Serializes a sweep as a Chrome-trace-event JSON document (open in
+/// https://ui.perfetto.dev or chrome://tracing): one complete span per job
+/// on the thread row of the pool worker that ran it, 1 trace us = 1 wall us.
+void write_chrome_trace(std::ostream& os, const SweepReport& report);
 
 }  // namespace vasim::core
 

@@ -16,6 +16,14 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   lines_.resize(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(cfg.ways));
 }
 
+Cache::Cache(const CacheConfig& cfg, obs::Registry* reg, std::string_view name) : Cache(cfg) {
+  if (reg != nullptr) {
+    const std::string prefix = "cache." + std::string(name);
+    hits_c_ = reg->counter(prefix + ".hits");
+    misses_c_ = reg->counter(prefix + ".misses");
+  }
+}
+
 std::size_t Cache::set_index(Addr addr) const {
   return static_cast<std::size_t>((addr / static_cast<u64>(cfg_.line_bytes)) &
                                   static_cast<u64>(num_sets_ - 1));
@@ -33,7 +41,7 @@ bool Cache::access(Addr addr) {
     Line& line = lines_[base + static_cast<std::size_t>(w)];
     if (line.valid && line.tag == tag) {
       line.lru = use_counter_;
-      ++hits_;
+      if (hits_c_.valid()) hits_c_.inc(); else ++hits_;
       return true;
     }
   }
@@ -48,7 +56,7 @@ bool Cache::access(Addr addr) {
     if (lines_[i].lru < lines_[victim].lru) victim = i;
   }
   lines_[victim] = Line{tag, true, use_counter_};
-  ++misses_;
+  if (misses_c_.valid()) misses_c_.inc(); else ++misses_;
   return false;
 }
 
@@ -62,9 +70,15 @@ bool Cache::contains(Addr addr) const {
   return false;
 }
 
-MemoryHierarchy::MemoryHierarchy(const CoreConfig& cfg)
-    : l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2), mem_latency_(cfg.memory_latency),
-      next_line_prefetch_(cfg.l2_next_line_prefetch) {}
+MemoryHierarchy::MemoryHierarchy(const CoreConfig& cfg, obs::Registry* reg)
+    : l1i_(cfg.l1i, reg, "l1i"), l1d_(cfg.l1d, reg, "l1d"), l2_(cfg.l2, reg, "l2"),
+      mem_latency_(cfg.memory_latency), next_line_prefetch_(cfg.l2_next_line_prefetch) {
+  if (reg != nullptr) prefetches_c_ = reg->counter("cache.l2.prefetches");
+}
+
+void MemoryHierarchy::count_prefetch() {
+  if (prefetches_c_.valid()) prefetches_c_.inc(); else ++prefetches_;
+}
 
 Cycle MemoryHierarchy::miss_path(Addr addr, Cache& l1) {
   Cycle lat = l1.config().latency;
@@ -82,7 +96,7 @@ Cycle MemoryHierarchy::load_latency(Addr addr) {
     const Addr next = addr + static_cast<Addr>(l1d_.config().line_bytes);
     if (!l2_.contains(next)) {
       l2_.access(next);
-      ++prefetches_;
+      count_prefetch();
     }
   }
   return lat;

@@ -2,11 +2,13 @@
 #ifndef VASIM_CPU_CACHE_HPP
 #define VASIM_CPU_CACHE_HPP
 
+#include <string_view>
 #include <vector>
 
 #include "src/common/stats.hpp"
 #include "src/common/types.hpp"
 #include "src/cpu/config.hpp"
+#include "src/obs/registry.hpp"
 
 namespace vasim::cpu {
 
@@ -14,6 +16,10 @@ namespace vasim::cpu {
 class Cache {
  public:
   explicit Cache(const CacheConfig& cfg);
+  /// Registry-backed construction: hit/miss live in `reg` under
+  /// cache.<name>.hits / cache.<name>.misses, so a pipeline snapshot exports
+  /// them with every other counter.
+  Cache(const CacheConfig& cfg, obs::Registry* reg, std::string_view name);
 
   /// Looks up `addr`; on miss, fills the line (evicting LRU).  Returns hit.
   bool access(Addr addr);
@@ -22,8 +28,8 @@ class Cache {
   [[nodiscard]] bool contains(Addr addr) const;
 
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
-  [[nodiscard]] u64 hits() const { return hits_; }
-  [[nodiscard]] u64 misses() const { return misses_; }
+  [[nodiscard]] u64 hits() const { return hits_c_.valid() ? hits_c_.value() : hits_; }
+  [[nodiscard]] u64 misses() const { return misses_c_.valid() ? misses_c_.value() : misses_; }
   [[nodiscard]] int num_sets() const { return num_sets_; }
 
  private:
@@ -40,14 +46,19 @@ class Cache {
   int num_sets_;
   std::vector<Line> lines_;  // num_sets x ways
   u64 use_counter_ = 0;
-  u64 hits_ = 0;
+  u64 hits_ = 0;    ///< standalone fallback storage
   u64 misses_ = 0;
+  obs::Counter hits_c_, misses_c_;  ///< registry-backed when constructed with one
 };
 
 /// Split L1 + unified L2 + flat memory latency.
 class MemoryHierarchy {
  public:
-  explicit MemoryHierarchy(const CoreConfig& cfg);
+  /// With a registry the cache.* counters live in it (the pipeline snapshot
+  /// exports them -- do NOT also call export_stats on the same StatSet, it
+  /// would double-count); without one they are plain members and
+  /// export_stats is the way out.
+  explicit MemoryHierarchy(const CoreConfig& cfg, obs::Registry* reg = nullptr);
 
   /// Latency of a demand load at `addr` (includes the L1 access cycle).
   Cycle load_latency(Addr addr);
@@ -61,19 +72,25 @@ class MemoryHierarchy {
   [[nodiscard]] const Cache& l2() const { return l2_; }
 
   /// Export hit/miss counters into `stats` under the given prefix.
+  /// Standalone (registry-less) hierarchies only; registry-backed ones
+  /// already export these names through the registry.
   void export_stats(StatSet& stats) const;
 
-  [[nodiscard]] u64 prefetches() const { return prefetches_; }
+  [[nodiscard]] u64 prefetches() const {
+    return prefetches_c_.valid() ? prefetches_c_.value() : prefetches_;
+  }
 
  private:
   Cycle miss_path(Addr addr, Cache& l1);
+  void count_prefetch();
 
   Cache l1i_;
   Cache l1d_;
   Cache l2_;
   Cycle mem_latency_;
   bool next_line_prefetch_;
-  u64 prefetches_ = 0;
+  u64 prefetches_ = 0;  ///< standalone fallback storage
+  obs::Counter prefetches_c_;
 };
 
 }  // namespace vasim::cpu

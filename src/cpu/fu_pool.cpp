@@ -18,12 +18,32 @@ FuKind fu_kind_for(isa::OpClass op) {
   }
 }
 
-FuPool::FuPool(const CoreConfig& cfg) {
+FuPool::FuPool(const CoreConfig& cfg, obs::Registry* reg) {
   for (int i = 0; i < cfg.simple_alus; ++i) units_.push_back({FuKind::kSimpleAlu, true, 0});
   for (int i = 0; i < cfg.complex_alus; ++i) units_.push_back({FuKind::kComplexAlu, true, 0});
   for (int i = 0; i < cfg.branch_units; ++i) units_.push_back({FuKind::kBranch, true, 0});
   for (int i = 0; i < cfg.load_ports; ++i) units_.push_back({FuKind::kLoadPort, true, 0});
   for (int i = 0; i < cfg.store_ports; ++i) units_.push_back({FuKind::kStorePort, true, 0});
+  if (reg != nullptr) {
+    counting_ = true;
+    c_alu_ = reg->counter("ev.fu.alu");
+    c_mul_ = reg->counter("ev.fu.mul");
+    c_div_ = reg->counter("ev.fu.div");
+    c_branch_ = reg->counter("ev.fu.branch");
+    c_mem_ = reg->counter("ev.fu.mem");
+  }
+}
+
+void FuPool::count_allocation(FuKind kind, isa::OpClass op) {
+  switch (kind) {
+    case FuKind::kSimpleAlu: c_alu_.inc(); break;
+    case FuKind::kComplexAlu:
+      (op == isa::OpClass::kIntDiv ? c_div_ : c_mul_).inc();
+      break;
+    case FuKind::kBranch: c_branch_.inc(); break;
+    case FuKind::kLoadPort:
+    case FuKind::kStorePort: c_mem_.inc(); break;
+  }
 }
 
 bool FuPool::occupies_fully(isa::OpClass op, const Unit& u) {
@@ -39,6 +59,7 @@ int FuPool::allocate(isa::OpClass op, Cycle cycle, Cycle latency, bool occupy_ex
     Cycle busy_until = occupies_fully(op, u) ? cycle + latency : cycle + 1;
     if (occupy_extra) busy_until += 1;
     u.next_free = busy_until;
+    if (counting_) count_allocation(u.kind, op);
     return static_cast<int>(i);
   }
   return -1;

@@ -12,6 +12,7 @@
 #include "src/common/types.hpp"
 #include "src/cpu/config.hpp"
 #include "src/isa/dyninst.hpp"
+#include "src/obs/registry.hpp"
 
 namespace vasim::cpu {
 
@@ -24,7 +25,10 @@ FuKind fu_kind_for(isa::OpClass op);
 /// The unit pool.
 class FuPool {
  public:
-  explicit FuPool(const CoreConfig& cfg);
+  /// When `reg` is given the pool registers (and bumps on every successful
+  /// allocate) the ev.fu.{alu,mul,div,branch,mem} counters; without one it
+  /// counts nothing (standalone/test use).
+  explicit FuPool(const CoreConfig& cfg, obs::Registry* reg = nullptr);
 
   /// Tries to reserve a unit of the right kind for `op` issuing at `cycle`.
   /// `occupy_extra` keeps the unit busy one extra cycle after the operation
@@ -51,7 +55,11 @@ class FuPool {
   /// (unpipelined) or a single issue cycle (pipelined).
   [[nodiscard]] static bool occupies_fully(isa::OpClass op, const Unit& u);
 
+  void count_allocation(FuKind kind, isa::OpClass op);
+
   std::vector<Unit> units_;
+  bool counting_ = false;
+  obs::Counter c_alu_, c_mul_, c_div_, c_branch_, c_mem_;
 };
 
 }  // namespace vasim::cpu

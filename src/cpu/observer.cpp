@@ -1,6 +1,44 @@
 #include "src/cpu/observer.hpp"
 
+#include <string>
+
 namespace vasim::cpu {
+
+// ---- ObserverMux -----------------------------------------------------------
+
+void ObserverMux::add(PipelineObserver* obs) {
+  if (obs != nullptr) observers_.push_back(obs);
+}
+
+PipelineObserver* ObserverMux::as_observer() {
+  if (observers_.empty()) return nullptr;
+  if (observers_.size() == 1) return observers_.front();
+  return this;
+}
+
+void ObserverMux::on_cycle(Cycle now) {
+  for (PipelineObserver* o : observers_) o->on_cycle(now);
+}
+void ObserverMux::on_fetch(SeqNum seq, const isa::DynInst& di) {
+  for (PipelineObserver* o : observers_) o->on_fetch(seq, di);
+}
+void ObserverMux::on_dispatch(SeqNum seq) {
+  for (PipelineObserver* o : observers_) o->on_dispatch(seq);
+}
+void ObserverMux::on_issue(SeqNum seq, bool predicted_faulty) {
+  for (PipelineObserver* o : observers_) o->on_issue(seq, predicted_faulty);
+}
+void ObserverMux::on_complete(SeqNum seq) {
+  for (PipelineObserver* o : observers_) o->on_complete(seq);
+}
+void ObserverMux::on_commit(SeqNum seq) {
+  for (PipelineObserver* o : observers_) o->on_commit(seq);
+}
+void ObserverMux::on_squash(SeqNum first, SeqNum last) {
+  for (PipelineObserver* o : observers_) o->on_squash(first, last);
+}
+
+// ---- KanataTraceWriter -----------------------------------------------------
 
 KanataTraceWriter::KanataTraceWriter(std::ostream* out, u64 max_instructions)
     : out_(out), max_instructions_(max_instructions) {}
@@ -62,6 +100,79 @@ void KanataTraceWriter::on_squash(SeqNum first, SeqNum last) {
   sync_cycle();
   for (SeqNum s = first; s <= last && tracked(s); ++s) {
     *out_ << "R\t" << s << "\t0\t1\n";  // type 1 = flushed
+  }
+}
+
+// ---- TraceObserver ---------------------------------------------------------
+
+TraceObserver::TraceObserver(obs::ChromeTraceWriter* writer, u64 max_instructions)
+    : writer_(writer), max_instructions_(max_instructions) {
+  writer_->process_name(1, "pipeline (1 cycle = 1us)");
+}
+
+TraceObserver::Rec* TraceObserver::rec(SeqNum seq) {
+  if (!tracked(seq)) return nullptr;
+  if (recs_.size() <= seq) recs_.resize(static_cast<std::size_t>(seq) + 1);
+  return &recs_[static_cast<std::size_t>(seq)];
+}
+
+void TraceObserver::on_fetch(SeqNum seq, const isa::DynInst& di) {
+  Rec* r = rec(seq);
+  if (r == nullptr) return;
+  *r = Rec{};  // a refetch re-assigns the seq: restart the row
+  r->fetch = now_;
+  r->pc = di.pc;
+  r->op = di.op;
+  r->phase = 1;
+}
+
+void TraceObserver::on_dispatch(SeqNum seq) {
+  Rec* r = rec(seq);
+  if (r == nullptr || r->phase != 1) return;
+  r->dispatch = now_;
+  r->phase = 2;
+}
+
+void TraceObserver::on_issue(SeqNum seq, bool predicted_faulty) {
+  Rec* r = rec(seq);
+  if (r == nullptr || r->phase != 2) return;
+  r->issue = now_;
+  r->pred_fault = predicted_faulty;
+  r->phase = 3;
+}
+
+void TraceObserver::on_complete(SeqNum seq) {
+  Rec* r = rec(seq);
+  if (r == nullptr || r->phase != 3) return;
+  r->complete = now_;
+  r->phase = 4;
+}
+
+void TraceObserver::on_commit(SeqNum seq) {
+  Rec* r = rec(seq);
+  if (r == nullptr || r->phase != 4) return;
+  const auto us = [](Cycle c) { return static_cast<double>(c); };
+  const auto span = [&](std::string_view name, Cycle from, Cycle to) {
+    // Zero-cycle phases still get a sliver so the row renders.
+    const double dur = to > from ? us(to - from) : 0.1;
+    writer_->complete_event(name, "instruction", 1, seq, us(from), dur);
+  };
+  span("frontend", r->fetch, r->dispatch);
+  span("queue", r->dispatch, r->issue);
+  span(r->pred_fault ? "execute [pred-faulty]" : "execute", r->issue, r->complete);
+  span("retire-wait", r->complete, now_);
+  writer_->instant_event("commit", "instruction", 1, seq, us(now_),
+                         {{"pc", std::to_string(r->pc)},
+                          {"op", obs::json_quote(isa::to_string(r->op))}});
+  r->phase = 0;
+  ++traced_;
+}
+
+void TraceObserver::on_squash(SeqNum first, SeqNum last) {
+  for (SeqNum s = first; s <= last && tracked(s); ++s) {
+    if (recs_.size() <= s || recs_[static_cast<std::size_t>(s)].phase == 0) continue;
+    writer_->instant_event("squash", "instruction", 1, s, static_cast<double>(now_));
+    recs_[static_cast<std::size_t>(s)].phase = 0;
   }
 }
 

@@ -9,9 +9,11 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "src/common/types.hpp"
 #include "src/isa/dyninst.hpp"
+#include "src/obs/trace.hpp"
 
 namespace vasim::cpu {
 
@@ -31,6 +33,34 @@ class PipelineObserver {
     (void)first_squashed;
     (void)last_squashed;
   }
+};
+
+/// Fans lifecycle events out to any number of observers (e.g. a Kanata
+/// writer and a Perfetto TraceObserver on the same run).  Pipeline holds one
+/// of these; `Pipeline::set_observer` is a thin single-observer wrapper over
+/// it.  Non-owning; observers must outlive the mux.
+class ObserverMux final : public PipelineObserver {
+ public:
+  /// Attaches one observer; null is ignored.
+  void add(PipelineObserver* obs);
+  /// Detaches everything.
+  void clear() { observers_.clear(); }
+  [[nodiscard]] std::size_t size() const { return observers_.size(); }
+  [[nodiscard]] bool empty() const { return observers_.empty(); }
+  /// The single attached observer when size()==1 (lets callers bypass the
+  /// extra virtual hop on the hot path); the mux itself otherwise.
+  [[nodiscard]] PipelineObserver* as_observer();
+
+  void on_cycle(Cycle now) override;
+  void on_fetch(SeqNum seq, const isa::DynInst& di) override;
+  void on_dispatch(SeqNum seq) override;
+  void on_issue(SeqNum seq, bool predicted_faulty) override;
+  void on_complete(SeqNum seq) override;
+  void on_commit(SeqNum seq) override;
+  void on_squash(SeqNum first_squashed, SeqNum last_squashed) override;
+
+ private:
+  std::vector<PipelineObserver*> observers_;
 };
 
 /// Writes a Kanata 0004 log.  Stages emitted: F (fetch/front end),
@@ -62,6 +92,52 @@ class KanataTraceWriter final : public PipelineObserver {
   Cycle emitted_cycle_ = 0;
   bool header_written_ = false;
   u64 retire_id_ = 0;
+};
+
+/// Streams per-instruction pipeline events as Chrome-trace-event spans
+/// (open the file in https://ui.perfetto.dev or chrome://tracing).  Each
+/// tracked instruction gets one viewer row (tid = seq) with spans for its
+/// frontend (fetch->dispatch), queue (dispatch->issue), execute
+/// (issue->complete) and retire-wait (complete->commit) phases; simulated
+/// cycles map 1:1 onto trace microseconds.  Squashed instructions emit an
+/// instant "squash" marker and their record resets, so a refetch that
+/// re-assigns the SeqNum restarts the row cleanly.
+class TraceObserver final : public PipelineObserver {
+ public:
+  /// `writer` must outlive the observer.  `max_instructions` caps how many
+  /// sequence numbers get rows (the stream itself is unbounded).
+  explicit TraceObserver(obs::ChromeTraceWriter* writer, u64 max_instructions = 10'000);
+
+  void on_cycle(Cycle now) override { now_ = now; }
+  void on_fetch(SeqNum seq, const isa::DynInst& di) override;
+  void on_dispatch(SeqNum seq) override;
+  void on_issue(SeqNum seq, bool predicted_faulty) override;
+  void on_complete(SeqNum seq) override;
+  void on_commit(SeqNum seq) override;
+  void on_squash(SeqNum first_squashed, SeqNum last_squashed) override;
+
+  [[nodiscard]] u64 instructions_traced() const { return traced_; }
+
+ private:
+  struct Rec {
+    Cycle fetch = 0;
+    Cycle dispatch = 0;
+    Cycle issue = 0;
+    Cycle complete = 0;
+    Pc pc = 0;
+    isa::OpClass op = isa::OpClass::kIntAlu;
+    u8 phase = 0;  ///< 0 idle, 1 fetched, 2 dispatched, 3 issued, 4 completed
+    bool pred_fault = false;
+  };
+
+  [[nodiscard]] bool tracked(SeqNum seq) const { return seq < max_instructions_; }
+  Rec* rec(SeqNum seq);
+
+  obs::ChromeTraceWriter* writer_;
+  u64 max_instructions_;
+  u64 traced_ = 0;
+  Cycle now_ = 0;
+  std::vector<Rec> recs_;
 };
 
 }  // namespace vasim::cpu

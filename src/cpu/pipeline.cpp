@@ -16,7 +16,7 @@ Pipeline::Pipeline(const CoreConfig& cfg, const SchemeConfig& scheme,
                    isa::InstructionSource* source, const timing::FaultModel* fault_model,
                    FaultPredictor* predictor)
     : cfg_(cfg), scheme_(scheme), source_(source), fault_model_(fault_model),
-      predictor_(predictor), memory_(cfg), bpred_(cfg), fus_(cfg) {
+      predictor_(predictor), memory_(cfg, &registry_), bpred_(cfg), fus_(cfg, &registry_) {
   if (cfg_.phys_regs < isa::kNumArchRegs + cfg_.dispatch_width) {
     throw std::invalid_argument("Pipeline: too few physical registers");
   }
@@ -25,8 +25,53 @@ Pipeline::Pipeline(const CoreConfig& cfg, const SchemeConfig& scheme,
   free_list_.reserve(static_cast<std::size_t>(cfg_.phys_regs));
   for (int p = cfg_.phys_regs - 1; p >= isa::kNumArchRegs; --p) free_list_.push_back(p);
   phys_ready_.assign(static_cast<std::size_t>(cfg_.phys_regs), 1);
+  phys_producer_.assign(static_cast<std::size_t>(cfg_.phys_regs), 0);
   due_.reserve(static_cast<std::size_t>(2 * cfg_.issue_width + 8));
   cand_.reserve(static_cast<std::size_t>(cfg_.rob_entries));
+
+  // Register every hot-path counter once; the per-event cost from here on is
+  // a pointer bump (the StatSet map is only touched again at snapshot time).
+  c_broadcast_ = registry_.counter("ev.broadcast");
+  c_wakeup_match_ = registry_.counter("ev.wakeup_match");
+  c_ep_stalls_ = registry_.counter("ep.stalls");
+  c_replays_ = registry_.counter("fault.replays");
+  c_squash_ = registry_.counter("ev.squash");
+  c_dcache_write_ = registry_.counter("ev.dcache_write");
+  c_committed_faulty_ = registry_.counter("fault.committed_faulty");
+  c_commit_ = registry_.counter("ev.commit");
+  c_inorder_stall_ = registry_.counter("fault.inorder.stall");
+  c_inorder_replay_ = registry_.counter("fault.inorder.replay");
+  c_sel_no_ready_ = registry_.counter("sel.cycles_no_ready");
+  c_sel_blocked_ = registry_.counter("sel.cycles_blocked");
+  c_sel_issued_ = registry_.counter("sel.issued_total");
+  c_sel_iq_occ_ = registry_.counter("sel.iq_occupancy_sum");
+  c_sel_window_ = registry_.counter("sel.window_sum");
+  c_sel_frontend_ = registry_.counter("sel.frontend_sum");
+  c_select_ = registry_.counter("ev.select");
+  c_regread_ = registry_.counter("ev.regread");
+  c_lsq_search_ = registry_.counter("ev.lsq_search");
+  c_stl_forward_ = registry_.counter("ev.stl_forward");
+  c_dcache_read_ = registry_.counter("ev.dcache_read");
+  c_fault_actual_ = registry_.counter("fault.actual");
+  c_fault_handled_ = registry_.counter("fault.handled");
+  c_fault_predicted_ = registry_.counter("fault.predicted");
+  c_fault_false_pos_ = registry_.counter("fault.false_positive");
+  c_fault_false_neg_ = registry_.counter("fault.false_negative");
+  c_dispatch_ = registry_.counter("ev.dispatch");
+  c_iq_write_ = registry_.counter("ev.iq_write");
+  c_fetch_ = registry_.counter("ev.fetch");
+  c_wrongpath_fetch_ = registry_.counter("ev.wrongpath_fetch");
+  c_branch_mispredict_ = registry_.counter("branch.mispredict");
+  c_stall_cycles_ = registry_.counter("ev.stall_cycles");
+  for (int i = 0; i < timing::kNumOooStages; ++i) {
+    c_fault_stage_[static_cast<std::size_t>(i)] = registry_.counter(
+        std::string("fault.stage.") +
+        std::string(timing::to_string(static_cast<timing::OooStage>(i))));
+  }
+  for (int i = 0; i < obs::kNumCpiCauses; ++i) {
+    c_cpi_[static_cast<std::size_t>(i)] =
+        registry_.counter(obs::cpi_counter_name(static_cast<obs::CpiCause>(i)));
+  }
 }
 
 bool Pipeline::faults_enabled() const { return fault_model_ != nullptr && fault_model_->enabled(); }
@@ -71,7 +116,7 @@ void Pipeline::train_predictor(const InstState& is, bool faulty) {
 // ---- events ---------------------------------------------------------------
 
 void Pipeline::broadcast(InstState& is) {
-  stats_.inc("ev.broadcast");
+  c_broadcast_.inc();
   if (is.phys_dst == kNoReg) return;
   phys_ready_[static_cast<std::size_t>(is.phys_dst)] = 1;
   // CDL (Section 3.5.2): count waiting dependents that match this tag.
@@ -80,7 +125,7 @@ void Pipeline::broadcast(InstState& is) {
     if (!w.in_iq || w.issued) continue;
     if (w.phys_src1 == is.phys_dst || w.phys_src2 == is.phys_dst) ++deps;
   }
-  if (deps > 0) stats_.inc("ev.wakeup_match", static_cast<u64>(deps));
+  if (deps > 0) c_wakeup_match_.inc(static_cast<u64>(deps));
   if (predictor_ != nullptr && scheme_.use_predictor) {
     predictor_->mark_critical(is.di.pc, is.tep_history,
                               deps >= scheme_.criticality_threshold);
@@ -128,8 +173,8 @@ void Pipeline::process_events() {
       }
       case EventKind::kEpStall: {
         if (find(e.seq) != nullptr) {
-          ++stall_pending_;
-          stats_.inc("ep.stalls");
+          push_global_stall(1, obs::CpiCause::kEpStall);
+          c_ep_stalls_.inc();
         }
         break;
       }
@@ -143,13 +188,13 @@ void Pipeline::process_events() {
 void Pipeline::do_replay(SeqNum seq) {
   InstState* is = find(seq);
   if (is == nullptr || !is->replay_scheduled) return;
-  stats_.inc("fault.replays");
+  c_replays_.inc();
   train_predictor(*is, true);
 
   if (scheme_.recovery == RecoveryModel::kMicroStall) {
     // RazorII-style in-place replay: the stage recomputes while the pipeline
     // holds; the instruction's own events shift with the stall.
-    stall_pending_ += static_cast<int>(scheme_.micro_stall_cycles);
+    push_global_stall(static_cast<int>(scheme_.micro_stall_cycles), obs::CpiCause::kReplay);
     is->replay_scheduled = false;
     is->safe_mode = true;
     return;
@@ -164,6 +209,9 @@ void Pipeline::do_replay(SeqNum seq) {
     refetch_.front().safe_mode = true;
   }
   fetch_stall_until_ = std::max(fetch_stall_until_, now_ + static_cast<Cycle>(cfg_.replay_recovery));
+  // Until the refetched work can reach dispatch again, an empty ROB is the
+  // squash's fault, not the frontend's.
+  squash_recover_until_ = fetch_stall_until_ + static_cast<Cycle>(cfg_.frontend_depth);
 }
 
 void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
@@ -199,7 +247,7 @@ void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
     if (w.di.op == isa::OpClass::kStore) --sq_count_;
     window_.pop_back();
   }
-  stats_.inc("ev.squash", squashed);
+  c_squash_.inc(squashed);
   if (observer_ != nullptr && squashed > 0) observer_->on_squash(last_kept + 1, youngest);
 
   // Seq numbers above `last_kept` are recycled, so stale events for squashed
@@ -238,41 +286,113 @@ isa::DynInst Pipeline::synthesize_wrong_path(Pc pc) {
 // ---- commit ----------------------------------------------------------------
 
 void Pipeline::commit_stage() {
+  // Every commit slot of this cycle is attributed to exactly one CPI-stack
+  // cause: kBase per committed instruction, and when retire stops early the
+  // remaining slots all share the cause of whatever blocks the ROB head
+  // (apply_global_stall covers the global-stall cycles, so the invariant
+  // sum(cpi.*) == cycles * commit_width holds for every step()).
   int budget = cfg_.commit_width;
-  while (budget > 0 && committed_ < commit_limit_ && !window_.empty() &&
-         window_.front().completed) {
+  obs::CpiCause lost = obs::CpiCause::kBase;  // commit_limit_ windowing artifact
+  while (budget > 0) {
+    if (committed_ >= commit_limit_) break;  // run() boundary, not a real stall
+    if (window_.empty()) {
+      lost = classify_empty_window();
+      break;
+    }
     InstState& is = window_.front();
+    if (!is.completed) {
+      lost = classify_unretirable_head(is);
+      break;
+    }
     if (is.retire_fault && !is.retire_padded) {
       // Retire-stage violation: the stage takes two cycles for this
       // instruction; with a predictor this is a planned stall, without one a
       // Razor replay of the retire transit.
       is.retire_padded = true;
       if (scheme_.use_predictor) {
-        stats_.inc("fault.inorder.stall");
+        c_inorder_stall_.inc();
       } else {
-        stats_.inc("fault.inorder.replay");
-        stall_pending_ += static_cast<int>(scheme_.micro_stall_cycles) - 1;
+        c_inorder_replay_.inc();
+        push_global_stall(static_cast<int>(scheme_.micro_stall_cycles) - 1,
+                          obs::CpiCause::kReplay);
       }
+      lost = obs::CpiCause::kReplay;
       break;  // retire loses the rest of this cycle
     }
     if (is.di.op == isa::OpClass::kStore) {
       memory_.store_commit(is.di.mem_addr);
       --sq_count_;
-      stats_.inc("ev.dcache_write");
+      c_dcache_write_.inc();
     }
     if (is.di.op == isa::OpClass::kLoad) --lq_count_;
     if (is.phys_dst != kNoReg && is.old_phys != kNoReg) free_list_.push_back(is.old_phys);
     // Committed-path fault rate (Table 1's FR): an instruction counts when
     // its committed instance faulted or it is the safe re-execution of one.
-    if (is.actual_fault || is.safe_mode) stats_.inc("fault.committed_faulty");
+    if (is.actual_fault || is.safe_mode) c_committed_faulty_.inc();
     ++committed_;
     if (observer_ != nullptr) observer_->on_commit(head_seq_);
-    stats_.inc("ev.commit");
+    c_commit_.inc();
+    c_cpi_[static_cast<std::size_t>(obs::CpiCause::kBase)].inc();
     window_.pop_front();
     ++head_seq_;
     --budget;
     last_commit_cycle_ = now_;
   }
+  if (budget > 0) c_cpi_[static_cast<std::size_t>(lost)].inc(static_cast<u64>(budget));
+}
+
+obs::CpiCause Pipeline::classify_empty_window() const {
+  // An empty ROB right after a replay squash is charged to the squash while
+  // the refetched work refills the pipe; any other empty window is frontend
+  // supply (icache misses, redirects, fetch depth, source drain).
+  if (!refetch_.empty() || now_ < squash_recover_until_) {
+    return obs::CpiCause::kSquashRefetch;
+  }
+  return obs::CpiCause::kFrontend;
+}
+
+obs::CpiCause Pipeline::classify_unretirable_head(const InstState& head) {
+  using obs::CpiCause;
+  if (head.issued) {
+    // In flight: memory ops are a memory stall; a predicted-faulty VTE
+    // instruction still in execute is paying its own padded cycle.
+    if (isa::is_mem(head.di.op)) return CpiCause::kMemory;
+    if (scheme_.vte && head.pred_fault) return CpiCause::kSlotFreeze;
+    return CpiCause::kDataDep;
+  }
+  if (!operands_ready(head)) {
+    // Blame the producer of the first not-ready operand.
+    int waiting = kNoReg;
+    if (head.phys_src1 != kNoReg && phys_ready_[static_cast<std::size_t>(head.phys_src1)] == 0) {
+      waiting = head.phys_src1;
+    } else if (head.phys_src2 != kNoReg &&
+               phys_ready_[static_cast<std::size_t>(head.phys_src2)] == 0) {
+      waiting = head.phys_src2;
+    }
+    if (waiting != kNoReg) {
+      const InstState* prod = find(phys_producer_[static_cast<std::size_t>(waiting)]);
+      if (prod != nullptr && prod->phys_dst == waiting) {
+        if (isa::is_mem(prod->di.op)) return CpiCause::kMemory;
+        // The producer's broadcast arrives a cycle late because VTE padded it.
+        if (prod->issued && scheme_.vte && prod->pred_fault) {
+          return CpiCause::kDelayedBroadcast;
+        }
+      }
+    }
+    return CpiCause::kDataDep;
+  }
+  // Ready but not selected: a frozen issue slot or the LSQ CAM spacing rule
+  // is a VTE freeze; otherwise a structural port/select conflict.
+  if (slots_frozen_now_ > 0) return CpiCause::kSlotFreeze;
+  if (mem_blocked_now_ && isa::is_mem(head.di.op)) return CpiCause::kSlotFreeze;
+  if (isa::is_mem(head.di.op)) return CpiCause::kMemory;
+  return CpiCause::kDataDep;
+}
+
+void Pipeline::push_global_stall(int cycles, obs::CpiCause cause) {
+  if (cycles <= 0) return;
+  stall_pending_ += cycles;
+  if (cause == obs::CpiCause::kEpStall) stall_pending_ep_ += cycles;
 }
 
 // ---- issue -----------------------------------------------------------------
@@ -346,26 +466,24 @@ void Pipeline::select_stage() {
       bool fwd = false;
       if (!load_may_issue(*p, &fwd)) continue;
     }
-    const u64 before = stats_.count("ev.select");
-    issue_one(*p);
-    if (stats_.count("ev.select") != before) {
+    if (issue_one(*p)) {
       --width;
       ++issued;
     }
   }
   // Utilization diagnostics (consumed by tests and the ablation bench).
   if (cand.empty()) {
-    stats_.inc("sel.cycles_no_ready");
+    c_sel_no_ready_.inc();
   } else if (issued == 0) {
-    stats_.inc("sel.cycles_blocked");
+    c_sel_blocked_.inc();
   }
-  stats_.inc("sel.issued_total", static_cast<u64>(issued));
-  stats_.inc("sel.iq_occupancy_sum", static_cast<u64>(iq_count_));
-  stats_.inc("sel.window_sum", window_.size());
-  stats_.inc("sel.frontend_sum", frontend_.size());
+  c_sel_issued_.inc(static_cast<u64>(issued));
+  c_sel_iq_occ_.inc(static_cast<u64>(iq_count_));
+  c_sel_window_.inc(window_.size());
+  c_sel_frontend_.inc(frontend_.size());
 }
 
-void Pipeline::issue_one(InstState& is) {
+bool Pipeline::issue_one(InstState& is) {
   // Execution latency by class.
   Cycle exec_lat = 1;
   switch (is.di.op) {
@@ -374,18 +492,18 @@ void Pipeline::issue_one(InstState& is) {
     case isa::OpClass::kLoad: {
       bool fwd = false;
       (void)load_may_issue(is, &fwd);
-      stats_.inc("ev.lsq_search");
+      c_lsq_search_.inc();
       if (fwd) {
         exec_lat = 2;  // store-to-load forward
-        stats_.inc("ev.stl_forward");
+        c_stl_forward_.inc();
       } else {
         exec_lat = 1 + memory_.load_latency(is.di.mem_addr);
-        stats_.inc("ev.dcache_read");
+        c_dcache_read_.inc();
       }
       break;
     }
     case isa::OpClass::kStore:
-      stats_.inc("ev.lsq_search");
+      c_lsq_search_.inc();
       break;
     default:
       break;
@@ -423,7 +541,7 @@ void Pipeline::issue_one(InstState& is) {
   if (is.safe_mode) lat_delta += 1;  // replayed instance runs padded
 
   const int fu = fus_.allocate(is.di.op, now_, exec_lat + lat_delta, fu_extra);
-  if (fu < 0) return;  // structural hazard; retry next cycle
+  if (fu < 0) return false;  // structural hazard; retry next cycle
   if (wb_slot_freeze) ++slots_frozen_next_;
   // LSQ CAM spacing (Sec 3.3.4): no load/store may perform a CAM search in
   // the cycle right behind a predicted-faulty memory-stage instruction.
@@ -435,17 +553,9 @@ void Pipeline::issue_one(InstState& is) {
   is.in_iq = false;
   --iq_count_;
   if (observer_ != nullptr) observer_->on_issue(is.di.seq, is.pred_fault);
-  stats_.inc("ev.select");
-  stats_.inc("ev.regread");
-  switch (fus_.kind_of(fu)) {
-    case FuKind::kSimpleAlu: stats_.inc("ev.fu.alu"); break;
-    case FuKind::kComplexAlu:
-      stats_.inc(is.di.op == isa::OpClass::kIntDiv ? "ev.fu.div" : "ev.fu.mul");
-      break;
-    case FuKind::kBranch: stats_.inc("ev.fu.branch"); break;
-    case FuKind::kLoadPort:
-    case FuKind::kStorePort: stats_.inc("ev.fu.mem"); break;
-  }
+  c_select_.inc();
+  c_regread_.inc();
+  // (ev.fu.* accounting happens inside FuPool::allocate.)
 
   const Cycle wakeup = now_ + exec_lat + lat_delta;
   schedule(wakeup, EventKind::kBroadcast, is.di.seq);
@@ -458,23 +568,24 @@ void Pipeline::issue_one(InstState& is) {
   }
 
   if (is.actual_fault) {
-    stats_.inc("fault.actual");
-    stats_.inc(std::string("fault.stage.") + std::string(timing::to_string(is.actual_stage)));
+    c_fault_actual_.inc();
+    c_fault_stage_[static_cast<std::size_t>(is.actual_stage)].inc();
     const bool covered = is.pred_fault && is.pred_stage == is.actual_stage &&
                          (scheme_.vte || scheme_.error_padding);
     if (covered) {
       is.fault_handled = true;
-      stats_.inc("fault.handled");
+      c_fault_handled_.inc();
     } else {
       is.replay_scheduled = true;
       schedule(wakeup + 1, EventKind::kReplay, is.di.seq);
     }
   }
-  if (is.pred_fault) stats_.inc("fault.predicted");
-  if (is.pred_fault && !is.actual_fault) stats_.inc("fault.false_positive");
+  if (is.pred_fault) c_fault_predicted_.inc();
+  if (is.pred_fault && !is.actual_fault) c_fault_false_pos_.inc();
   if (scheme_.use_predictor && !is.pred_fault && is.actual_fault) {
-    stats_.inc("fault.false_negative");
+    c_fault_false_neg_.inc();
   }
+  return true;
 }
 
 // ---- dispatch ----------------------------------------------------------------
@@ -510,6 +621,7 @@ void Pipeline::dispatch_stage() {
       free_list_.pop_back();
       rename_map_[static_cast<std::size_t>(is.di.dst)] = is.phys_dst;
       phys_ready_[static_cast<std::size_t>(is.phys_dst)] = 0;
+      phys_producer_[static_cast<std::size_t>(is.phys_dst)] = fi.seq;
     }
     is.in_iq = true;
     ++iq_count_;
@@ -521,8 +633,8 @@ void Pipeline::dispatch_stage() {
     window_.push_back(std::move(is));
     frontend_.pop_front();
     --budget;
-    stats_.inc("ev.dispatch");
-    stats_.inc("ev.iq_write");
+    c_dispatch_.inc();
+    c_iq_write_.inc();
   }
 }
 
@@ -543,8 +655,8 @@ void Pipeline::fetch_stage() {
       fi.wrong_path = true;
       fi.arrive = now_ + static_cast<Cycle>(cfg_.frontend_depth);
       fi.history = bpred_.history();
-      stats_.inc("ev.fetch");
-      stats_.inc("ev.wrongpath_fetch");
+      c_fetch_.inc();
+      c_wrongpath_fetch_.inc();
       if (observer_ != nullptr) observer_->on_fetch(fi.seq, fi.di);
       frontend_.push_back(std::move(fi));
       --wp_budget;
@@ -569,7 +681,7 @@ void Pipeline::fetch_stage() {
     fi.di = ri.di;
     fi.safe_mode = ri.safe_mode;
     fi.seq = next_seq_++;
-    stats_.inc("ev.fetch");
+    c_fetch_.inc();
 
     const Cycle il = memory_.ifetch_latency(fi.di.pc);
     const Cycle extra = il > cfg_.l1i.latency ? il - cfg_.l1i.latency : 0;
@@ -591,7 +703,7 @@ void Pipeline::fetch_stage() {
         switch (iod.stage) {
           case timing::InOrderStage::kFetch:
           case timing::InOrderStage::kDecode: {
-            stats_.inc("fault.inorder.replay");
+            c_inorder_replay_.inc();
             const Cycle recovery = static_cast<Cycle>(cfg_.replay_recovery);
             fetch_stall_until_ = std::max(fetch_stall_until_, now_ + recovery);
             fi.arrive += recovery;
@@ -600,11 +712,12 @@ void Pipeline::fetch_stage() {
           case timing::InOrderStage::kRename:
           case timing::InOrderStage::kDispatch:
             if (scheme_.use_predictor) {
-              stats_.inc("fault.inorder.stall");
+              c_inorder_stall_.inc();
               fi.arrive += 1;  // stage completes in two cycles, inputs recirculate
             } else {
-              stats_.inc("fault.inorder.replay");
-              stall_pending_ += static_cast<int>(scheme_.micro_stall_cycles);
+              c_inorder_replay_.inc();
+              push_global_stall(static_cast<int>(scheme_.micro_stall_cycles),
+                                obs::CpiCause::kReplay);
             }
             break;
           case timing::InOrderStage::kRetire:
@@ -622,7 +735,7 @@ void Pipeline::fetch_stage() {
       bpred_.update(fi.di.pc, fi.di.taken, fi.di.next_pc);
       if (mispred) {
         bpred_.note_mispredict();
-        stats_.inc("branch.mispredict");
+        c_branch_mispredict_.inc();
         fetch_blocked_on_ = fi.seq;
         blocked = true;
         if (cfg_.model_wrong_path) {
@@ -645,9 +758,17 @@ void Pipeline::fetch_stage() {
 // ---- main loop -------------------------------------------------------------------
 
 void Pipeline::apply_global_stall() {
+  // A global-stall cycle loses the full commit width; EP padding drains
+  // first (deterministically) so mixed EP+replay queues attribute exactly.
   --stall_pending_;
+  obs::CpiCause cause = obs::CpiCause::kReplay;
+  if (stall_pending_ep_ > 0) {
+    --stall_pending_ep_;
+    cause = obs::CpiCause::kEpStall;
+  }
+  c_cpi_[static_cast<std::size_t>(cause)].inc(static_cast<u64>(cfg_.commit_width));
   shift_all_times(1);
-  stats_.inc("ev.stall_cycles");
+  c_stall_cycles_.inc();
 }
 
 bool Pipeline::step() {
@@ -678,17 +799,27 @@ bool Pipeline::step() {
   return true;
 }
 
-PipelineResult Pipeline::run(u64 max_committed, u64 warmup_committed) {
-  // Snapshot helper: cumulative stats including cache/bpred counters.
-  const auto snapshot = [this]() {
-    StatSet s = stats_;
-    memory_.export_stats(s);
-    s.inc("branch.lookups", bpred_.lookups());
-    s.inc("branch.mispredicts_total", bpred_.mispredicts());
-    s.inc("cycles", now_);
-    return s;
-  };
+StatSet Pipeline::snapshot_stats() const {
+  // The cold StatSet merged with every registry counter (which now includes
+  // the cache hierarchy and FU pool) plus branch-predictor state and the
+  // cycle count.  Cold path: string lookups are fine here.
+  StatSet s = stats_;
+  registry_.export_to(s);
+  s.inc("branch.lookups", bpred_.lookups());
+  s.inc("branch.mispredicts_total", bpred_.mispredicts());
+  s.inc("cycles", now_);
+  return s;
+}
 
+obs::CpiStack Pipeline::cpi_stack() const {
+  obs::CpiStack st;
+  for (int i = 0; i < obs::kNumCpiCauses; ++i) {
+    st.slots[static_cast<std::size_t>(i)] = c_cpi_[static_cast<std::size_t>(i)].value();
+  }
+  return st;
+}
+
+PipelineResult Pipeline::run(u64 max_committed, u64 warmup_committed) {
   StatSet base;
   u64 base_committed = 0;
   Cycle base_cycles = 0;
@@ -696,7 +827,7 @@ PipelineResult Pipeline::run(u64 max_committed, u64 warmup_committed) {
     commit_limit_ = warmup_committed;
     while (committed_ < warmup_committed && step()) {
     }
-    base = snapshot();
+    base = snapshot_stats();
     base_committed = committed_;
     base_cycles = now_;
   }
@@ -709,10 +840,13 @@ PipelineResult Pipeline::run(u64 max_committed, u64 warmup_committed) {
   PipelineResult r;
   r.committed = committed_ - base_committed;
   r.cycles = now_ - base_cycles;
-  r.stats = snapshot().diff(base);
+  r.stats = snapshot_stats().diff(base);
   r.stats.set("ipc", r.committed == 0 || r.cycles == 0
                          ? 0.0
                          : static_cast<double>(r.committed) / static_cast<double>(r.cycles));
+  // The measured window's CPI stack; cpi.* counters are monotonic, so the
+  // warmup diff above already windowed them.
+  r.cpi = obs::CpiStack::from_stats(r.stats);
   return r;
 }
 

@@ -17,12 +17,15 @@
 #ifndef VASIM_CPU_PIPELINE_HPP
 #define VASIM_CPU_PIPELINE_HPP
 
+#include <array>
 #include <deque>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "src/common/stats.hpp"
+#include "src/obs/cpi.hpp"
+#include "src/obs/registry.hpp"
 #include "src/cpu/branch_pred.hpp"
 #include "src/cpu/cache.hpp"
 #include "src/cpu/config.hpp"
@@ -39,6 +42,9 @@ struct PipelineResult {
   u64 committed = 0;
   Cycle cycles = 0;
   StatSet stats;
+  /// Per-cause commit-slot attribution for the measured window; the
+  /// invariant cpi.total() == cycles * commit_width always holds.
+  obs::CpiStack cpi;
 
   [[nodiscard]] double ipc() const {
     return cycles == 0 ? 0.0 : static_cast<double>(committed) / static_cast<double>(cycles);
@@ -65,11 +71,30 @@ class Pipeline {
 
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] u64 committed() const { return committed_; }
+  /// Cold-path StatSet only (registry counters live elsewhere); use
+  /// snapshot_stats() for the complete picture.
   [[nodiscard]] const StatSet& stats() const { return stats_; }
   [[nodiscard]] StatSet& stats() { return stats_; }
-  /// Attaches a lifecycle observer (e.g. KanataTraceWriter); non-owning,
-  /// may be null.
-  void set_observer(PipelineObserver* observer) { observer_ = observer; }
+  /// Cumulative run-so-far statistics: the cold StatSet merged with every
+  /// registry counter, cache/branch-predictor state and the cycle count.
+  [[nodiscard]] StatSet snapshot_stats() const;
+  /// The zero-lookup metric registry backing the hot-path counters.
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+  /// Cumulative CPI stack (commit-slot attribution) since construction.
+  [[nodiscard]] obs::CpiStack cpi_stack() const;
+
+  /// Replaces all attached observers with `observer` (null detaches
+  /// everything).  Thin wrapper over the ObserverMux; non-owning.
+  void set_observer(PipelineObserver* observer) {
+    observer_mux_.clear();
+    add_observer(observer);
+  }
+  /// Attaches an additional lifecycle observer (e.g. a KanataTraceWriter
+  /// and a TraceObserver at the same time); non-owning, null ignored.
+  void add_observer(PipelineObserver* observer) {
+    observer_mux_.add(observer);
+    observer_ = observer_mux_.as_observer();
+  }
 
   [[nodiscard]] const MemoryHierarchy& memory() const { return memory_; }
   [[nodiscard]] const BranchPredictor& branch_predictor() const { return bpred_; }
@@ -138,7 +163,14 @@ class Pipeline {
   [[nodiscard]] InstState* find(SeqNum seq);
   [[nodiscard]] bool operands_ready(const InstState& is) const;
   [[nodiscard]] bool load_may_issue(const InstState& load, bool* forwarded);
-  void issue_one(InstState& is);
+  /// Returns true when the instruction actually left the queue this cycle.
+  bool issue_one(InstState& is);
+  /// Why no instruction can retire this cycle (CPI-stack attribution).
+  [[nodiscard]] obs::CpiCause classify_empty_window() const;
+  [[nodiscard]] obs::CpiCause classify_unretirable_head(const InstState& head);
+  /// Queues `cycles` global-stall cycles attributed to `cause` (EP stall or
+  /// replay recirculation).
+  void push_global_stall(int cycles, obs::CpiCause cause);
   void do_replay(SeqNum seq);
   /// Squashes every instruction younger than `last_kept`; when
   /// `refetch_true_path` is set, squashed true-path work re-enters the
@@ -157,9 +189,27 @@ class Pipeline {
   CoreConfig cfg_;
   SchemeConfig scheme_;
   PipelineObserver* observer_ = nullptr;
+  ObserverMux observer_mux_;
   isa::InstructionSource* source_;
   const timing::FaultModel* fault_model_;
   FaultPredictor* predictor_;
+
+  // ---- metrics --------------------------------------------------------------
+  // Declared before the components so memory_/fus_ can register their
+  // counters during construction.
+  obs::Registry registry_;
+  // Hot-path counter handles, registered once in the constructor; each
+  // increment is a single pointer bump (no string hashing per event).
+  obs::Counter c_broadcast_, c_wakeup_match_, c_ep_stalls_, c_replays_,
+      c_squash_, c_dcache_write_, c_committed_faulty_, c_commit_,
+      c_inorder_stall_, c_inorder_replay_, c_sel_no_ready_, c_sel_blocked_,
+      c_sel_issued_, c_sel_iq_occ_, c_sel_window_, c_sel_frontend_, c_select_,
+      c_regread_, c_lsq_search_, c_stl_forward_, c_dcache_read_,
+      c_fault_actual_, c_fault_handled_, c_fault_predicted_,
+      c_fault_false_pos_, c_fault_false_neg_, c_dispatch_, c_iq_write_,
+      c_fetch_, c_wrongpath_fetch_, c_branch_mispredict_, c_stall_cycles_;
+  std::array<obs::Counter, timing::kNumOooStages> c_fault_stage_{};
+  std::array<obs::Counter, obs::kNumCpiCauses> c_cpi_{};
 
   // ---- components -----------------------------------------------------------
   MemoryHierarchy memory_;
@@ -170,6 +220,7 @@ class Pipeline {
   std::vector<int> rename_map_;   // arch -> phys
   std::vector<int> free_list_;    // stack of free phys regs
   std::vector<u8> phys_ready_;
+  std::vector<SeqNum> phys_producer_;  // phys reg -> producing seq (CPI attribution)
 
   // ---- windows ----------------------------------------------------------------
   std::deque<InstState> window_;      ///< ROB, ordered by seq; front = head
@@ -200,6 +251,8 @@ class Pipeline {
   bool wrong_path_active_ = false;          ///< fetching down the wrong path
   Pc wrong_path_pc_ = 0;
   int stall_pending_ = 0;            ///< queued global-stall cycles
+  int stall_pending_ep_ = 0;         ///< how many of those are EP padding
+  Cycle squash_recover_until_ = 0;   ///< replay squash still refilling the ROB
   int slots_frozen_now_ = 0;         ///< issue slots frozen this cycle (VTE)
   int slots_frozen_next_ = 0;
   bool mem_blocked_now_ = false;     ///< LSQ CAM spacing (VTE memory stage)

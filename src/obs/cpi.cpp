@@ -1,0 +1,28 @@
+#include "src/obs/cpi.hpp"
+
+namespace vasim::obs {
+
+std::string cpi_counter_name(CpiCause c) { return "cpi." + std::string(to_string(c)); }
+
+u64 CpiStack::total() const {
+  u64 t = 0;
+  for (const u64 s : slots) t += s;
+  return t;
+}
+
+double CpiStack::cpi_of(CpiCause c, int commit_width, u64 committed) const {
+  if (commit_width <= 0 || committed == 0) return 0.0;
+  return static_cast<double>((*this)[c]) /
+         (static_cast<double>(commit_width) * static_cast<double>(committed));
+}
+
+CpiStack CpiStack::from_stats(const StatSet& stats) {
+  CpiStack st;
+  for (int i = 0; i < kNumCpiCauses; ++i) {
+    const auto c = static_cast<CpiCause>(i);
+    st[c] = stats.count(cpi_counter_name(c));
+  }
+  return st;
+}
+
+}  // namespace vasim::obs

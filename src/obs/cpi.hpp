@@ -1,0 +1,90 @@
+// CPI-stack cycle accounting: where did every commit slot go?
+//
+// The paper's comparison of fault-tolerance schemes is an argument about
+// cycle attribution -- replay storms under Razor, global stalls under Error
+// Padding, localized slot freezes and delayed broadcasts under the VTE --
+// so the simulator attributes EVERY commit slot of every cycle to exactly
+// one cause.  The hard invariant
+//
+//     sum over causes(slots) == cycles * commit_width
+//
+// holds for any scheme, workload and measurement window (it is enforced by
+// tests/test_obs.cpp across the whole sweep grid).  CPI contribution of a
+// cause is slots / (commit_width * committed).
+//
+// Attribution rules (evaluated once per cycle at the retire stage; all slots
+// lost in one cycle share the cause of the ROB head):
+//   base            slot committed an instruction (useful work)
+//   frontend        ROB empty: fetch/decode latency, icache misses,
+//                   mispredict redirect, source drain
+//   squash_refetch  ROB empty because a replay squash is being refetched
+//   data_dep        head waits on operands or a non-memory execution chain
+//   memory          head is (or waits on) a load/store in flight
+//   slot_freeze     head delayed by a VTE slot freeze / frozen issue slot,
+//                   or its own predicted-fault extra cycle
+//   delayed_bcast   head's producer broadcasts late (VTE extended latency)
+//   ep_stall        Error-Padding global stall cycle
+//   replay          Razor replay micro-stall, squashless recovery, or a
+//                   retire-stage violation's extra retire cycle
+#ifndef VASIM_OBS_CPI_HPP
+#define VASIM_OBS_CPI_HPP
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+
+namespace vasim::obs {
+
+enum class CpiCause : int {
+  kBase = 0,
+  kFrontend = 1,
+  kDataDep = 2,
+  kMemory = 3,
+  kSlotFreeze = 4,
+  kDelayedBroadcast = 5,
+  kEpStall = 6,
+  kReplay = 7,
+  kSquashRefetch = 8,
+};
+
+inline constexpr int kNumCpiCauses = 9;
+
+/// Short machine name ("base", "frontend", ...) -- also the suffix of the
+/// exported StatSet counter "cpi.<name>".
+constexpr std::string_view to_string(CpiCause c) {
+  constexpr std::array<std::string_view, kNumCpiCauses> names = {
+      "base",     "frontend",      "data_dep", "memory",        "slot_freeze",
+      "delayed_bcast", "ep_stall", "replay",   "squash_refetch"};
+  return names[static_cast<int>(c)];
+}
+
+/// StatSet counter name for a cause ("cpi.base", ...).
+std::string cpi_counter_name(CpiCause c);
+
+/// A complete per-cause slot attribution for one run (or one measurement
+/// window).  Plain aggregate so it rides inside RunResult by value.
+struct CpiStack {
+  std::array<u64, kNumCpiCauses> slots{};
+
+  [[nodiscard]] u64& operator[](CpiCause c) { return slots[static_cast<int>(c)]; }
+  [[nodiscard]] u64 operator[](CpiCause c) const { return slots[static_cast<int>(c)]; }
+
+  /// Total attributed slots; the invariant pins this to cycles*commit_width.
+  [[nodiscard]] u64 total() const;
+
+  /// Lost (non-base) slots.
+  [[nodiscard]] u64 lost() const { return total() - slots[0]; }
+
+  /// CPI contribution of one cause: slots / (width * committed).
+  [[nodiscard]] double cpi_of(CpiCause c, int commit_width, u64 committed) const;
+
+  /// Rebuilds a stack from the "cpi.*" counters a pipeline run exported.
+  [[nodiscard]] static CpiStack from_stats(const StatSet& stats);
+};
+
+}  // namespace vasim::obs
+
+#endif  // VASIM_OBS_CPI_HPP

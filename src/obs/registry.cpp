@@ -1,0 +1,76 @@
+#include "src/obs/registry.hpp"
+
+namespace vasim::obs {
+
+Counter Registry::counter(std::string_view name) {
+  if (const auto it = counter_index_.find(name); it != counter_index_.end()) {
+    return Counter(it->second);
+  }
+  counter_values_.push_back(0);
+  u64* slot = &counter_values_.back();
+  counter_names_.emplace_back(name);
+  counter_index_.emplace(std::string(name), slot);
+  return Counter(slot);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return Gauge(it->second);
+  }
+  gauge_values_.push_back(0.0);
+  double* slot = &gauge_values_.back();
+  gauge_names_.emplace_back(name);
+  gauge_index_.emplace(std::string(name), slot);
+  return Gauge(slot);
+}
+
+Histogram* Registry::histogram(std::string_view name, double lo, double hi,
+                               std::size_t buckets) {
+  if (const auto it = histogram_index_.find(name); it != histogram_index_.end()) {
+    return it->second;
+  }
+  histograms_.emplace_back(lo, hi, buckets);
+  Histogram* slot = &histograms_.back();
+  histogram_names_.emplace_back(name);
+  histogram_index_.emplace(std::string(name), slot);
+  return slot;
+}
+
+u64 Registry::counter_value(std::string_view name) const {
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? 0 : *it->second;
+}
+
+void Registry::export_to(StatSet& s) const {
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    const u64 v = counter_values_[i];
+    if (v != 0) s.inc(counter_names_[i], v);
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    s.set(gauge_names_[i], gauge_values_[i]);
+  }
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    const Histogram& h = histograms_[i];
+    if (h.total() == 0) continue;
+    s.set(histogram_names_[i] + ".mean", h.mean());
+    s.set(histogram_names_[i] + ".p50", h.quantile(0.5));
+    s.set(histogram_names_[i] + ".p99", h.quantile(0.99));
+  }
+}
+
+void Registry::reset() {
+  for (u64& v : counter_values_) v = 0;
+  for (double& v : gauge_values_) v = 0.0;
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    // Histogram has no clear(); rebuild in place with the same geometry.
+    const double lo = histograms_[i].bucket_lo(0);
+    const double width =
+        histograms_[i].buckets().size() > 1
+            ? histograms_[i].bucket_lo(1) - histograms_[i].bucket_lo(0)
+            : 1.0;
+    const std::size_t n = histograms_[i].buckets().size();
+    histograms_[i] = Histogram(lo, lo + width * static_cast<double>(n), n);
+  }
+}
+
+}  // namespace vasim::obs

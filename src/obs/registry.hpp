@@ -1,0 +1,121 @@
+// Zero-lookup metrics registry.
+//
+// A Registry interns metric names once, at registration time, and hands back
+// small handles (Counter = u64*, Gauge = double*) whose updates are a single
+// pointer bump -- no per-event string hashing or std::map walk.  The hot
+// simulation loops (Pipeline, FuPool, MemoryHierarchy) pre-register their
+// counters at construction and touch only handles per cycle; at run end the
+// registry exports back into the existing StatSet under identical names, so
+// RunResult consumers, the JSON sinks and the tier-1 tests are oblivious to
+// the storage change.
+//
+// Value storage is a std::deque<u64>: addresses are stable for the life of
+// the registry (handles never dangle) and values sit densely packed in the
+// deque's chunked blocks, so a run's working set of counters spans a handful
+// of cache lines instead of a map node per name.
+//
+// Not thread-safe: one Registry per Pipeline, which is single-threaded by
+// construction (the sweep engine parallelizes across pipelines, never within
+// one).
+#ifndef VASIM_OBS_REGISTRY_HPP
+#define VASIM_OBS_REGISTRY_HPP
+
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+
+namespace vasim::obs {
+
+class Registry;
+
+/// Monotonic counter handle: one pointer bump per increment.  Default
+/// constructed handles are invalid and must not be incremented; Registry is
+/// the only way to obtain a valid one.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(u64 delta = 1) { *v_ += delta; }
+  [[nodiscard]] u64 value() const { return *v_; }
+  [[nodiscard]] bool valid() const { return v_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(u64* v) : v_(v) {}
+  u64* v_ = nullptr;
+};
+
+/// Scalar gauge handle (last-write-wins double).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) { *v_ = v; }
+  void add(double v) { *v_ += v; }
+  [[nodiscard]] double value() const { return *v_; }
+  [[nodiscard]] bool valid() const { return v_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(double* v) : v_(v) {}
+  double* v_ = nullptr;
+};
+
+/// Interned-name metric registry.  Registration is idempotent: asking for an
+/// existing name returns a handle to the same storage, so two components can
+/// share a counter by name.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;  // handles would alias the original
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or finds) counter `name`.  O(log n) once, never on the hot
+  /// path.
+  Counter counter(std::string_view name);
+
+  /// Registers (or finds) gauge `name`.
+  Gauge gauge(std::string_view name);
+
+  /// Registers (or finds) histogram `name` over [lo, hi) with `buckets`
+  /// fixed-width bins.  The pointer stays valid for the registry's life;
+  /// geometry arguments are ignored when the name already exists.
+  Histogram* histogram(std::string_view name, double lo, double hi, std::size_t buckets);
+
+  /// Counter value by name; 0 when never registered.
+  [[nodiscard]] u64 counter_value(std::string_view name) const;
+
+  /// Exports into `s`: every non-zero counter via StatSet::inc (matching the
+  /// historical create-on-first-increment semantics), every gauge via set,
+  /// and every non-empty histogram as <name>.mean / <name>.p50 / <name>.p99
+  /// scalars.
+  void export_to(StatSet& s) const;
+
+  /// Zeroes every counter and gauge (histograms are re-created).  Handles
+  /// stay valid.
+  void reset();
+
+  [[nodiscard]] std::size_t num_counters() const { return counter_names_.size(); }
+
+ private:
+  // Deques give pointer stability; parallel name vectors keep insertion
+  // order for export without touching the value storage.
+  std::deque<u64> counter_values_;
+  std::vector<std::string> counter_names_;
+  std::map<std::string, u64*, std::less<>> counter_index_;
+
+  std::deque<double> gauge_values_;
+  std::vector<std::string> gauge_names_;
+  std::map<std::string, double*, std::less<>> gauge_index_;
+
+  std::deque<Histogram> histograms_;
+  std::vector<std::string> histogram_names_;
+  std::map<std::string, Histogram*, std::less<>> histogram_index_;
+};
+
+}  // namespace vasim::obs
+
+#endif  // VASIM_OBS_REGISTRY_HPP

@@ -1,6 +1,7 @@
 // Tests for the pipeline observer hooks and the Kanata trace writer.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -116,6 +117,90 @@ TEST(Kanata, WellFormedTrace) {
     ++retires;
   }
   EXPECT_EQ(retires, writer.instructions_logged());
+}
+
+TEST(Kanata, SquashEmitsFlushRetirementsAndRefetchRestartsRows) {
+  const auto prof = workload::spec2006_profile("gobmk");
+  workload::TraceGenerator g(prof);
+  timing::PathModelConfig pcfg{prof.seed, 0.12, 0.04};
+  const timing::FaultModel fm(pcfg, 0.97);
+  SchemeConfig razor = scheme_razor();
+  razor.recovery = RecoveryModel::kSquashRefetch;
+  CoreConfig cfg;
+  Pipeline p(cfg, razor, &g, &fm, nullptr);
+  std::ostringstream trace;
+  KanataTraceWriter writer(&trace, 100'000);
+  p.set_observer(&writer);
+  const PipelineResult r = p.run(5000);
+  ASSERT_GT(r.stats.count("ev.squash"), 0u) << "test needs at least one squash";
+
+  // Split the log into lines and tally per-record-type counts.
+  const std::string t = trace.str();
+  u64 flushes = 0, retires = 0;
+  std::map<std::string, int> fetches_of;  // I-line count per seq id
+  std::istringstream lines(t);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("R\t", 0) == 0) {
+      // R <id> <retire-id> <type>; type 1 = flushed by a squash.
+      (line.size() >= 2 && line.compare(line.size() - 2, 2, "\t1") == 0) ? ++flushes : ++retires;
+    } else if (line.rfind("I\t", 0) == 0) {
+      ++fetches_of[line.substr(2, line.find('\t', 2) - 2)];
+    }
+  }
+  EXPECT_EQ(flushes, r.stats.count("ev.squash"))
+      << "every squashed instruction gets a type-1 retirement";
+  EXPECT_EQ(retires, r.committed) << "every committed instruction gets a normal retirement";
+  // The refetch after a squash re-assigns the same SeqNums, so at least one
+  // id must have been fetched (I-line) more than once.
+  int refetched = 0;
+  for (const auto& [id, n] : fetches_of) refetched += n > 1 ? 1 : 0;
+  EXPECT_GT(refetched, 0) << "squash-refetch re-fetches the flushed ids";
+}
+
+TEST(Kanata, MicroReplayHasNoFlushRecords) {
+  // Razor's default recovery is the squashless micro-replay: faults replay
+  // in place, so the Kanata log must contain normal retirements only.
+  const auto prof = workload::spec2006_profile("gobmk");
+  workload::TraceGenerator g(prof);
+  timing::PathModelConfig pcfg{prof.seed, 0.12, 0.04};
+  const timing::FaultModel fm(pcfg, 0.97);
+  CoreConfig cfg;
+  Pipeline p(cfg, scheme_razor(), &g, &fm, nullptr);
+  std::ostringstream trace;
+  KanataTraceWriter writer(&trace, 100'000);
+  p.set_observer(&writer);
+  const PipelineResult r = p.run(3000);
+  ASSERT_GT(r.stats.count("fault.replays"), 0u) << "test needs at least one replay";
+  EXPECT_EQ(trace.str().find("\t0\t1\n"), std::string::npos) << "no flushed retirements";
+}
+
+TEST(ObserverMux, FansEventsOutToEveryObserver) {
+  const auto prof = workload::spec2006_profile("gobmk");
+  workload::TraceGenerator g(prof);
+  CoreConfig cfg;
+  Pipeline p(cfg, scheme_fault_free(), &g, nullptr, nullptr);
+  CountingObserver a, b;
+  p.add_observer(&a);
+  p.add_observer(&b);
+  const PipelineResult r = p.run(2000);
+  EXPECT_EQ(a.commits, r.committed);
+  EXPECT_EQ(b.commits, r.committed);
+  EXPECT_EQ(a.fetches, b.fetches);
+  EXPECT_EQ(a.issues, b.issues);
+}
+
+TEST(ObserverMux, SetObserverReplacesInsteadOfAccumulating) {
+  const auto prof = workload::spec2006_profile("gobmk");
+  workload::TraceGenerator g(prof);
+  CoreConfig cfg;
+  Pipeline p(cfg, scheme_fault_free(), &g, nullptr, nullptr);
+  CountingObserver old_obs, new_obs;
+  p.set_observer(&old_obs);
+  p.set_observer(&new_obs);
+  const PipelineResult r = p.run(1000);
+  EXPECT_EQ(old_obs.commits, 0u) << "replaced observer must see nothing";
+  EXPECT_EQ(new_obs.commits, r.committed);
 }
 
 TEST(Kanata, CapsLogSize) {

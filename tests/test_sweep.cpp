@@ -123,10 +123,12 @@ TEST(SweepJson, EmitsValidStructure) {
   core::write_sweep_json(os, "unit", report);
   const std::string json = os.str();
   EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"workers\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"razor\""), std::string::npos);
   EXPECT_NE(json.find("\"checksum\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpi\""), std::string::npos);
+  EXPECT_NE(json.find("\"squash_refetch\""), std::string::npos);
   // Every job serialized.
   std::size_t count = 0;
   for (std::size_t at = json.find("\"benchmark\""); at != std::string::npos;

@@ -5,14 +5,18 @@
 //       List the available benchmark profiles and schemes.
 //   vasim run --bench <name> --scheme <name> [--vdd V] [--instr N]
 //             [--warmup N] [--predictor tep|mre|tvp] [--kanata FILE]
-//             [--stats] [--csv]
+//             [--trace FILE] [--stats] [--csv] [--cpi]
 //       Run one simulation and print a summary (or CSV row / full stats).
+//       --cpi adds the per-cause commit-slot (CPI stack) table; --trace
+//       writes per-instruction Chrome-trace JSON for Perfetto.
 //   vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]
-//               [--json FILE]
+//               [--json FILE] [--trace FILE] [--cpi] [--progress]
 //       Run every scheme at both faulty supplies for one benchmark (or the
 //       whole suite), fanned out over a thread pool (VASIM_JOBS or --jobs;
 //       results are deterministic at any worker count), optionally dumping
-//       the machine-readable JSON result sink to FILE.
+//       the machine-readable JSON result sink to FILE, a Chrome-trace span
+//       per job to --trace, per-scheme CPI stacks with --cpi, and a live
+//       done/total + ETA line on stderr with --progress.
 //   vasim record --bench <name> --out FILE [--instr N]
 //       Capture a committed-path trace to a vasim-trace file.
 //   vasim replay --trace FILE --scheme <name> [--vdd V] [--instr N]
@@ -29,6 +33,8 @@
 #include "src/core/runner.hpp"
 #include "src/core/sweep.hpp"
 #include "src/cpu/observer.hpp"
+#include "src/obs/cpi.hpp"
+#include "src/obs/trace.hpp"
 #include "src/workload/trace_file.hpp"
 #include "src/workload/trace_generator.hpp"
 
@@ -55,7 +61,7 @@ std::optional<Args> parse(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) return std::nullopt;
     key = key.substr(2);
-    if (key == "stats" || key == "csv") {
+    if (key == "stats" || key == "csv" || key == "cpi" || key == "progress") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return std::nullopt;
@@ -71,9 +77,9 @@ int usage() {
             << "  vasim run --bench <name> --scheme "
                "fault-free|razor|ep|abs|ffs|cds [--vdd V]\n"
             << "            [--instr N] [--warmup N] [--predictor tep|mre|tvp]\n"
-            << "            [--kanata FILE] [--stats] [--csv]\n"
+            << "            [--kanata FILE] [--trace FILE] [--stats] [--csv] [--cpi]\n"
             << "  vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]\n"
-            << "              [--json FILE]\n";
+            << "              [--json FILE] [--trace FILE] [--cpi] [--progress]\n";
   return 2;
 }
 
@@ -104,9 +110,11 @@ core::RunnerConfig runner_config(const Args& args) {
 
 void print_result(const core::RunResult& r, const core::RunResult* baseline, bool csv) {
   if (csv) {
+    // Columns mirror the sweep JSON schema (docs/sweep.md) field for field.
     std::cout << r.benchmark << "," << r.scheme << "," << r.vdd << "," << r.committed << ","
               << r.cycles << "," << TextTable::fmt(r.ipc, 4) << ","
               << TextTable::fmt(r.fault_rate_pct, 3) << "," << r.replays << ","
+              << TextTable::fmt(r.predictor_accuracy, 4) << ","
               << TextTable::fmt(r.energy.total_nj(), 1) << ","
               << TextTable::fmt(r.energy.edp, 0) << "\n";
     return;
@@ -120,6 +128,24 @@ void print_result(const core::RunResult& r, const core::RunResult* baseline, boo
     std::cout << "  vs fault-free: perf overhead " << TextTable::fmt(o.perf_pct, 2)
               << "%, ED overhead " << TextTable::fmt(o.ed_pct, 2) << "%\n";
   }
+}
+
+void print_cpi_table(const std::string& title, const obs::CpiStack& cpi, int commit_width,
+                     u64 committed) {
+  TextTable t({"cause", "slots", "cpi", "share%"});
+  const u64 total = cpi.total();
+  for (int c = 0; c < obs::kNumCpiCauses; ++c) {
+    const auto cause = static_cast<obs::CpiCause>(c);
+    const u64 slots = cpi[cause];
+    if (slots == 0 && cause != obs::CpiCause::kBase) continue;
+    t.add_row({std::string(obs::to_string(cause)), std::to_string(slots),
+               TextTable::fmt(cpi.cpi_of(cause, commit_width, committed), 4),
+               TextTable::fmt(total == 0 ? 0.0
+                                         : static_cast<double>(slots) /
+                                               static_cast<double>(total) * 100.0,
+                              1)});
+  }
+  std::cout << t.render("CPI stack: " + title) << "\n";
 }
 
 int cmd_run(const Args& args) {
@@ -140,8 +166,9 @@ int cmd_run(const Args& args) {
   const core::RunnerConfig rc = runner_config(args);
   const core::ExperimentRunner runner(rc);
 
-  if (args.has("kanata")) {
-    // Kanata dumps need a hand-built pipeline to attach the observer.
+  if (args.has("kanata") || args.has("trace")) {
+    // Trace dumps need a hand-built pipeline to attach observers; both
+    // writers can ride the same run through the ObserverMux.
     workload::TraceGenerator gen(prof);
     timing::PathModelConfig pcfg;
     pcfg.seed = prof.seed;
@@ -151,14 +178,39 @@ int cmd_run(const Args& args) {
     core::TimingErrorPredictor tep(rc.tep, &fm.environment());
     cpu::Pipeline pipe(rc.core, *scheme, &gen, &fm,
                        scheme->use_predictor ? &tep : nullptr);
-    std::ofstream out(args.get("kanata", "trace.kanata"));
-    cpu::KanataTraceWriter writer(&out, 20'000);
-    pipe.set_observer(&writer);
+    std::unique_ptr<std::ofstream> kanata_out;
+    std::unique_ptr<cpu::KanataTraceWriter> kanata;
+    if (args.has("kanata")) {
+      kanata_out = std::make_unique<std::ofstream>(args.get("kanata", "trace.kanata"));
+      kanata = std::make_unique<cpu::KanataTraceWriter>(kanata_out.get(), 20'000);
+      pipe.add_observer(kanata.get());
+    }
+    std::unique_ptr<std::ofstream> trace_out;
+    std::unique_ptr<obs::ChromeTraceWriter> trace;
+    std::unique_ptr<cpu::TraceObserver> trace_obs;
+    if (args.has("trace")) {
+      trace_out = std::make_unique<std::ofstream>(args.get("trace", "trace.json"));
+      trace = std::make_unique<obs::ChromeTraceWriter>(trace_out.get());
+      trace_obs = std::make_unique<cpu::TraceObserver>(trace.get(), 20'000);
+      pipe.add_observer(trace_obs.get());
+    }
     const cpu::PipelineResult pr = pipe.run(rc.instructions, rc.warmup);
     std::cout << "committed " << pr.committed << " in " << pr.cycles << " cycles (IPC "
-              << TextTable::fmt(pr.ipc()) << "); Kanata trace with "
-              << writer.instructions_logged() << " instructions written to "
-              << args.get("kanata", "") << "\n";
+              << TextTable::fmt(pr.ipc()) << ")\n";
+    if (kanata) {
+      std::cout << "Kanata trace with " << kanata->instructions_logged()
+                << " instructions written to " << args.get("kanata", "") << "\n";
+    }
+    if (trace) {
+      trace->finish();
+      std::cout << "Chrome trace with " << trace_obs->instructions_traced()
+                << " instructions written to " << args.get("trace", "")
+                << " (open in ui.perfetto.dev)\n";
+    }
+    if (args.has("cpi")) {
+      print_cpi_table(prof.name + "/" + scheme->name, pr.cpi, rc.core.commit_width,
+                      pr.committed);
+    }
     return 0;
   }
 
@@ -168,10 +220,14 @@ int cmd_run(const Args& args) {
   std::optional<core::RunResult> baseline;
   if (scheme->name != "fault-free") baseline = runner.run_fault_free(prof, vdd);
   if (args.has("csv")) {
-    std::cout << "benchmark,scheme,vdd,committed,cycles,ipc,fr_pct,replays,energy_nj,edp\n";
+    std::cout << "benchmark,scheme,vdd,committed,cycles,ipc,fault_rate_pct,replays,"
+                 "predictor_accuracy,energy_nj,edp\n";
   }
   print_result(r, baseline ? &*baseline : nullptr, args.has("csv"));
   if (args.has("stats")) std::cout << "\n" << r.stats.to_string();
+  if (args.has("cpi")) {
+    print_cpi_table(prof.name + "/" + scheme->name, r.cpi, rc.core.commit_width, r.committed);
+  }
   return 0;
 }
 
@@ -193,7 +249,8 @@ int cmd_sweep(const Args& args) {
   const std::size_t workers =
       args.has("jobs") ? std::strtoull(args.get("jobs", "1").c_str(), nullptr, 10)
                        : core::sweep_workers_from_env();
-  const core::SweepRunner sweeper(runner_config(args), workers);
+  core::SweepRunner sweeper(runner_config(args), workers);
+  if (args.has("progress")) sweeper.set_progress(true);
 
   // (fault-free + every scheme) x both faulty supplies per profile, one
   // thread-pooled grid; results come back in submission order.
@@ -209,9 +266,11 @@ int cmd_sweep(const Args& args) {
   }
   const core::SweepReport report = sweeper.run(jobs);
 
+  const int commit_width = sweeper.config().core.commit_width;
   std::size_t at = 0;
   for (const auto& prof : profiles) {
     for (const double vdd : vdds) {
+      const std::size_t base_at = at;
       const core::RunResult& base = report.jobs[at++].result;
       TextTable t({"scheme", "IPC", "FR%", "replays", "perf-ovh%", "ED-ovh%"});
       t.add_row({"fault-free", TextTable::fmt(base.ipc), "-", "-", "0.00", "0.00"});
@@ -223,6 +282,31 @@ int cmd_sweep(const Args& args) {
                    TextTable::fmt(o.ed_pct, 2)});
       }
       std::cout << t.render(prof.name + " @ " + TextTable::fmt(vdd, 2) + " V") << "\n";
+      if (args.has("cpi")) {
+        // One row per scheme, one column per cause: where every lost commit
+        // slot went, in cycles-per-instruction units.
+        std::vector<std::string> header = {"scheme"};
+        for (int c = 0; c < obs::kNumCpiCauses; ++c) {
+          header.emplace_back(obs::to_string(static_cast<obs::CpiCause>(c)));
+        }
+        header.emplace_back("cpi");
+        TextTable ct(header);
+        for (std::size_t j = base_at; j < at; ++j) {
+          const core::RunResult& r = report.jobs[j].result;
+          std::vector<std::string> row = {r.scheme};
+          for (int c = 0; c < obs::kNumCpiCauses; ++c) {
+            row.push_back(TextTable::fmt(
+                r.cpi.cpi_of(static_cast<obs::CpiCause>(c), commit_width, r.committed), 3));
+          }
+          row.push_back(TextTable::fmt(
+              r.committed == 0 ? 0.0
+                               : static_cast<double>(r.cycles) / static_cast<double>(r.committed),
+              3));
+          ct.add_row(row);
+        }
+        std::cout << ct.render("CPI stacks: " + prof.name + " @ " + TextTable::fmt(vdd, 2) + " V")
+                  << "\n";
+      }
     }
   }
   std::cout << report.jobs.size() << " runs in " << TextTable::fmt(report.wall_ms, 0)
@@ -236,6 +320,16 @@ int cmd_sweep(const Args& args) {
     }
     core::write_sweep_json(out, "cli_sweep", report);
     std::cout << "JSON results written to " << args.get("json", "") << "\n";
+  }
+  if (args.has("trace")) {
+    std::ofstream out(args.get("trace", ""));
+    if (!out) {
+      std::cerr << "cannot open " << args.get("trace", "") << "\n";
+      return 2;
+    }
+    core::write_chrome_trace(out, report);
+    std::cout << "Chrome trace written to " << args.get("trace", "")
+              << " (open in ui.perfetto.dev)\n";
   }
   return 0;
 }
