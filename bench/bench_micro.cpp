@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include <vector>
+
 #include "src/circuit/builders.hpp"
 #include "src/circuit/gatesim.hpp"
 #include "src/circuit/sta.hpp"
@@ -21,12 +23,41 @@
 #include "src/cpu/cache.hpp"
 #include "src/cpu/pipeline.hpp"
 #include "src/obs/registry.hpp"
+#include "src/timing/fault_model.hpp"
 #include "src/workload/profiles.hpp"
 #include "src/workload/trace_generator.hpp"
 
 namespace {
 
 using namespace vasim;
+
+/// Replays a pregenerated trace buffer so the timed region is the scheduler
+/// kernel (step() loop), not trace synthesis.
+class ReplaySource final : public isa::InstructionSource {
+ public:
+  explicit ReplaySource(const std::vector<isa::DynInst>* buf) : buf_(buf) {}
+  bool next(isa::DynInst& out) override {
+    out = (*buf_)[i_];
+    if (++i_ == buf_->size()) i_ = 0;
+    return true;
+  }
+  [[nodiscard]] std::string name() const override { return "replay"; }
+
+ private:
+  const std::vector<isa::DynInst>* buf_;
+  std::size_t i_ = 0;
+};
+
+const std::vector<isa::DynInst>& kernel_trace_buffer() {
+  static const std::vector<isa::DynInst> buf = [] {
+    const auto prof = workload::spec2006_profile("sjeng");
+    workload::TraceGenerator gen(prof);
+    std::vector<isa::DynInst> b(400'000);
+    for (isa::DynInst& d : b) gen.next(d);
+    return b;
+  }();
+  return buf;
+}
 
 void BM_TepPredict(benchmark::State& state) {
   core::TimingErrorPredictor tep;
@@ -146,6 +177,22 @@ void BM_PipelineWithFaultsAbs(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineWithFaultsAbs)->Unit(benchmark::kMillisecond);
 
+void BM_SchedKernelCycleLoop(benchmark::State& state) {
+  // Steady-state scheduler kernel: construction, warmup, and trace synthesis
+  // all happen outside the timed loop; each iteration is one pipeline step.
+  ReplaySource src(&kernel_trace_buffer());
+  cpu::CoreConfig cfg;
+  cpu::Pipeline p(cfg, cpu::scheme_fault_free(), &src, nullptr, nullptr);
+  while (p.committed() < 30'000) p.step();
+  const u64 before = p.committed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(p.committed() - before));
+  state.SetLabel("items=committed instructions");
+}
+BENCHMARK(BM_SchedKernelCycleLoop);
+
 // ---- stats-overhead record -------------------------------------------------
 
 /// Best-of-`reps` ns/op for `body(iters)` with a steady_clock around it.
@@ -214,6 +261,67 @@ void emit_stats_overhead_json() {
               map_ns, handle_ns, speedup);
 }
 
+// ---- scheduler-kernel record -----------------------------------------------
+
+/// Steady-state simulated MIPS of the step() loop (warmup and construction
+/// excluded), replaying the shared trace buffer.
+double kernel_steady_mips(bool with_faults, u64 measure_commits) {
+  const auto prof = workload::spec2006_profile("sjeng");
+  ReplaySource src(&kernel_trace_buffer());
+  cpu::CoreConfig cfg;
+  timing::PathModelConfig pcfg{prof.seed, prof.fr_high_pct / 100.0, prof.fr_low_pct / 100.0};
+  const timing::FaultModel fm(pcfg, 0.97);
+  core::TimingErrorPredictor tep({}, &fm.environment());
+  cpu::Pipeline p(cfg, with_faults ? cpu::scheme_abs() : cpu::scheme_fault_free(), &src,
+                  with_faults ? &fm : nullptr, with_faults ? &tep : nullptr);
+  constexpr u64 kWarm = 30'000;
+  while (p.committed() < kWarm) p.step();
+  const auto t0 = std::chrono::steady_clock::now();
+  while (p.committed() < kWarm + measure_commits) p.step();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(measure_commits) / std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Writes BENCH_kernel.json: steady-state cycle-loop MIPS for the SoA
+/// scheduler kernel against the pre-rewrite numbers (measured with the same
+/// replay methodology at the deque/std::map implementation this kernel
+/// replaced).  VASIM_KERNEL_REPS=1 gives CI a quick smoke run.
+void emit_kernel_json() {
+  if (env_u64("VASIM_JSON", 1) == 0) return;
+  // Pre-rewrite baselines: window_ deque + cycle-bucketed std::map events.
+  constexpr double kBaselineFaultFree = 1'789'389.0;
+  constexpr double kBaselineAbs = 1'140'238.0;
+  const int reps = static_cast<int>(env_u64("VASIM_KERNEL_REPS", 3));
+  const u64 measure = env_u64("VASIM_KERNEL_COMMITS", 300'000);
+
+  double best_ff = 0.0;
+  double best_abs = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    best_ff = std::max(best_ff, kernel_steady_mips(false, measure));
+    best_abs = std::max(best_abs, kernel_steady_mips(true, measure));
+  }
+
+  std::ofstream out("BENCH_kernel.json");
+  if (!out) return;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"sched_kernel\",\n"
+                "  \"schema_version\": 1,\n"
+                "  \"kernel_mips_fault_free\": %.0f,\n"
+                "  \"kernel_mips_abs\": %.0f,\n"
+                "  \"baseline_mips_fault_free\": %.0f,\n"
+                "  \"baseline_mips_abs\": %.0f,\n"
+                "  \"speedup_fault_free\": %.2f,\n"
+                "  \"speedup_abs\": %.2f\n"
+                "}\n",
+                best_ff, best_abs, kBaselineFaultFree, kBaselineAbs,
+                best_ff / kBaselineFaultFree, best_abs / kBaselineAbs);
+  out << buf;
+  std::printf("[BENCH_kernel.json: cycle loop %.0f MIPS (%.2fx), abs %.0f MIPS (%.2fx)]\n",
+              best_ff, best_ff / kBaselineFaultFree, best_abs, best_abs / kBaselineAbs);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,5 +330,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   emit_stats_overhead_json();
+  emit_kernel_json();
   return 0;
 }

@@ -19,11 +19,16 @@ FuKind fu_kind_for(isa::OpClass op) {
 }
 
 FuPool::FuPool(const CoreConfig& cfg, obs::Registry* reg) {
-  for (int i = 0; i < cfg.simple_alus; ++i) units_.push_back({FuKind::kSimpleAlu, true, 0});
-  for (int i = 0; i < cfg.complex_alus; ++i) units_.push_back({FuKind::kComplexAlu, true, 0});
-  for (int i = 0; i < cfg.branch_units; ++i) units_.push_back({FuKind::kBranch, true, 0});
-  for (int i = 0; i < cfg.load_ports; ++i) units_.push_back({FuKind::kLoadPort, true, 0});
-  for (int i = 0; i < cfg.store_ports; ++i) units_.push_back({FuKind::kStorePort, true, 0});
+  const auto add_kind = [this](FuKind kind, int count) {
+    kind_begin_[static_cast<std::size_t>(kind)] = static_cast<u32>(units_.size());
+    for (int i = 0; i < count; ++i) units_.push_back({kind, true, 0});
+    kind_end_[static_cast<std::size_t>(kind)] = static_cast<u32>(units_.size());
+  };
+  add_kind(FuKind::kSimpleAlu, cfg.simple_alus);
+  add_kind(FuKind::kComplexAlu, cfg.complex_alus);
+  add_kind(FuKind::kBranch, cfg.branch_units);
+  add_kind(FuKind::kLoadPort, cfg.load_ports);
+  add_kind(FuKind::kStorePort, cfg.store_ports);
   if (reg != nullptr) {
     counting_ = true;
     c_alu_ = reg->counter("ev.fu.alu");
@@ -52,10 +57,10 @@ bool FuPool::occupies_fully(isa::OpClass op, const Unit& u) {
 }
 
 int FuPool::allocate(isa::OpClass op, Cycle cycle, Cycle latency, bool occupy_extra) {
-  const FuKind want = fu_kind_for(op);
-  for (std::size_t i = 0; i < units_.size(); ++i) {
+  const auto want = static_cast<std::size_t>(fu_kind_for(op));
+  for (u32 i = kind_begin_[want]; i < kind_end_[want]; ++i) {
     Unit& u = units_[i];
-    if (u.kind != want || u.next_free > cycle) continue;
+    if (u.next_free > cycle) continue;
     Cycle busy_until = occupies_fully(op, u) ? cycle + latency : cycle + 1;
     if (occupy_extra) busy_until += 1;
     u.next_free = busy_until;
@@ -66,9 +71,9 @@ int FuPool::allocate(isa::OpClass op, Cycle cycle, Cycle latency, bool occupy_ex
 }
 
 bool FuPool::can_accept(isa::OpClass op, Cycle cycle) const {
-  const FuKind want = fu_kind_for(op);
-  for (const Unit& u : units_) {
-    if (u.kind == want && u.next_free <= cycle) return true;
+  const auto want = static_cast<std::size_t>(fu_kind_for(op));
+  for (u32 i = kind_begin_[want]; i < kind_end_[want]; ++i) {
+    if (units_[i].next_free <= cycle) return true;
   }
   return false;
 }

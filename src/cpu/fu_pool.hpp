@@ -7,6 +7,7 @@
 #ifndef VASIM_CPU_FU_POOL_HPP
 #define VASIM_CPU_FU_POOL_HPP
 
+#include <array>
 #include <vector>
 
 #include "src/common/types.hpp"
@@ -56,6 +57,13 @@ class FuPool {
   [[nodiscard]] static bool occupies_fully(isa::OpClass op, const Unit& u);
 
   void count_allocation(FuKind kind, isa::OpClass op);
+
+  // Units are constructed grouped by kind, so each kind owns one contiguous
+  // index range; allocate/can_accept scan only that range (same unit ids as
+  // a full filtered scan, fewer touched cache lines).
+  static constexpr std::size_t kNumKinds = 5;
+  std::array<u32, kNumKinds> kind_begin_{};
+  std::array<u32, kNumKinds> kind_end_{};
 
   std::vector<Unit> units_;
   bool counting_ = false;

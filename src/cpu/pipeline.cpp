@@ -8,7 +8,7 @@
 namespace vasim::cpu {
 namespace {
 
-constexpr std::size_t kFrontendCap = 64;
+constexpr u32 kFrontendCap = 64;
 
 }  // namespace
 
@@ -26,8 +26,41 @@ Pipeline::Pipeline(const CoreConfig& cfg, const SchemeConfig& scheme,
   for (int p = cfg_.phys_regs - 1; p >= isa::kNumArchRegs; --p) free_list_.push_back(p);
   phys_ready_.assign(static_cast<std::size_t>(cfg_.phys_regs), 1);
   phys_producer_.assign(static_cast<std::size_t>(cfg_.phys_regs), 0);
-  due_.reserve(static_cast<std::size_t>(2 * cfg_.issue_width + 8));
-  cand_.reserve(static_cast<std::size_t>(cfg_.rob_entries));
+
+  // ---- scheduler-kernel storage (one arena reservation, then zero heap
+  // traffic for the rest of the pipeline's life) -----------------------------
+  // Window slots are addressed seq & (cap-1); the ROB bound keeps the live
+  // seq range contiguous and shorter than the capacity.
+  const u32 win_cap = next_pow2_u32(static_cast<u32>(cfg_.rob_entries));
+  // Refetch holds at most the squashed true path: ROB + frontend, with slack
+  // for the refetch of a refetch before the queue drains.
+  const u32 rf_cap = next_pow2_u32(static_cast<u32>(cfg_.rob_entries) + kFrontendCap + 8);
+  // Wheel horizon: the farthest event is complete/replay at
+  // exec_lat + lat_delta + 1 ahead; exec_lat tops out at the full miss path.
+  Cycle max_lat = 1 + cfg_.l1d.latency + cfg_.l2.latency + cfg_.memory_latency;
+  max_lat = std::max({max_lat, cfg_.mul_latency, cfg_.div_latency});
+  const u32 wheel_buckets = next_pow2_u32(static_cast<u32>(max_lat) + 8);
+  // At most broadcast+complete+EP+replay pending per in-flight instruction.
+  const u32 event_pool = 4 * win_cap + 16;
+  const u32 cand_words = IssueWindow::words_for(win_cap);
+  const u32 num_phys = static_cast<u32>(cfg_.phys_regs);
+
+  std::size_t bytes = IssueWindow::bytes_needed(win_cap, num_phys);
+  bytes += Arena::need<FetchedInst>(kFrontendCap);
+  bytes += Arena::need<RefetchInst>(rf_cap);
+  bytes += EventWheel::bytes_needed(wheel_buckets, event_pool);
+  bytes += Arena::need<Event>(event_pool);                   // due_ scratch
+  bytes += Arena::need<u64>(cand_words);                     // cand_words_
+  bytes += Arena::need<RefetchInst>(win_cap + kFrontendCap); // re_ scratch
+  arena_.reserve(bytes);
+
+  window_.init(arena_, win_cap, num_phys);
+  frontend_.init(arena_.alloc<FetchedInst>(kFrontendCap), kFrontendCap);
+  refetch_.init(arena_.alloc<RefetchInst>(rf_cap), rf_cap);
+  wheel_.init(arena_, wheel_buckets, event_pool);
+  due_ = arena_.alloc<Event>(event_pool);
+  cand_words_ = arena_.alloc<u64>(cand_words);
+  re_ = arena_.alloc<RefetchInst>(win_cap + kFrontendCap);
 
   // Register every hot-path counter once; the per-event cost from here on is
   // a pointer bump (the StatSet map is only touched again at snapshot time).
@@ -76,18 +109,11 @@ Pipeline::Pipeline(const CoreConfig& cfg, const SchemeConfig& scheme,
 
 bool Pipeline::faults_enabled() const { return fault_model_ != nullptr && fault_model_->enabled(); }
 
-Pipeline::InstState* Pipeline::find(SeqNum seq) {
-  if (window_.empty() || seq < head_seq_) return nullptr;
-  const u64 off = seq - head_seq_;
-  if (off >= window_.size()) return nullptr;
-  return &window_[static_cast<std::size_t>(off)];
-}
-
 void Pipeline::schedule(Cycle cycle, EventKind kind, SeqNum seq) {
   // `cycle >= now_ >= event_shift_` always holds (the shift only grows by
   // one per stall cycle, and every stall cycle also advances now_), so the
   // stored key never underflows.
-  event_buckets_[cycle - event_shift_].push_back(Event{cycle, kind, seq});
+  wheel_.schedule(cycle - event_shift_, kind, seq);
 }
 
 Cycle Pipeline::stage_offset(timing::OooStage stage, Cycle exec_lat) const {
@@ -102,8 +128,8 @@ Cycle Pipeline::stage_offset(timing::OooStage stage, Cycle exec_lat) const {
 }
 
 void Pipeline::shift_all_times(Cycle delta) {
-  event_shift_ += delta;  // all pending events move as one
-  for (FetchedInst& fi : frontend_) fi.arrive += delta;
+  event_shift_ += delta;  // all pending events move as one (stored keys fixed)
+  for (u32 i = 0; i < frontend_.size(); ++i) frontend_.at(i).arrive += delta;
   fus_.shift_time(delta);
   fetch_stall_until_ += delta;
 }
@@ -119,12 +145,10 @@ void Pipeline::broadcast(InstState& is) {
   c_broadcast_.inc();
   if (is.phys_dst == kNoReg) return;
   phys_ready_[static_cast<std::size_t>(is.phys_dst)] = 1;
-  // CDL (Section 3.5.2): count waiting dependents that match this tag.
-  int deps = 0;
-  for (const InstState& w : window_) {
-    if (!w.in_iq || w.issued) continue;
-    if (w.phys_src1 == is.phys_dst || w.phys_src2 == is.phys_dst) ++deps;
-  }
+  // CDL (Section 3.5.2): count waiting dependents that match this tag.  The
+  // wakeup is a masked scan of the not-ready waiters; a ready waiter cannot
+  // match because its sources all broadcast earlier.
+  const int deps = window_.wake(is.phys_dst);
   if (deps > 0) c_wakeup_match_.inc(static_cast<u64>(deps));
   if (predictor_ != nullptr && scheme_.use_predictor) {
     predictor_->mark_critical(is.di.pc, is.tep_history,
@@ -133,21 +157,25 @@ void Pipeline::broadcast(InstState& is) {
 }
 
 void Pipeline::process_events() {
-  // Pop the buckets due this cycle; later buckets are untouched.
-  due_.clear();
-  while (!event_buckets_.empty()) {
-    const auto it = event_buckets_.begin();
-    if (it->first + event_shift_ > now_) break;
-    due_.insert(due_.end(), it->second.begin(), it->second.end());
-    event_buckets_.erase(it);
-  }
+  // Drain the one bucket due this cycle (the stored key advances by exactly
+  // one per scheduling step; stall cycles move the shift instead).
+  due_n_ = wheel_.pop_due(now_ - event_shift_, due_);
   // Deterministic order: broadcasts, completes, EP stalls, replays; then age.
-  std::sort(due_.begin(), due_.end(), [](const Event& a, const Event& b) {
+  // A bucket holds a handful of events, so an insertion sort beats the
+  // introsort machinery on every cycle of the hot loop.
+  const auto before = [](const Event& a, const Event& b) {
     if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
     return a.seq < b.seq;
-  });
+  };
+  for (u32 i = 1; i < due_n_; ++i) {
+    const Event e = due_[i];
+    u32 j = i;
+    for (; j > 0 && before(e, due_[j - 1]); --j) due_[j] = due_[j - 1];
+    due_[j] = e;
+  }
 
-  for (const Event& e : due_) {
+  for (u32 i = 0; i < due_n_; ++i) {
+    const Event& e = due_[i];
     switch (e.kind) {
       case EventKind::kBroadcast: {
         InstState* is = find(e.seq);
@@ -215,28 +243,30 @@ void Pipeline::do_replay(SeqNum seq) {
 }
 
 void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
-  // Collect true-path work for refetch; wrong-path work is discarded.
-  std::vector<RefetchInst> re;
+  // Collect true-path work for refetch (arena scratch); wrong-path work is
+  // discarded.
+  re_n_ = 0;
   u64 squashed = 0;
   SeqNum youngest = last_kept;
-  for (u64 off = 0; off < window_.size(); ++off) {
-    const SeqNum wseq = head_seq_ + off;
+  for (u32 off = 0; off < window_.size(); ++off) {
+    const SeqNum wseq = window_.head_seq() + off;
     if (wseq <= last_kept) continue;
-    const InstState& w = window_[static_cast<std::size_t>(off)];
+    const InstState& w = window_.slot_state(window_.slot_of(wseq));
     ++squashed;
     youngest = wseq;
-    if (refetch_true_path && !w.wrong_path) re.push_back(RefetchInst{w.di, false});
+    if (refetch_true_path && !w.wrong_path) re_[re_n_++] = RefetchInst{w.di, false};
   }
-  for (const FetchedInst& fi : frontend_) {
+  for (u32 i = 0; i < frontend_.size(); ++i) {
+    const FetchedInst& fi = frontend_.at(i);
     ++squashed;
     youngest = fi.seq;
-    if (refetch_true_path && !fi.wrong_path) re.push_back(RefetchInst{fi.di, false});
+    if (refetch_true_path && !fi.wrong_path) re_[re_n_++] = RefetchInst{fi.di, false};
   }
   frontend_.clear();
 
   while (!window_.empty()) {
     InstState& w = window_.back();
-    const SeqNum wseq = head_seq_ + window_.size() - 1;
+    const SeqNum wseq = window_.head_seq() + window_.size() - 1;
     if (wseq <= last_kept) break;
     if (w.phys_dst != kNoReg) {
       rename_map_[static_cast<std::size_t>(w.di.dst)] = w.old_phys;
@@ -252,13 +282,10 @@ void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
 
   // Seq numbers above `last_kept` are recycled, so stale events for squashed
   // instructions must not fire on their successors.
-  for (auto it = event_buckets_.begin(); it != event_buckets_.end();) {
-    std::erase_if(it->second, [last_kept](const Event& e) { return e.seq > last_kept; });
-    it = it->second.empty() ? event_buckets_.erase(it) : std::next(it);
-  }
+  wheel_.filter_squashed(last_kept);
   next_seq_ = last_kept + 1;
 
-  refetch_.insert(refetch_.begin(), re.begin(), re.end());
+  for (u32 i = re_n_; i > 0; --i) refetch_.push_front(re_[i - 1]);
   wrong_path_active_ = false;
   if (fetch_blocked_on_ && *fetch_blocked_on_ > last_kept) fetch_blocked_on_.reset();
 }
@@ -299,7 +326,7 @@ void Pipeline::commit_stage() {
       lost = classify_empty_window();
       break;
     }
-    InstState& is = window_.front();
+    InstState& is = window_.head();
     if (!is.completed) {
       lost = classify_unretirable_head(is);
       break;
@@ -330,11 +357,10 @@ void Pipeline::commit_stage() {
     // its committed instance faulted or it is the safe re-execution of one.
     if (is.actual_fault || is.safe_mode) c_committed_faulty_.inc();
     ++committed_;
-    if (observer_ != nullptr) observer_->on_commit(head_seq_);
+    if (observer_ != nullptr) observer_->on_commit(window_.head_seq());
     c_commit_.inc();
     c_cpi_[static_cast<std::size_t>(obs::CpiCause::kBase)].inc();
     window_.pop_front();
-    ++head_seq_;
     --budget;
     last_commit_cycle_ = now_;
   }
@@ -403,76 +429,62 @@ bool Pipeline::operands_ready(const InstState& is) const {
   return r1 && r2;
 }
 
-bool Pipeline::load_may_issue(const InstState& load, bool* forwarded) {
+bool Pipeline::load_may_issue(const InstState& load, bool* forwarded) const {
   // Idealized disambiguation: store addresses are known from the trace, so
   // only a genuinely conflicting older store gates the load.  The youngest
   // matching store decides: once it has issued (data available in the store
-  // queue), the load forwards from it; before that the load waits.
-  *forwarded = false;
-  const SeqNum load_seq = load.di.seq;
-  bool ok = true;
-  for (const InstState& w : window_) {
-    if (w.di.seq >= load_seq) break;
-    if (w.di.op != isa::OpClass::kStore) continue;
-    if ((w.di.mem_addr & ~7ULL) != (load.di.mem_addr & ~7ULL)) continue;
-    if (w.issued) {
-      *forwarded = true;
-      ok = true;
-    } else {
-      ok = false;
-    }
-  }
-  if (!ok) *forwarded = false;
-  return ok;
+  // queue), the load forwards from it; before that the load waits.  The
+  // window scans only its store mask, youngest first.
+  return window_.load_may_issue(load.di.seq, load.di.mem_addr & ~7ULL, forwarded);
 }
 
 void Pipeline::select_stage() {
   int width = cfg_.issue_width - slots_frozen_now_;
   if (width <= 0) return;
 
-  std::vector<InstState*>& cand = cand_;
-  cand.clear();
-  for (InstState& is : window_) {
-    if (!is.in_iq || is.issued || !operands_ready(is)) continue;
-    if (mem_blocked_now_ && isa::is_mem(is.di.op)) continue;
-    cand.push_back(&is);
-  }
-  const auto age_of = [](const InstState* p) { return p->age; };
-  switch (scheme_.policy) {
-    case SelectPolicy::kAge:
-      std::sort(cand.begin(), cand.end(),
-                [&](auto* a, auto* b) { return age_of(a) < age_of(b); });
-      break;
-    case SelectPolicy::kFaultyFirst:
-      std::sort(cand.begin(), cand.end(), [&](auto* a, auto* b) {
-        if (a->pred_fault != b->pred_fault) return a->pred_fault;
-        return age_of(a) < age_of(b);
-      });
-      break;
-    case SelectPolicy::kCriticalityDriven:
-      std::sort(cand.begin(), cand.end(), [&](auto* a, auto* b) {
-        const bool ca = a->pred_fault && a->pred_critical;
-        const bool cb = b->pred_fault && b->pred_critical;
-        if (ca != cb) return ca;
-        return age_of(a) < age_of(b);
-      });
-      break;
-  }
+  // Candidates = waiting & ready (& ~memop under the LSQ CAM spacing rule),
+  // snapshotted so instructions woken by this cycle's issues don't join.
+  const bool any = window_.collect_candidates(mem_blocked_now_, cand_words_);
 
   int issued = 0;
-  for (InstState* p : cand) {
-    if (width == 0) break;
-    if (p->di.op == isa::OpClass::kLoad) {
-      bool fwd = false;
-      if (!load_may_issue(*p, &fwd)) continue;
+  const auto try_issue = [&](u32 slot) -> bool {
+    if (width == 0) return false;  // stop the scan; selection is out of slots
+    InstState& is = window_.slot_state(slot);
+    bool fwd = false;
+    if (is.di.op == isa::OpClass::kLoad) {
+      if (!load_may_issue(is, &fwd)) return true;  // blocked by an older store
     }
-    if (issue_one(*p)) {
+    if (issue_one(is, fwd)) {
+      window_.on_issued(is.di.seq);
       --width;
       ++issued;
     }
+    return true;
+  };
+
+  // Ring order is age order (ages are assigned at dispatch and squash pops
+  // the tail), so each policy is one or two in-order masked passes: the
+  // preferred class first, then the rest -- exactly the old sorted order.
+  if (any) {
+    switch (scheme_.policy) {
+      case SelectPolicy::kAge:
+        window_.for_each_in_order(cand_words_, nullptr, false, try_issue);
+        break;
+      case SelectPolicy::kFaultyFirst:
+        if (window_.for_each_in_order(cand_words_, window_.predf_mask(), false, try_issue)) {
+          window_.for_each_in_order(cand_words_, window_.predf_mask(), true, try_issue);
+        }
+        break;
+      case SelectPolicy::kCriticalityDriven:
+        if (window_.for_each_in_order(cand_words_, window_.crit_mask(), false, try_issue)) {
+          window_.for_each_in_order(cand_words_, window_.crit_mask(), true, try_issue);
+        }
+        break;
+    }
   }
+
   // Utilization diagnostics (consumed by tests and the ablation bench).
-  if (cand.empty()) {
+  if (!any) {
     c_sel_no_ready_.inc();
   } else if (issued == 0) {
     c_sel_blocked_.inc();
@@ -483,15 +495,15 @@ void Pipeline::select_stage() {
   c_sel_frontend_.inc(frontend_.size());
 }
 
-bool Pipeline::issue_one(InstState& is) {
-  // Execution latency by class.
+bool Pipeline::issue_one(InstState& is, bool fwd) {
+  // Execution latency by class.  `fwd` is the store-to-load forwarding
+  // verdict from the caller's load_may_issue gate (still valid here: nothing
+  // issues between the gate and this attempt).
   Cycle exec_lat = 1;
   switch (is.di.op) {
     case isa::OpClass::kIntMul: exec_lat = cfg_.mul_latency; break;
     case isa::OpClass::kIntDiv: exec_lat = cfg_.div_latency; break;
     case isa::OpClass::kLoad: {
-      bool fwd = false;
-      (void)load_may_issue(is, &fwd);
       c_lsq_search_.inc();
       if (fwd) {
         exec_lat = 2;  // store-to-load forward
@@ -628,9 +640,16 @@ void Pipeline::dispatch_stage() {
     if (is_load) ++lq_count_;
     if (is_store) ++sq_count_;
 
-    if (window_.empty()) head_seq_ = fi.seq;
+    // Pending-operand flags seed the window's ready mask and the waiter
+    // masks; from here on they only move on broadcasts (a source register
+    // cannot be reallocated while this instruction is in the window).
+    const bool p1 =
+        is.phys_src1 != kNoReg && phys_ready_[static_cast<std::size_t>(is.phys_src1)] == 0;
+    const bool p2 =
+        is.phys_src2 != kNoReg && phys_ready_[static_cast<std::size_t>(is.phys_src2)] == 0;
+
     if (observer_ != nullptr) observer_->on_dispatch(fi.seq);
-    window_.push_back(std::move(is));
+    window_.push_back(is, p1, p2);
     frontend_.pop_front();
     --budget;
     c_dispatch_.inc();
@@ -658,7 +677,7 @@ void Pipeline::fetch_stage() {
       c_fetch_.inc();
       c_wrongpath_fetch_.inc();
       if (observer_ != nullptr) observer_->on_fetch(fi.seq, fi.di);
-      frontend_.push_back(std::move(fi));
+      frontend_.push_back(fi);
       --wp_budget;
     }
     return;
@@ -745,7 +764,7 @@ void Pipeline::fetch_stage() {
       }
     }
     if (observer_ != nullptr) observer_->on_fetch(fi.seq, fi.di);
-    frontend_.push_back(std::move(fi));
+    frontend_.push_back(fi);
     --budget;
     if (blocked) break;
     if (extra > 0) {

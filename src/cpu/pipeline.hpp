@@ -14,12 +14,16 @@
 //    under Error Padding the whole pipeline stalls for one cycle when the
 //    instruction transits its faulty stage.  An unpredicted (or
 //    mispredicted-stage) fault triggers Razor-style replay.
+//
+// Storage layer: the scheduler state lives in the data-oriented kernel of
+// src/cpu/sched_kernel.hpp (structure-of-arrays issue window with bitmask
+// wakeup/select, ring-buffered frontend/refetch queues, a countdown event
+// wheel, all carved from one arena) -- see docs/perf.md.  The model itself
+// is unchanged; tests/test_golden_equiv.cpp pins bitwise-identical results.
 #ifndef VASIM_CPU_PIPELINE_HPP
 #define VASIM_CPU_PIPELINE_HPP
 
 #include <array>
-#include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -32,6 +36,7 @@
 #include "src/cpu/fu_pool.hpp"
 #include "src/cpu/hooks.hpp"
 #include "src/cpu/observer.hpp"
+#include "src/cpu/sched_kernel.hpp"
 #include "src/isa/dyninst.hpp"
 #include "src/timing/fault_model.hpp"
 
@@ -100,34 +105,6 @@ class Pipeline {
   [[nodiscard]] const BranchPredictor& branch_predictor() const { return bpred_; }
 
  private:
-  // ---- in-flight bookkeeping -------------------------------------------
-  struct InstState {
-    isa::DynInst di;
-    u64 age = 0;  ///< issue timestamp (ABS selection key)
-    u64 tep_history = 0;
-    // Rename.
-    int phys_dst = kNoReg;
-    int old_phys = kNoReg;
-    int phys_src1 = kNoReg;
-    int phys_src2 = kNoReg;
-    // Status.
-    bool in_iq = false;
-    bool issued = false;
-    bool completed = false;
-    bool safe_mode = false;  ///< replayed instance: guaranteed fault-free
-    // Fault metadata.
-    bool pred_fault = false;
-    timing::OooStage pred_stage = timing::OooStage::kIssueSelect;
-    bool pred_critical = false;
-    bool actual_fault = false;
-    timing::OooStage actual_stage = timing::OooStage::kIssueSelect;
-    bool fault_handled = false;
-    bool replay_scheduled = false;
-    bool retire_fault = false;   ///< in-order retire-stage violation
-    bool retire_padded = false;  ///< retire already took its extra cycle
-    bool wrong_path = false;     ///< synthesized mispredicted-path work
-  };
-
   struct FetchedInst {
     isa::DynInst di;
     SeqNum seq = 0;
@@ -144,14 +121,6 @@ class Pipeline {
     bool safe_mode = false;
   };
 
-  enum class EventKind : u8 { kBroadcast, kComplete, kEpStall, kReplay };
-
-  struct Event {
-    Cycle cycle = 0;
-    EventKind kind = EventKind::kComplete;
-    SeqNum seq = 0;
-  };
-
   // ---- per-cycle stages --------------------------------------------------
   void process_events();
   void commit_stage();
@@ -160,11 +129,11 @@ class Pipeline {
   void fetch_stage();
 
   // ---- helpers ------------------------------------------------------------
-  [[nodiscard]] InstState* find(SeqNum seq);
+  [[nodiscard]] InstState* find(SeqNum seq) { return window_.find(seq); }
   [[nodiscard]] bool operands_ready(const InstState& is) const;
-  [[nodiscard]] bool load_may_issue(const InstState& load, bool* forwarded);
+  [[nodiscard]] bool load_may_issue(const InstState& load, bool* forwarded) const;
   /// Returns true when the instruction actually left the queue this cycle.
-  bool issue_one(InstState& is);
+  bool issue_one(InstState& is, bool fwd);
   /// Why no instruction can retire this cycle (CPI-stack attribution).
   [[nodiscard]] obs::CpiCause classify_empty_window() const;
   [[nodiscard]] obs::CpiCause classify_unretirable_head(const InstState& head);
@@ -222,20 +191,26 @@ class Pipeline {
   std::vector<u8> phys_ready_;
   std::vector<SeqNum> phys_producer_;  // phys reg -> producing seq (CPI attribution)
 
-  // ---- windows ----------------------------------------------------------------
-  std::deque<InstState> window_;      ///< ROB, ordered by seq; front = head
-  SeqNum head_seq_ = 0;               ///< seq of window_.front()
+  // ---- scheduler kernel -----------------------------------------------------
+  // One arena holds every per-run scratch structure: the SoA issue window,
+  // the frontend/refetch rings, the event wheel's node pool, and the
+  // per-cycle scratch arrays.  After construction the cycle loop never
+  // touches the heap (tests/test_sched_kernel.cpp asserts this).
+  Arena arena_;
+  IssueWindow window_;            ///< ROB / issue window, SoA + bitmasks
   SeqNum next_seq_ = 0;
-  std::deque<FetchedInst> frontend_;  ///< fetched, not yet dispatched
-  std::deque<RefetchInst> refetch_;   ///< squashed work awaiting refetch
-  // Pending events bucketed by due cycle, so each cycle pops only the front
-  // buckets instead of scanning every in-flight event.  Keys are *stored*
-  // cycles: effective due cycle = key + event_shift_, which makes the global
-  // stall shift O(1) for events (only the offset moves).
-  std::map<Cycle, std::vector<Event>> event_buckets_;
+  Ring<FetchedInst> frontend_;    ///< fetched, not yet dispatched
+  Ring<RefetchInst> refetch_;     ///< squashed work awaiting refetch
+  // Pending events in a countdown wheel keyed by *stored* cycle: effective
+  // due cycle = stored + event_shift_, which makes the global stall shift
+  // O(1) for events (only the offset moves).
+  EventWheel wheel_;
   Cycle event_shift_ = 0;
-  std::vector<Event> due_;            ///< per-cycle scratch, capacity reused
-  std::vector<InstState*> cand_;      ///< select-stage scratch, capacity reused
+  Event* due_ = nullptr;          ///< per-cycle event scratch (arena)
+  u32 due_n_ = 0;
+  u64* cand_words_ = nullptr;     ///< select-stage candidate mask scratch
+  RefetchInst* re_ = nullptr;     ///< squash-path refetch collection scratch
+  u32 re_n_ = 0;
 
   // ---- cycle state ---------------------------------------------------------
   Cycle now_ = 0;

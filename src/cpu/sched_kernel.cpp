@@ -1,0 +1,52 @@
+// Cold paths of the scheduler kernel (construction and squash filtering);
+// the per-cycle hot paths stay inline in sched_kernel.hpp.
+#include "src/cpu/sched_kernel.hpp"
+
+namespace vasim::cpu {
+
+void EventWheel::init(Arena& a, u32 buckets_pow2, u32 pool_cap) {
+  mask_ = buckets_pow2 - 1;
+  pool_cap_ = pool_cap;
+  pool_ = a.alloc<Node>(pool_cap);
+  heads_ = a.alloc<i32>(buckets_pow2);
+  max_seq_ = a.alloc<SeqNum>(buckets_pow2);
+  occ_ = a.alloc<u64>(buckets_pow2 / 64 + 1);
+  for (u32 b = 0; b < buckets_pow2; ++b) {
+    heads_[b] = -1;
+    max_seq_[b] = 0;
+  }
+  for (u32 w = 0; w <= mask_ / 64; ++w) occ_[w] = 0;
+  for (u32 i = 0; i < pool_cap; ++i) pool_[i].next = static_cast<i32>(i) + 1;
+  pool_[pool_cap - 1].next = -1;
+  free_ = 0;
+  next_pop_ = 0;
+}
+
+void EventWheel::filter_squashed(SeqNum last_kept) {
+  for (u32 w = 0; w <= mask_ / 64; ++w) {
+    u64 bits = occ_[w];
+    while (bits != 0) {
+      const u32 b = w * 64 + static_cast<u32>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (max_seq_[b] <= last_kept) continue;  // no squashed events here
+      SeqNum maxs = 0;
+      i32* link = &heads_[b];
+      while (*link >= 0) {
+        Node& node = pool_[*link];
+        if (node.seq > last_kept) {
+          const i32 dead = *link;
+          *link = node.next;
+          pool_[dead].next = free_;
+          free_ = dead;
+        } else {
+          if (node.seq > maxs) maxs = node.seq;
+          link = &node.next;
+        }
+      }
+      max_seq_[b] = maxs;
+      if (heads_[b] < 0) occ_[b >> 6] &= ~(u64{1} << (b & 63));
+    }
+  }
+}
+
+}  // namespace vasim::cpu
