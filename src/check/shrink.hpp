@@ -1,0 +1,70 @@
+// Greedy per-dimension bisection shrinker for failing randomized cases.
+//
+// A failing fuzz case is a point in a small integer space (instruction
+// count, window sizes, trip counts...).  shrink_spec() walks each dimension
+// toward its minimum with a binary search, keeping any candidate that still
+// reproduces the failure, and repeats until a whole round changes nothing.
+// The predicate re-runs the simulation, so shrinking is only attempted on
+// already-failing cases (tools/check_probe).  The search assumes nothing
+// about monotonicity -- a non-monotone failure region just shrinks less.
+#ifndef VASIM_CHECK_SHRINK_HPP
+#define VASIM_CHECK_SHRINK_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace vasim::check {
+
+/// One shrinkable dimension: current value and the smallest legal value.
+struct ShrinkDim {
+  std::string name;
+  u64 value = 0;
+  u64 min = 0;
+};
+
+using ShrinkSpec = std::vector<ShrinkDim>;
+
+/// Statistics from one shrink run.
+struct ShrinkStats {
+  int probes = 0;  ///< predicate evaluations
+  int rounds = 0;
+};
+
+/// Minimizes `spec` under `still_fails` (true = the failure reproduces).
+/// `spec` itself must fail on entry; the result always fails.
+template <typename Pred>
+ShrinkSpec shrink_spec(ShrinkSpec spec, Pred&& still_fails, int max_rounds = 4,
+                       ShrinkStats* stats = nullptr) {
+  ShrinkStats local;
+  bool changed = true;
+  for (int round = 0; round < max_rounds && changed; ++round) {
+    ++local.rounds;
+    changed = false;
+    for (std::size_t d = 0; d < spec.size(); ++d) {
+      u64 lo = spec[d].min;
+      u64 hi = spec[d].value;
+      // Invariant: `hi` fails; find the smallest failing value in [lo, hi].
+      while (lo < hi) {
+        ShrinkSpec cand = spec;
+        const u64 mid = lo + (hi - lo) / 2;
+        cand[d].value = mid;
+        ++local.probes;
+        if (still_fails(cand)) {
+          hi = mid;
+          spec = std::move(cand);
+          changed = true;
+        } else {
+          lo = mid + 1;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return spec;
+}
+
+}  // namespace vasim::check
+
+#endif  // VASIM_CHECK_SHRINK_HPP

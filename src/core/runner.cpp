@@ -1,8 +1,34 @@
 #include "src/core/runner.hpp"
 
+#include <optional>
+#include <stdexcept>
+
+#include "src/check/semantics.hpp"
 #include "src/workload/trace_generator.hpp"
 
 namespace vasim::core {
+namespace {
+
+/// Samples the cycle counter at every `stride`-th commit (capped so huge
+/// runs stay cheap); consumed by test_golden_equiv's divergence printer.
+class CommitTrailObserver final : public cpu::PipelineObserver {
+ public:
+  CommitTrailObserver(u64 stride, std::vector<Cycle>* out) : stride_(stride), out_(out) {}
+  void on_cycle(Cycle now) override { now_ = now; }
+  void on_commit(SeqNum) override {
+    ++commits_;
+    if (commits_ % stride_ == 0 && out_->size() < kMaxEntries) out_->push_back(now_);
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 256;
+  u64 stride_;
+  std::vector<Cycle>* out_;
+  u64 commits_ = 0;
+  Cycle now_ = 0;
+};
+
+}  // namespace
 
 Overheads overhead_vs(const RunResult& base, const RunResult& x) {
   Overheads o;
@@ -34,11 +60,25 @@ RunResult ExperimentRunner::run(const workload::BenchmarkProfile& profile,
   }
 
   cpu::Pipeline pipe(cfg_.core, scheme, &gen, &fault_model, predictor);
+  std::optional<check::SemanticsChecker> checker;
+  if (cfg_.check_semantics) {
+    checker.emplace(cfg_.core, scheme);
+    checker->attach(pipe);
+  }
+  std::vector<Cycle> trail;
+  std::optional<CommitTrailObserver> trail_obs;
+  if (cfg_.commit_trail_stride > 0) {
+    trail_obs.emplace(cfg_.commit_trail_stride, &trail);
+    pipe.add_observer(&*trail_obs);
+  }
   cpu::PipelineResult pr = pipe.run(cfg_.instructions, cfg_.warmup);
+  if (checker && !checker->ok()) throw std::runtime_error(checker->report());
 
   RunResult r;
   r.benchmark = profile.name;
   r.scheme = scheme.name;
+  r.commit_trail = std::move(trail);
+  r.checker_checks = checker ? checker->checks() : 0;
   r.vdd = vdd;
   r.committed = pr.committed;
   r.cycles = pr.cycles;
@@ -61,11 +101,25 @@ RunResult ExperimentRunner::run_fault_free(const workload::BenchmarkProfile& pro
                                            double vdd) const {
   workload::TraceGenerator gen(profile);
   cpu::Pipeline pipe(cfg_.core, cpu::scheme_fault_free(), &gen, nullptr, nullptr);
+  std::optional<check::SemanticsChecker> checker;
+  if (cfg_.check_semantics) {
+    checker.emplace(cfg_.core, cpu::scheme_fault_free());
+    checker->attach(pipe);
+  }
+  std::vector<Cycle> trail;
+  std::optional<CommitTrailObserver> trail_obs;
+  if (cfg_.commit_trail_stride > 0) {
+    trail_obs.emplace(cfg_.commit_trail_stride, &trail);
+    pipe.add_observer(&*trail_obs);
+  }
   cpu::PipelineResult pr = pipe.run(cfg_.instructions, cfg_.warmup);
+  if (checker && !checker->ok()) throw std::runtime_error(checker->report());
 
   RunResult r;
   r.benchmark = profile.name;
   r.scheme = "fault-free";
+  r.commit_trail = std::move(trail);
+  r.checker_checks = checker ? checker->checks() : 0;
   r.vdd = vdd;
   r.committed = pr.committed;
   r.cycles = pr.cycles;

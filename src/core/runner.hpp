@@ -32,6 +32,14 @@ struct RunResult {
   /// invariant cpi.total() == cycles * commit_width always holds.
   obs::CpiStack cpi;
   StatSet stats;
+  /// Cycle timestamps sampled at every RunnerConfig::commit_trail_stride-th
+  /// commit (whole run, warmup included).  Lets a diff pinpoint the first
+  /// diverging execution window instead of just the final totals.  Not
+  /// folded into sweep_checksum (diagnostic, not an identity).
+  std::vector<Cycle> commit_trail;
+  /// Invariant evaluations the semantics checker performed (0 when the
+  /// checker was not attached); a run that "passes" with 0 checks is blind.
+  u64 checker_checks = 0;
 };
 
 /// (performance %, energy-delay %) overhead tuple, the format of Table 1.
@@ -58,6 +66,13 @@ struct RunnerConfig {
   TepConfig tep;
   PredictorKind predictor = PredictorKind::kTep;
   EnergyParams energy;
+  /// Attach a SemanticsChecker to every run and throw (with the checker's
+  /// report) if any paper invariant is violated.  Requires hook-enabled
+  /// builds (the default); attach fails loudly when compiled out.
+  bool check_semantics = false;
+  /// When non-zero, record the cycle at every N-th commit into
+  /// RunResult::commit_trail (capped; see runner.cpp).
+  u64 commit_trail_stride = 0;
 };
 
 /// Executes simulations.  Stateless between runs; deterministic.

@@ -8,6 +8,7 @@
 #define VASIM_CPU_FU_POOL_HPP
 
 #include <array>
+#include <utility>
 #include <vector>
 
 #include "src/common/types.hpp"
@@ -44,6 +45,15 @@ class FuPool {
 
   [[nodiscard]] int unit_count() const { return static_cast<int>(units_.size()); }
   [[nodiscard]] FuKind kind_of(int unit) const { return units_[static_cast<std::size_t>(unit)].kind; }
+  /// First cycle `unit` can accept a new operation.
+  [[nodiscard]] Cycle next_free(int unit) const {
+    return units_[static_cast<std::size_t>(unit)].next_free;
+  }
+  /// Contiguous [first, last) unit-id range owned by `kind`.
+  [[nodiscard]] std::pair<u32, u32> kind_range(FuKind kind) const {
+    const auto k = static_cast<std::size_t>(kind);
+    return {kind_begin_[k], kind_end_[k]};
+  }
 
  private:
   struct Unit {

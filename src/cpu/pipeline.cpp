@@ -150,9 +150,11 @@ void Pipeline::broadcast(InstState& is) {
   // match because its sources all broadcast earlier.
   const int deps = window_.wake(is.phys_dst);
   if (deps > 0) c_wakeup_match_.inc(static_cast<u64>(deps));
+  fire([&](SchedHooks& h) { h.on_tag_broadcast(now_, is, deps); });
   if (predictor_ != nullptr && scheme_.use_predictor) {
-    predictor_->mark_critical(is.di.pc, is.tep_history,
-                              deps >= scheme_.criticality_threshold);
+    const bool critical = deps >= scheme_.criticality_threshold;
+    predictor_->mark_critical(is.di.pc, is.tep_history, critical);
+    fire([&](SchedHooks& h) { h.on_mark_critical(now_, is, deps, critical); });
   }
 }
 
@@ -186,6 +188,7 @@ void Pipeline::process_events() {
         InstState* is = find(e.seq);
         if (is == nullptr) break;
         is->completed = true;
+        fire([&](SchedHooks& h) { h.on_completed(now_, *is); });
         if (observer_ != nullptr) observer_->on_complete(e.seq);
         if (fetch_blocked_on_ && *fetch_blocked_on_ == e.seq) {
           fetch_blocked_on_.reset();
@@ -200,7 +203,9 @@ void Pipeline::process_events() {
         break;
       }
       case EventKind::kEpStall: {
-        if (find(e.seq) != nullptr) {
+        InstState* is = find(e.seq);
+        if (is != nullptr) {
+          fire([&](SchedHooks& h) { h.on_ep_stall(now_, *is); });
           push_global_stall(1, obs::CpiCause::kEpStall);
           c_ep_stalls_.inc();
         }
@@ -216,6 +221,7 @@ void Pipeline::process_events() {
 void Pipeline::do_replay(SeqNum seq) {
   InstState* is = find(seq);
   if (is == nullptr || !is->replay_scheduled) return;
+  fire([&](SchedHooks& h) { h.on_replay(now_, *is); });
   c_replays_.inc();
   train_predictor(*is, true);
 
@@ -243,6 +249,12 @@ void Pipeline::do_replay(SeqNum seq) {
 }
 
 void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
+  // A replay of seq 0 passes last_kept = SeqNum(0) - 1 (wrapped around):
+  // nothing survives the squash, not even the window head.  Without this
+  // the wrapped value would read as "keep everything" below while next_seq_
+  // still reset to 0, recycling seq numbers that are live in the window.
+  const bool keep_none = last_kept + 1 == 0;
+
   // Collect true-path work for refetch (arena scratch); wrong-path work is
   // discarded.
   re_n_ = 0;
@@ -250,7 +262,7 @@ void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
   SeqNum youngest = last_kept;
   for (u32 off = 0; off < window_.size(); ++off) {
     const SeqNum wseq = window_.head_seq() + off;
-    if (wseq <= last_kept) continue;
+    if (!keep_none && wseq <= last_kept) continue;
     const InstState& w = window_.slot_state(window_.slot_of(wseq));
     ++squashed;
     youngest = wseq;
@@ -267,7 +279,7 @@ void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
   while (!window_.empty()) {
     InstState& w = window_.back();
     const SeqNum wseq = window_.head_seq() + window_.size() - 1;
-    if (wseq <= last_kept) break;
+    if (!keep_none && wseq <= last_kept) break;
     if (w.phys_dst != kNoReg) {
       rename_map_[static_cast<std::size_t>(w.di.dst)] = w.old_phys;
       free_list_.push_back(w.phys_dst);
@@ -279,15 +291,24 @@ void Pipeline::squash_younger(SeqNum last_kept, bool refetch_true_path) {
   }
   c_squash_.inc(squashed);
   if (observer_ != nullptr && squashed > 0) observer_->on_squash(last_kept + 1, youngest);
+  if (squashed > 0) {
+    fire([&](SchedHooks& h) { h.on_squashed(now_, last_kept + 1, youngest); });
+  }
 
   // Seq numbers above `last_kept` are recycled, so stale events for squashed
   // instructions must not fire on their successors.
-  wheel_.filter_squashed(last_kept);
+  if (keep_none) {
+    wheel_.clear_events();
+  } else {
+    wheel_.filter_squashed(last_kept);
+  }
   next_seq_ = last_kept + 1;
 
   for (u32 i = re_n_; i > 0; --i) refetch_.push_front(re_[i - 1]);
   wrong_path_active_ = false;
-  if (fetch_blocked_on_ && *fetch_blocked_on_ > last_kept) fetch_blocked_on_.reset();
+  if (fetch_blocked_on_ && (keep_none || *fetch_blocked_on_ > last_kept)) {
+    fetch_blocked_on_.reset();
+  }
 }
 
 isa::DynInst Pipeline::synthesize_wrong_path(Pc pc) {
@@ -356,6 +377,7 @@ void Pipeline::commit_stage() {
     // Committed-path fault rate (Table 1's FR): an instruction counts when
     // its committed instance faulted or it is the safe re-execution of one.
     if (is.actual_fault || is.safe_mode) c_committed_faulty_.inc();
+    fire([&](SchedHooks& h) { h.on_committed(now_, is); });
     ++committed_;
     if (observer_ != nullptr) observer_->on_commit(window_.head_seq());
     c_commit_.inc();
@@ -452,14 +474,23 @@ void Pipeline::select_stage() {
     InstState& is = window_.slot_state(slot);
     bool fwd = false;
     if (is.di.op == isa::OpClass::kLoad) {
-      if (!load_may_issue(is, &fwd)) return true;  // blocked by an older store
+      if (!load_may_issue(is, &fwd)) {  // blocked by an older store
+        fire([&](SchedHooks& h) { h.on_select_visit(now_, is, SelectOutcome::kLoadBlocked); });
+        return true;
+      }
     }
     if (issue_one(is, fwd)) {
       window_.on_issued(is.di.seq);
       --width;
       ++issued;
+      fire([&](SchedHooks& h) { h.on_select_visit(now_, is, SelectOutcome::kIssued); });
+    } else {
+      fire([&](SchedHooks& h) { h.on_select_visit(now_, is, SelectOutcome::kFuBusy); });
     }
     return true;
+  };
+  const auto note_pass = [&](int pass) {
+    fire([&](SchedHooks& h) { h.on_select_pass(now_, pass); });
   };
 
   // Ring order is age order (ages are assigned at dispatch and squash pops
@@ -468,15 +499,20 @@ void Pipeline::select_stage() {
   if (any) {
     switch (scheme_.policy) {
       case SelectPolicy::kAge:
+        note_pass(1);
         window_.for_each_in_order(cand_words_, nullptr, false, try_issue);
         break;
       case SelectPolicy::kFaultyFirst:
+        note_pass(0);
         if (window_.for_each_in_order(cand_words_, window_.predf_mask(), false, try_issue)) {
+          note_pass(1);
           window_.for_each_in_order(cand_words_, window_.predf_mask(), true, try_issue);
         }
         break;
       case SelectPolicy::kCriticalityDriven:
+        note_pass(0);
         if (window_.for_each_in_order(cand_words_, window_.crit_mask(), false, try_issue)) {
+          note_pass(1);
           window_.for_each_in_order(cand_words_, window_.crit_mask(), true, try_issue);
         }
         break;
@@ -505,6 +541,7 @@ bool Pipeline::issue_one(InstState& is, bool fwd) {
     case isa::OpClass::kIntDiv: exec_lat = cfg_.div_latency; break;
     case isa::OpClass::kLoad: {
       c_lsq_search_.inc();
+      fire([&](SchedHooks& h) { h.on_lsq_search(now_, is); });
       if (fwd) {
         exec_lat = 2;  // store-to-load forward
         c_stl_forward_.inc();
@@ -516,6 +553,7 @@ bool Pipeline::issue_one(InstState& is, bool fwd) {
     }
     case isa::OpClass::kStore:
       c_lsq_search_.inc();
+      fire([&](SchedHooks& h) { h.on_lsq_search(now_, is); });
       break;
     default:
       break;
@@ -554,6 +592,7 @@ bool Pipeline::issue_one(InstState& is, bool fwd) {
 
   const int fu = fus_.allocate(is.di.op, now_, exec_lat + lat_delta, fu_extra);
   if (fu < 0) return false;  // structural hazard; retry next cycle
+  fire([&](SchedHooks& h) { h.on_fu_allocated(now_, is, fu, fus_.next_free(fu)); });
   if (wb_slot_freeze) ++slots_frozen_next_;
   // LSQ CAM spacing (Sec 3.3.4): no load/store may perform a CAM search in
   // the cycle right behind a predicted-faulty memory-stage instruction.
@@ -597,6 +636,7 @@ bool Pipeline::issue_one(InstState& is, bool fwd) {
   if (scheme_.use_predictor && !is.pred_fault && is.actual_fault) {
     c_fault_false_neg_.inc();
   }
+  fire([&](SchedHooks& h) { h.on_issued(now_, is, exec_lat, lat_delta); });
   return true;
 }
 
@@ -649,6 +689,7 @@ void Pipeline::dispatch_stage() {
         is.phys_src2 != kNoReg && phys_ready_[static_cast<std::size_t>(is.phys_src2)] == 0;
 
     if (observer_ != nullptr) observer_->on_dispatch(fi.seq);
+    fire([&](SchedHooks& h) { h.on_dispatched(now_, is); });
     window_.push_back(is, p1, p2);
     frontend_.pop_front();
     --budget;
@@ -785,6 +826,7 @@ void Pipeline::apply_global_stall() {
     --stall_pending_ep_;
     cause = obs::CpiCause::kEpStall;
   }
+  fire([&](SchedHooks& h) { h.on_global_stall(now_, cause == obs::CpiCause::kEpStall); });
   c_cpi_[static_cast<std::size_t>(cause)].inc(static_cast<u64>(cfg_.commit_width));
   shift_all_times(1);
   c_stall_cycles_.inc();
@@ -804,6 +846,7 @@ bool Pipeline::step() {
   mem_blocked_now_ = mem_blocked_next_;
   mem_blocked_next_ = false;
 
+  fire([&](SchedHooks& h) { h.on_cycle_start(now_, slots_frozen_now_, mem_blocked_now_); });
   if (observer_ != nullptr) observer_->on_cycle(now_);
   process_events();
   commit_stage();

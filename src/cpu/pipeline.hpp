@@ -32,6 +32,7 @@
 #include "src/obs/registry.hpp"
 #include "src/cpu/branch_pred.hpp"
 #include "src/cpu/cache.hpp"
+#include "src/cpu/check_hooks.hpp"
 #include "src/cpu/config.hpp"
 #include "src/cpu/fu_pool.hpp"
 #include "src/cpu/hooks.hpp"
@@ -101,8 +102,16 @@ class Pipeline {
     observer_ = observer_mux_.as_observer();
   }
 
+  /// Attaches the fine-grained scheduler-kernel event sink (null detaches).
+  /// Non-owning; the pipeline never reads back from it.  Builds with
+  /// VASIM_CHECK_HOOKS=0 compile every emission site away; use
+  /// kCheckHooksEnabled to detect that configuration.
+  void set_check_hooks(SchedHooks* hooks) { hooks_ = hooks; }
+  [[nodiscard]] SchedHooks* check_hooks() const { return hooks_; }
+
   [[nodiscard]] const MemoryHierarchy& memory() const { return memory_; }
   [[nodiscard]] const BranchPredictor& branch_predictor() const { return bpred_; }
+  [[nodiscard]] const FuPool& fu_pool() const { return fus_; }
 
  private:
   struct FetchedInst {
@@ -154,11 +163,21 @@ class Pipeline {
   [[nodiscard]] bool faults_enabled() const;
   void train_predictor(const InstState& is, bool faulty);
 
+  /// Emits one SchedHooks event; the whole call folds away when the hooks
+  /// are compiled out, and costs a single predictable branch when detached.
+  template <typename F>
+  void fire(F&& f) const {
+    if constexpr (kCheckHooksEnabled) {
+      if (hooks_ != nullptr) f(*hooks_);
+    }
+  }
+
   // ---- configuration -------------------------------------------------------
   CoreConfig cfg_;
   SchemeConfig scheme_;
   PipelineObserver* observer_ = nullptr;
   ObserverMux observer_mux_;
+  SchedHooks* hooks_ = nullptr;
   isa::InstructionSource* source_;
   const timing::FaultModel* fault_model_;
   FaultPredictor* predictor_;

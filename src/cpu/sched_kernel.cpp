@@ -22,6 +22,17 @@ void EventWheel::init(Arena& a, u32 buckets_pow2, u32 pool_cap) {
   next_pop_ = 0;
 }
 
+void EventWheel::clear_events() {
+  for (u32 b = 0; b <= mask_; ++b) {
+    heads_[b] = -1;
+    max_seq_[b] = 0;
+  }
+  for (u32 w = 0; w <= mask_ / 64; ++w) occ_[w] = 0;
+  for (u32 i = 0; i < pool_cap_; ++i) pool_[i].next = static_cast<i32>(i) + 1;
+  pool_[pool_cap_ - 1].next = -1;
+  free_ = 0;
+}
+
 void EventWheel::filter_squashed(SeqNum last_kept) {
   for (u32 w = 0; w <= mask_ / 64; ++w) {
     u64 bits = occ_[w];

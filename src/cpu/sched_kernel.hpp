@@ -220,6 +220,10 @@ class EventWheel {
   /// <= last_kept hold no squashed events and are skipped without scanning.
   void filter_squashed(SeqNum last_kept);
 
+  /// Drops every pending event (full squash: nothing in flight survives, so
+  /// no event is still meaningful).  The time base (`next_pop_`) persists.
+  void clear_events();
+
   [[nodiscard]] u32 buckets() const { return mask_ + 1; }
   [[nodiscard]] u32 pool_capacity() const { return pool_cap_; }
 

@@ -1,0 +1,80 @@
+// Shared seed management for the randomized test suites.
+//
+// Every fuzz-style suite (test_fuzz, test_program_fuzz, test_semantics,
+// tools/check_probe) draws its seed list from here so one environment
+// variable reproduces any failure:
+//
+//   VASIM_FUZZ_SEEDS=17,42   run exactly these seeds (reproduction)
+//   VASIM_FUZZ_ITERS=200     widen the default range (long-fuzz CI job)
+//
+// Without either knob a suite runs its default contiguous range plus the
+// checked-in corpus (tests/corpus/fuzz_seeds.txt): seeds that once exposed
+// a bug stay in every future run.
+#ifndef VASIM_TESTS_FUZZ_UTIL_HPP
+#define VASIM_TESTS_FUZZ_UTIL_HPP
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/env.hpp"
+#include "src/common/types.hpp"
+
+namespace vasim::fuzzutil {
+
+/// Absolute path of the seed corpus (resolved from this header's location,
+/// same trick as the golden fixture).
+inline std::string corpus_path() {
+  std::string p(__FILE__);
+  const std::size_t slash = p.find_last_of('/');
+  return p.substr(0, slash) + "/corpus/fuzz_seeds.txt";
+}
+
+/// Seed list for the suite named `tag` ("config", "program", "probe").
+/// Corpus lines are `seed`, `tag:seed`, or `# comment`; untagged seeds feed
+/// every suite.
+inline std::vector<u64> seeds(const std::string& tag, u64 base, u64 default_count) {
+  std::vector<u64> out;
+  const std::string explicit_seeds = env_str("VASIM_FUZZ_SEEDS", "");
+  if (!explicit_seeds.empty()) {
+    std::stringstream ss(explicit_seeds);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) out.push_back(std::stoull(item));
+    }
+    return out;
+  }
+
+  const u64 n = env_u64("VASIM_FUZZ_ITERS", default_count);
+  out.reserve(static_cast<std::size_t>(n));
+  for (u64 i = 0; i < n; ++i) out.push_back(base + i);
+
+  std::ifstream f(corpus_path());
+  std::string line;
+  while (std::getline(f, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const std::size_t e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      if (line.substr(0, colon) != tag) continue;
+      line = line.substr(colon + 1);
+    }
+    try {
+      const u64 s = std::stoull(line);
+      if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+    } catch (...) {
+      // Malformed corpus lines are ignored (the corpus is hand-edited).
+    }
+  }
+  return out;
+}
+
+}  // namespace vasim::fuzzutil
+
+#endif  // VASIM_TESTS_FUZZ_UTIL_HPP

@@ -1,14 +1,19 @@
 // Randomized configuration fuzzing: many (machine shape, workload, scheme,
 // supply) combinations drawn from a seeded RNG, each checked against global
-// invariants the simulator must never violate.
+// invariants the simulator must never violate.  Every run also carries the
+// semantics checker, so each fuzzed configuration is validated cycle by
+// cycle against the paper's scheduling rules, not just by end-of-run
+// counters.  Reproduce any seed with VASIM_FUZZ_SEEDS=<seed> (fuzz_util.hpp).
 #include <gtest/gtest.h>
 
+#include "src/check/semantics.hpp"
 #include "src/core/tep.hpp"
 #include "src/cpu/pipeline.hpp"
 #include "src/timing/fault_model.hpp"
 #include "src/workload/profiles.hpp"
 #include "src/core/runner.hpp"
 #include "src/workload/trace_generator.hpp"
+#include "tests/fuzz_util.hpp"
 
 namespace vasim::cpu {
 namespace {
@@ -49,8 +54,15 @@ TEST_P(FuzzSweep, InvariantsHoldUnderRandomConfiguration) {
 
   workload::TraceGenerator gen(prof);
   Pipeline p(cfg, scheme, &gen, &fm, scheme.use_predictor ? &tep : nullptr);
+  check::SemanticsChecker checker(cfg, scheme);
+  checker.attach(p);
   const u64 target = 6000;
   const PipelineResult r = p.run(target, 3000);
+
+  // 0. The semantics checker observed the whole run and found no violation
+  //    of the paper's scheduling rules.
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.checks(), 0u);
 
   // --- invariants -----------------------------------------------------------
   // 1. Exactly the requested instructions commit.
@@ -80,8 +92,7 @@ TEST_P(FuzzSweep, InvariantsHoldUnderRandomConfiguration) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
-                                           16, 17, 18, 19, 20));
+                         ::testing::ValuesIn(vasim::fuzzutil::seeds("config", 1, 20)));
 
 }  // namespace
 }  // namespace vasim::cpu

@@ -4,16 +4,20 @@
 // pure speed change: the paper's model must produce bitwise-identical
 // results.  This suite replays a scheme x benchmark x supply grid (plus
 // directed jobs for wrong-path fetch, squash-refetch recovery and in-order
-// faults) against fixtures recorded from the pre-rewrite implementation:
-// committed counts, cycle counts, IPC bit patterns, every CPI-stack slot,
-// and the sweep FNV checksum (which folds in every stat counter and energy
-// double of every job).
+// faults, and pressure variants that saturate the unpipelined divider and
+// the load/store queues) against fixtures recorded from the pre-rewrite
+// implementation: committed counts, cycle counts, IPC bit patterns, every
+// CPI-stack slot, a strided commit trail (so a mismatch names the first
+// diverging execution window, not just the final totals), and the sweep FNV
+// checksum (which folds in every stat counter and energy double of every
+// job).  Every job also runs under the semantics checker.
 //
 // Regenerating fixtures (only when the *model* legitimately changes):
 //   VASIM_GOLDEN_RECORD=1 ./build/tests/test_golden_equiv
 // writes scheduler_golden.txt into the source tree next to this file.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -40,9 +44,35 @@ std::string fixture_path() {
 
 core::RunnerConfig golden_config() {
   core::RunnerConfig cfg;
-  cfg.instructions = 6'000;  // small but past warm-up; 96 jobs stay fast
+  cfg.instructions = 6'000;  // small but past warm-up; ~200 jobs stay fast
   cfg.warmup = 3'000;
+  // Every golden job is also a semantics-checker run: a kernel change that
+  // kept the end-of-run totals but broke a scheduling rule still fails here.
+  cfg.check_semantics = true;
+  // 9000 commits / 500 = 18 trail samples per row.
+  cfg.commit_trail_stride = 500;
   return cfg;
+}
+
+/// Divider-pressure variant: the divider is unpipelined (FUSR holds the unit
+/// for the full latency), so a div-heavy mix keeps the reservation logic and
+/// VTE's extra-cycle extension under continuous structural pressure.
+workload::BenchmarkProfile div_pressure(const std::string& base) {
+  workload::BenchmarkProfile p = workload::spec2006_profile(base);
+  p.name = base + "-div";
+  p.f_div = 0.05;
+  p.f_mul = 0.08;
+  return p;
+}
+
+/// LSQ-pressure variant: a memory-heavy mix against deliberately small
+/// load/store queues, so CAM-spacing cycles and queue-full stalls dominate.
+workload::BenchmarkProfile lsq_pressure(const std::string& base) {
+  workload::BenchmarkProfile p = workload::spec2006_profile(base);
+  p.name = base + "-lsq";
+  p.f_load = 0.35;
+  p.f_store = 0.20;
+  return p;
 }
 
 /// The grid: every comparative scheme at the paper's three supply points on
@@ -99,6 +129,30 @@ std::vector<core::SweepJob> golden_jobs() {
     jobs.push_back({workload::spec2006_profile("libquantum"), razor_io,
                     timing::SupplyPoints::kHighFault, std::nullopt});
   }
+  // Pressure grid (appended so the original rows keep their indices): the
+  // same scheme x supply sweep over derived profiles that stress the two
+  // structures the base mixes rarely saturate -- the unpipelined divider and
+  // the load/store queues.
+  {
+    core::RunnerConfig lsq_cfg = golden_config();
+    lsq_cfg.core.lq_entries = 12;
+    lsq_cfg.core.sq_entries = 8;
+    const double pressure_vdds[] = {timing::SupplyPoints::kHighFault,
+                                    timing::SupplyPoints::kLowFault};
+    for (const std::string& b : benches) {
+      for (const bool lsq : {false, true}) {
+        const workload::BenchmarkProfile prof = lsq ? lsq_pressure(b) : div_pressure(b);
+        const std::optional<core::RunnerConfig> cfg =
+            lsq ? std::optional<core::RunnerConfig>(lsq_cfg) : std::nullopt;
+        jobs.push_back({prof, std::nullopt, timing::SupplyPoints::kNominal, cfg});
+        for (const double vdd : pressure_vdds) {
+          for (const cpu::SchemeConfig& s : core::comparative_schemes()) {
+            jobs.push_back({prof, s, vdd, cfg});
+          }
+        }
+      }
+    }
+  }
   return jobs;
 }
 
@@ -110,6 +164,9 @@ struct GoldenRow {
   u64 cycles = 0;
   u64 ipc_bits = 0;
   std::vector<u64> cpi;
+  /// Cycle at every commit_trail_stride-th commit: a divergence diff names
+  /// the first execution window that drifted instead of just the totals.
+  std::vector<u64> trail;
 };
 
 u64 bits_of(double v) {
@@ -129,7 +186,26 @@ GoldenRow row_of(const core::RunResult& r) {
   for (int i = 0; i < obs::kNumCpiCauses; ++i) {
     row.cpi.push_back(r.cpi.slots[static_cast<std::size_t>(i)]);
   }
+  for (const Cycle c : r.commit_trail) row.trail.push_back(c);
   return row;
+}
+
+/// Formats where two trails first part ways, e.g. "first divergence at
+/// commit ~1500 (trail sample 3): cycle 2113 vs golden 2098".
+std::string trail_divergence(const GoldenRow& got, const GoldenRow& want, u64 stride) {
+  const std::size_t n = std::min(got.trail.size(), want.trail.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (got.trail[i] != want.trail[i]) {
+      return "first divergence at commit ~" + std::to_string((i + 1) * stride) +
+             " (trail sample " + std::to_string(i) + "): cycle " +
+             std::to_string(got.trail[i]) + " vs golden " + std::to_string(want.trail[i]);
+    }
+  }
+  if (got.trail.size() != want.trail.size()) {
+    return "trail length changed: " + std::to_string(got.trail.size()) + " vs golden " +
+           std::to_string(want.trail.size());
+  }
+  return "trails identical (divergence after the last sampled commit)";
 }
 
 }  // namespace
@@ -145,12 +221,14 @@ TEST(GoldenEquivalence, SchedulerGridMatchesRecordedFixtures) {
     std::ofstream out(fixture_path());
     ASSERT_TRUE(out) << "cannot write " << fixture_path();
     out << "# bench scheme vdd_bits committed cycles ipc_bits cpi[" << obs::kNumCpiCauses
-        << "]\n";
+        << "] trail <n> <cycle>*\n";
     for (const core::RunResult& r : results) {
       const GoldenRow row = row_of(r);
       out << row.bench << ' ' << row.scheme << ' ' << row.vdd_bits << ' ' << row.committed
           << ' ' << row.cycles << ' ' << row.ipc_bits;
       for (const u64 s : row.cpi) out << ' ' << s;
+      out << " trail " << row.trail.size();
+      for (const u64 c : row.trail) out << ' ' << c;
       out << '\n';
     }
     out << "checksum " << checksum << '\n';
@@ -179,23 +257,33 @@ TEST(GoldenEquivalence, SchedulerGridMatchesRecordedFixtures) {
     ls >> row.scheme >> row.vdd_bits >> row.committed >> row.cycles >> row.ipc_bits;
     row.cpi.resize(static_cast<std::size_t>(obs::kNumCpiCauses));
     for (u64& s : row.cpi) ls >> s;
+    std::string marker;
+    std::size_t trail_len = 0;
+    ls >> marker >> trail_len;
+    ASSERT_EQ(marker, "trail") << "malformed fixture line: " << line;
+    row.trail.resize(trail_len);
+    for (u64& c : row.trail) ls >> c;
     ASSERT_FALSE(ls.fail()) << "malformed fixture line: " << line;
     expected.push_back(std::move(row));
   }
   ASSERT_TRUE(have_checksum) << "fixture has no checksum line";
   ASSERT_EQ(expected.size(), results.size()) << "grid shape changed; re-record fixtures";
 
+  const u64 stride = golden_config().commit_trail_stride;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const GoldenRow got = row_of(results[i]);
     const GoldenRow& want = expected[i];
     SCOPED_TRACE("job " + std::to_string(i) + ": " + want.bench + "/" + want.scheme);
+    // A run that "passed" without the checker evaluating anything is blind.
+    EXPECT_GT(results[i].checker_checks, 0u);
     EXPECT_EQ(got.bench, want.bench);
     EXPECT_EQ(got.scheme, want.scheme);
     EXPECT_EQ(got.vdd_bits, want.vdd_bits);
     EXPECT_EQ(got.committed, want.committed);
-    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.cycles, want.cycles) << trail_divergence(got, want, stride);
     EXPECT_EQ(got.ipc_bits, want.ipc_bits);
-    EXPECT_EQ(got.cpi, want.cpi);
+    EXPECT_EQ(got.cpi, want.cpi) << trail_divergence(got, want, stride);
+    EXPECT_EQ(got.trail, want.trail) << trail_divergence(got, want, stride);
   }
   // The checksum folds in every stat counter, energy double and CPI slot of
   // every job -- the strongest single witness that the rewrite changed

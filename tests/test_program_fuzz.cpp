@@ -8,12 +8,14 @@
 
 #include <sstream>
 
+#include "src/check/semantics.hpp"
 #include "src/core/tep.hpp"
 #include "src/cpu/pipeline.hpp"
 #include "src/isa/assembler.hpp"
 #include "src/isa/executor.hpp"
 #include "src/core/runner.hpp"
 #include "src/timing/fault_model.hpp"
+#include "tests/fuzz_util.hpp"
 
 namespace vasim::cpu {
 namespace {
@@ -74,15 +76,18 @@ TEST_P(ProgramFuzz, PipelineCommitsExactlyTheArchitecturalStream) {
   CoreConfig cfg;
   cfg.model_wrong_path = rng.next_bool(0.4);
   Pipeline pipe(cfg, scheme, &src, &fm, scheme.use_predictor ? &tep : nullptr);
+  check::SemanticsChecker checker(cfg, scheme);
+  checker.attach(pipe);
   const PipelineResult r = pipe.run(10 * dynamic_count);
 
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.checks(), 0u);
   EXPECT_EQ(r.committed, dynamic_count) << "scheme " << scheme.name;
   EXPECT_GE(r.cycles, dynamic_count / 4);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzz,
-                         ::testing::Values(101, 102, 103, 104, 105, 106, 107, 108, 109, 110,
-                                           111, 112, 113, 114, 115));
+                         ::testing::ValuesIn(vasim::fuzzutil::seeds("program", 101, 15)));
 
 }  // namespace
 }  // namespace vasim::cpu
