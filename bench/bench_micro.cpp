@@ -19,6 +19,7 @@
 #include "src/circuit/sta.hpp"
 #include "src/common/env.hpp"
 #include "src/common/stats.hpp"
+#include "src/core/sweep.hpp"
 #include "src/core/tep.hpp"
 #include "src/cpu/cache.hpp"
 #include "src/cpu/pipeline.hpp"
@@ -322,6 +323,80 @@ void emit_kernel_json() {
               best_ff, best_ff / kBaselineFaultFree, best_abs, best_abs / kBaselineAbs);
 }
 
+// ---- warm-start sweep record -------------------------------------------------
+
+/// Writes BENCH_snapshot.json: the same supply-sweep grid run straight
+/// through and with --reuse-warmup sharing, recording the simulated-warmup
+/// reduction and the checksum identity.  The headline witness is the cycle
+/// reduction, not wall time: on a box with few cores the shared-warmup
+/// capture phase serializes, but the simulated work removed is
+/// machine-independent.
+void emit_snapshot_json() {
+  if (env_u64("VASIM_JSON", 1) == 0) return;
+  core::RunnerConfig rc;
+  rc.instructions = env_u64("VASIM_SNAPBENCH_INSTR", 20'000);
+  rc.warmup = env_u64("VASIM_SNAPBENCH_WARMUP", 40'000);
+
+  // A supply sweep: the fault-free baseline repeats at every vdd and is the
+  // shareable portion (its warmup key excludes the supply).
+  std::vector<core::SweepJob> jobs;
+  const double vdds[] = {0.94, 0.97, 1.00, 1.04, 1.10};
+  for (const auto& name : {"bzip2", "gobmk", "sjeng"}) {
+    const auto prof = workload::spec2006_profile(name);
+    for (const double vdd : vdds) {
+      jobs.push_back({prof, std::nullopt, vdd, std::nullopt});
+      jobs.push_back({prof, core::scheme_by_name("abs"), vdd, std::nullopt});
+    }
+  }
+
+  core::SweepRunner straight(rc);
+  core::SweepRunner shared(rc);
+  shared.set_reuse_warmup(true);
+  const core::SweepReport a = straight.run(jobs);
+  const core::SweepReport b = shared.run(jobs);
+  const u64 ck_a = core::sweep_checksum(a);
+  const u64 ck_b = core::sweep_checksum(b);
+  if (ck_a != ck_b) {
+    std::fprintf(stderr, "BENCH_snapshot: checksum mismatch with warmup reuse on\n");
+    std::exit(1);
+  }
+
+  // Over the grouped jobs, the straight sweep simulates simulated + saved
+  // warmup cycles; the shared sweep simulates only the former.
+  const u64 grouped_total = b.warmup_cycles_simulated + b.warmup_cycles_saved;
+  const double reduction =
+      grouped_total > 0
+          ? static_cast<double>(b.warmup_cycles_saved) / static_cast<double>(grouped_total)
+          : 0.0;
+
+  std::ofstream out("BENCH_snapshot.json");
+  if (!out) return;
+  char buf[768];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"snapshot_warm_start\",\n"
+                "  \"schema_version\": 1,\n"
+                "  \"jobs\": %zu,\n"
+                "  \"warmup_groups\": %zu,\n"
+                "  \"warmup_cycles_simulated\": %llu,\n"
+                "  \"warmup_cycles_saved\": %llu,\n"
+                "  \"warmup_reduction\": %.3f,\n"
+                "  \"checksum_identical\": true,\n"
+                "  \"checksum\": \"%016llx\",\n"
+                "  \"wall_ms_straight\": %.1f,\n"
+                "  \"wall_ms_reuse\": %.1f\n"
+                "}\n",
+                jobs.size(), b.warmup_groups,
+                static_cast<unsigned long long>(b.warmup_cycles_simulated),
+                static_cast<unsigned long long>(b.warmup_cycles_saved), reduction,
+                static_cast<unsigned long long>(ck_b), a.wall_ms, b.wall_ms);
+  out << buf;
+  std::printf("[BENCH_snapshot.json: %zu jobs, %zu shared groups, %llu warmup cycles saved "
+              "(%.0f%% of grouped warmup), checksums identical]\n",
+              jobs.size(), b.warmup_groups,
+              static_cast<unsigned long long>(b.warmup_cycles_saved), reduction * 100.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -331,5 +406,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   emit_stats_overhead_json();
   emit_kernel_json();
+  emit_snapshot_json();
   return 0;
 }

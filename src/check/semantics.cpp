@@ -571,4 +571,147 @@ std::string SemanticsChecker::report() const {
   return os.str();
 }
 
+void SemanticsChecker::save_state(snap::Writer& w) const {
+  if (!ok()) throw snap::SnapshotError("refusing to snapshot a checker with violations");
+  w.put_u32(static_cast<u32>(recs_.size()));
+  for (const Rec& rec : recs_) {
+    w.put_u64(rec.seq);
+    w.put_bool(rec.valid);
+    w.put_u64(rec.age);
+    w.put_u8(static_cast<u8>(rec.op));
+    w.put_u64(rec.line_addr);
+    w.put_u64(rec.pc);
+    w.put_i32(rec.dst);
+    w.put_i32(rec.src1);
+    w.put_i32(rec.src2);
+    w.put_bool(rec.wait1);
+    w.put_bool(rec.wait2);
+    w.put_u8(rec.pending);
+    w.put_u64(rec.dispatch_cycle);
+    w.put_bool(rec.issued);
+    w.put_bool(rec.completed);
+    w.put_bool(rec.pred_fault);
+    w.put_bool(rec.pred_critical);
+    w.put_u8(static_cast<u8>(rec.pred_stage));
+    w.put_bool(rec.actual_fault);
+    w.put_u8(static_cast<u8>(rec.actual_stage));
+    w.put_bool(rec.safe_mode);
+    w.put_bool(rec.wrong_path);
+    w.put_bool(rec.covered);
+    w.put_bool(rec.replay_expected);
+    w.put_bool(rec.replay_seen);
+    w.put_u64(rec.bcast_due);
+    w.put_bool(rec.bcast_pending);
+    w.put_u64(rec.complete_due);
+    w.put_bool(rec.complete_pending);
+    w.put_u64(rec.ep_due);
+    w.put_bool(rec.ep_pending);
+  }
+  w.put_u32(static_cast<u32>(phys_ready_.size()));
+  for (const u8 v : phys_ready_) w.put_u8(v);
+  w.put_u64(shift_);
+  w.put_u64(last_cycle_start_);
+  w.put_bool(saw_cycle_start_);
+  w.put_u64(cycles_observed_);
+  w.put_u64(stall_cycles_);
+  w.put_i32(frozen_reported_);
+  w.put_bool(mem_blocked_reported_);
+  w.put_i32(expected_frozen_next_);
+  w.put_bool(expected_mem_blocked_next_);
+  w.put_i32(issues_this_cycle_);
+  w.put_i32(commits_this_cycle_);
+  w.put_i32(cur_pass_);
+  w.put_bool(visit_seen_);
+  w.put_u64(last_visit_seq_);
+  w.put_u8(last_visit_dist_);
+  w.put_u32(static_cast<u32>(fu_free_.size()));
+  for (const Cycle v : fu_free_) w.put_u64(v);
+  w.put_bool(fu_alloc_pending_);
+  w.put_u64(fu_alloc_seq_);
+  w.put_i32(fu_alloc_unit_);
+  w.put_u64(fu_alloc_next_free_);
+  w.put_u64(next_commit_seq_);
+  w.put_u64(next_dispatch_seq_);
+  w.put_u64(max_dispatched_seq_);
+  w.put_bool(any_dispatched_);
+  w.put_u64(ep_stalls_owed_);
+  w.put_u64(last_hook_commit_);
+  w.put_bool(have_hook_commit_);
+  w.put_u64(last_hook_complete_);
+  w.put_bool(have_hook_complete_);
+  w.put_u64(commits_observed_);
+  w.put_u64(checks_);
+}
+
+void SemanticsChecker::restore_state(snap::Reader& r) {
+  if (r.get_u32() != recs_.size()) throw snap::SnapshotError("checker record table size mismatch");
+  for (Rec& rec : recs_) {
+    rec.seq = r.get_u64();
+    rec.valid = r.get_bool();
+    rec.age = r.get_u64();
+    rec.op = static_cast<isa::OpClass>(r.get_u8());
+    rec.line_addr = r.get_u64();
+    rec.pc = r.get_u64();
+    rec.dst = r.get_i32();
+    rec.src1 = r.get_i32();
+    rec.src2 = r.get_i32();
+    rec.wait1 = r.get_bool();
+    rec.wait2 = r.get_bool();
+    rec.pending = r.get_u8();
+    rec.dispatch_cycle = r.get_u64();
+    rec.issued = r.get_bool();
+    rec.completed = r.get_bool();
+    rec.pred_fault = r.get_bool();
+    rec.pred_critical = r.get_bool();
+    rec.pred_stage = static_cast<timing::OooStage>(r.get_u8());
+    rec.actual_fault = r.get_bool();
+    rec.actual_stage = static_cast<timing::OooStage>(r.get_u8());
+    rec.safe_mode = r.get_bool();
+    rec.wrong_path = r.get_bool();
+    rec.covered = r.get_bool();
+    rec.replay_expected = r.get_bool();
+    rec.replay_seen = r.get_bool();
+    rec.bcast_due = r.get_u64();
+    rec.bcast_pending = r.get_bool();
+    rec.complete_due = r.get_u64();
+    rec.complete_pending = r.get_bool();
+    rec.ep_due = r.get_u64();
+    rec.ep_pending = r.get_bool();
+  }
+  if (r.get_u32() != phys_ready_.size()) throw snap::SnapshotError("checker phys reg count mismatch");
+  for (u8& v : phys_ready_) v = r.get_u8();
+  shift_ = r.get_u64();
+  last_cycle_start_ = r.get_u64();
+  saw_cycle_start_ = r.get_bool();
+  cycles_observed_ = r.get_u64();
+  stall_cycles_ = r.get_u64();
+  frozen_reported_ = r.get_i32();
+  mem_blocked_reported_ = r.get_bool();
+  expected_frozen_next_ = r.get_i32();
+  expected_mem_blocked_next_ = r.get_bool();
+  issues_this_cycle_ = r.get_i32();
+  commits_this_cycle_ = r.get_i32();
+  cur_pass_ = r.get_i32();
+  visit_seen_ = r.get_bool();
+  last_visit_seq_ = r.get_u64();
+  last_visit_dist_ = r.get_u8();
+  if (r.get_u32() != fu_free_.size()) throw snap::SnapshotError("checker fu table size mismatch");
+  for (Cycle& v : fu_free_) v = r.get_u64();
+  fu_alloc_pending_ = r.get_bool();
+  fu_alloc_seq_ = r.get_u64();
+  fu_alloc_unit_ = r.get_i32();
+  fu_alloc_next_free_ = r.get_u64();
+  next_commit_seq_ = r.get_u64();
+  next_dispatch_seq_ = r.get_u64();
+  max_dispatched_seq_ = r.get_u64();
+  any_dispatched_ = r.get_bool();
+  ep_stalls_owed_ = r.get_u64();
+  last_hook_commit_ = r.get_u64();
+  have_hook_commit_ = r.get_bool();
+  last_hook_complete_ = r.get_u64();
+  have_hook_complete_ = r.get_bool();
+  commits_observed_ = r.get_u64();
+  checks_ = r.get_u64();
+}
+
 }  // namespace vasim::check

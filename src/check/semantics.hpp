@@ -64,6 +64,7 @@
 #include "src/cpu/config.hpp"
 #include "src/cpu/hooks.hpp"
 #include "src/cpu/observer.hpp"
+#include "src/snap/io.hpp"
 
 namespace vasim::cpu {
 class Pipeline;
@@ -105,6 +106,15 @@ class SemanticsChecker final : public cpu::PipelineObserver, public cpu::SchedHo
   /// Human-readable summary: per-invariant violation counts plus the first
   /// recorded details.  Empty string when ok().
   [[nodiscard]] std::string report() const;
+
+  /// Serializes the full shadow model (records, register/FU shadows, time
+  /// base, program-order trackers, tally counters) so a restored run's
+  /// checker continues with a bit-identical checks() count.  Only an ok()
+  /// checker may be saved: violations are not serialized.
+  void save_state(snap::Writer& w) const;
+  /// Restores into a checker constructed with the same configs and already
+  /// attached to the restored pipeline.
+  void restore_state(snap::Reader& r);
 
   // ---- PipelineObserver surface (coarse lifecycle cross-checks) ----------
   void on_cycle(Cycle now) override;

@@ -92,6 +92,25 @@ class Pcg32 {
   /// Bernoulli draw.
   bool next_bool(double p_true) { return next_double() < p_true; }
 
+  // -- state access (snapshot/repro tooling) ---------------------------------
+  // state()/inc() fully determine the uniform stream; the Box-Muller spare
+  // (set_gaussian_spare) is additionally needed for bit-exact next_gaussian
+  // continuation.  restore_raw/save via these accessors round-trips exactly.
+
+  [[nodiscard]] u64 state() const { return state_; }
+  [[nodiscard]] u64 inc() const { return inc_; }
+  [[nodiscard]] double gaussian_spare() const { return spare_; }
+  [[nodiscard]] bool has_gaussian_spare() const { return have_spare_; }
+
+  /// Restores the exact generator state previously observed through the
+  /// accessors above (bypasses the seeding scramble of the constructor).
+  void restore_raw(u64 state, u64 inc, double spare = 0.0, bool have_spare = false) {
+    state_ = state;
+    inc_ = inc;
+    spare_ = spare;
+    have_spare_ = have_spare;
+  }
+
  private:
   u64 state_ = 0;
   u64 inc_ = 0;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/cpu/hooks.hpp"
+#include "src/snap/io.hpp"
 
 namespace vasim::core {
 
@@ -28,6 +29,25 @@ class MostRecentEntryPredictor final : public cpu::FaultPredictor {
   void mark_critical(Pc pc, u64 history, bool critical) override;
 
   [[nodiscard]] u64 storage_bits() const;
+
+  void save_state(snap::Writer& w) const {
+    w.put_u64(table_.size());
+    for (const Entry& e : table_) {
+      w.put_u16(e.tag);
+      w.put_bool(e.valid);
+      w.put_bool(e.last_faulty);
+      w.put_u8(e.stage);
+    }
+  }
+  void restore_state(snap::Reader& r) {
+    if (r.get_u64() != table_.size()) throw snap::SnapshotError("mre table size mismatch");
+    for (Entry& e : table_) {
+      e.tag = r.get_u16();
+      e.valid = r.get_bool();
+      e.last_faulty = r.get_bool();
+      e.stage = r.get_u8();
+    }
+  }
 
  private:
   struct Entry {
@@ -50,6 +70,21 @@ class TimingViolationPredictor final : public cpu::FaultPredictor {
   void mark_critical(Pc pc, u64 history, bool critical) override;
 
   [[nodiscard]] u64 storage_bits() const;
+
+  void save_state(snap::Writer& w) const {
+    w.put_u64(table_.size());
+    for (const Entry& e : table_) {
+      w.put_u8(e.counter);
+      w.put_u8(e.stage);
+    }
+  }
+  void restore_state(snap::Reader& r) {
+    if (r.get_u64() != table_.size()) throw snap::SnapshotError("tvp table size mismatch");
+    for (Entry& e : table_) {
+      e.counter = r.get_u8();
+      e.stage = r.get_u8();
+    }
+  }
 
  private:
   struct Entry {

@@ -73,7 +73,16 @@ struct RunnerConfig {
   /// When non-zero, record the cycle at every N-th commit into
   /// RunResult::commit_trail (capped; see runner.cpp).
   u64 commit_trail_stride = 0;
+  /// When non-zero, write a snapshot to `<snapshot_path><committed>.vsnap`
+  /// at every `snapshot_interval`-th committed instruction (first cycle
+  /// boundary at or past each multiple), in addition to the normal run.
+  u64 snapshot_interval = 0;
+  std::string snapshot_path = "snap-";
 };
+
+// Defined in src/core/snapshot.hpp; callers of the snapshot API include it.
+class RunSnapshot;
+struct CaptureResult;
 
 /// Executes simulations.  Stateless between runs; deterministic.
 class ExperimentRunner {
@@ -87,6 +96,36 @@ class ExperimentRunner {
   /// Fault-free baseline at the same supply (faults disabled, age policy).
   [[nodiscard]] RunResult run_fault_free(const workload::BenchmarkProfile& profile,
                                          double vdd) const;
+
+  // ---- snapshot / warm-start API (src/core/snapshot.hpp) -------------------
+  // `scheme == nullopt` selects the fault-free-baseline path, exactly like
+  // SweepJob::scheme.
+
+  /// Simulates up to the first cycle boundary where at least `at_committed`
+  /// instructions have committed and returns the snapshot (the run is then
+  /// abandoned -- this is the cheap warmup-capture path).  The capture point
+  /// is quantized to cycle boundaries, so resuming is bit-identical to
+  /// having never paused.  Throws if the semantics checker (when enabled)
+  /// has already failed at the capture point.
+  [[nodiscard]] RunSnapshot capture(const workload::BenchmarkProfile& profile,
+                                    const std::optional<cpu::SchemeConfig>& scheme, double vdd,
+                                    u64 at_committed) const;
+
+  /// Runs to completion like run()/run_fault_free, additionally capturing a
+  /// snapshot at `at_committed` on the way through.
+  [[nodiscard]] CaptureResult run_and_capture(const workload::BenchmarkProfile& profile,
+                                              const std::optional<cpu::SchemeConfig>& scheme,
+                                              double vdd, u64 at_committed) const;
+
+  /// Resumes a snapshot and runs the measurement to completion.  Workload,
+  /// scheme and supply come from the snapshot's META; measurement-side
+  /// settings (`instructions`, EnergyParams) come from this runner's config,
+  /// whose warmup-relevant fields must match the snapshot's warmup key
+  /// (snap::SnapshotError otherwise).  `vdd_override` is only legal for
+  /// fault-free snapshots, where the supply affects energy accounting but
+  /// not execution (warm-start sweep sharing across supplies).
+  [[nodiscard]] RunResult run_from(const RunSnapshot& snapshot,
+                                   std::optional<double> vdd_override = std::nullopt) const;
 
   [[nodiscard]] const RunnerConfig& config() const { return cfg_; }
 

@@ -15,6 +15,7 @@
 
 #include "src/common/env.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/core/snapshot.hpp"
 #include "src/obs/cpi.hpp"
 #include "src/obs/trace.hpp"
 
@@ -144,22 +145,73 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
     std::fflush(stderr);
   };
 
-  const auto run_one = [&](const SweepJob& job, SweepOutcome& out) {
+  // Warm-start grouping (set_reuse_warmup): jobs whose conservative warmup
+  // keys match simulate the warmup once and fork the measurement from the
+  // shared snapshot.  Singleton groups are dropped -- running straight
+  // through is cheaper than capture + restore for a job with no siblings.
+  struct Group {
+    std::vector<std::size_t> members;
+    std::optional<RunSnapshot> snap;
+    std::exception_ptr error;
+  };
+  std::map<std::string, Group> groups;
+  std::vector<Group*> shared(jobs.size(), nullptr);
+  if (reuse_warmup_) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const RunnerConfig& cfg = jobs[i].config ? *jobs[i].config : cfg_;
+      if (cfg.warmup == 0) continue;
+      groups[warmup_key_bytes(cfg, jobs[i].profile, jobs[i].scheme, jobs[i].vdd)]
+          .members.push_back(i);
+    }
+    for (auto it = groups.begin(); it != groups.end();) {
+      if (it->second.members.size() < 2) {
+        it = groups.erase(it);
+      } else {
+        for (const std::size_t i : it->second.members) shared[i] = &it->second;
+        ++it;
+      }
+    }
+  }
+
+  const auto capture_group = [&](Group& g) {
+    const SweepJob& job = jobs[g.members.front()];
+    const RunnerConfig& cfg = job.config ? *job.config : cfg_;
+    try {
+      const ExperimentRunner runner(cfg);
+      g.snap.emplace(runner.capture(job.profile, job.scheme, job.vdd, cfg.warmup));
+    } catch (...) {
+      // Every member inherits the failure: a group whose warmup cannot be
+      // captured must not half-run with some members silently falling back.
+      g.error = std::current_exception();
+    }
+  };
+
+  const auto run_one = [&](std::size_t index, SweepOutcome& out) {
+    const SweepJob& job = jobs[index];
     const auto j0 = Clock::now();
     out.start_ms = ms_between(t0, j0);
     out.worker = worker_of(std::this_thread::get_id());
     const ExperimentRunner runner(job.config ? *job.config : cfg_);
-    out.result = job.scheme ? runner.run(job.profile, *job.scheme, job.vdd)
-                            : runner.run_fault_free(job.profile, job.vdd);
+    const Group* g = shared[index];
+    if (g != nullptr) {
+      if (g->error) std::rethrow_exception(g->error);
+      // job.vdd only diverges from the snapshot's within fault-free groups,
+      // where the supply does not influence execution (see warmup_key).
+      out.result = runner.run_from(*g->snap, job.vdd);
+    } else {
+      out.result = job.scheme ? runner.run(job.profile, *job.scheme, job.vdd)
+                              : runner.run_fault_free(job.profile, job.vdd);
+    }
     out.wall_ms = ms_between(j0, Clock::now());
     note_progress();
   };
 
   if (workers_ <= 1) {
     // Sequential path: exactly the historical bench behaviour, no pool.
+    for (auto& [key, g] : groups) capture_group(g);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       try {
-        run_one(jobs[i], report.jobs[i]);
+        run_one(i, report.jobs[i]);
       } catch (...) {
         errors[i] = std::current_exception();
         note_progress();
@@ -167,10 +219,18 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
     }
   } else {
     ThreadPool pool(workers_);
+    // Phase A: shared warmups (a barrier keeps the dependency trivial --
+    // measurement jobs only ever read completed snapshots).
+    for (auto& [key, g] : groups) {
+      Group* gp = &g;
+      pool.submit([&capture_group, gp] { capture_group(*gp); });
+    }
+    pool.wait_idle();
+    // Phase B: every job, forked or direct.
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       pool.submit([&, i] {
         try {
-          run_one(jobs[i], report.jobs[i]);
+          run_one(i, report.jobs[i]);
         } catch (...) {
           errors[i] = std::current_exception();
           note_progress();
@@ -180,6 +240,14 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
     pool.wait_idle();
   }
   report.wall_ms = ms_between(t0, Clock::now());
+
+  for (const auto& [key, g] : groups) {
+    if (!g.snap) continue;
+    ++report.warmup_groups;
+    report.warmup_cycles_simulated += g.snap->meta().captured_cycle;
+    report.warmup_cycles_saved +=
+        g.snap->meta().captured_cycle * static_cast<u64>(g.members.size() - 1);
+  }
 
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
@@ -212,9 +280,12 @@ u64 sweep_checksum(const SweepReport& report) {
 void write_sweep_json(std::ostream& os, const std::string& name, const SweepReport& report) {
   os << "{\n"
      << "  \"bench\": \"" << json_escape(name) << "\",\n"
-     << "  \"schema_version\": 2,\n"
+     << "  \"schema_version\": 3,\n"
      << "  \"workers\": " << report.workers << ",\n"
      << "  \"wall_ms\": " << json_f64(report.wall_ms) << ",\n"
+     << "  \"warmup_groups\": " << report.warmup_groups << ",\n"
+     << "  \"warmup_cycles_simulated\": " << report.warmup_cycles_simulated << ",\n"
+     << "  \"warmup_cycles_saved\": " << report.warmup_cycles_saved << ",\n"
      << "  \"checksum\": \"" << std::hex << sweep_checksum(report) << std::dec << "\",\n"
      << "  \"jobs\": [";
   for (std::size_t i = 0; i < report.jobs.size(); ++i) {

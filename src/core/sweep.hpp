@@ -49,6 +49,10 @@ struct SweepReport {
   std::vector<SweepOutcome> jobs;
   double wall_ms = 0.0;      ///< end-to-end sweep wall time
   std::size_t workers = 1;   ///< pool size the sweep ran with
+  // Warm-start sharing accounting (all zero unless set_reuse_warmup(true)).
+  std::size_t warmup_groups = 0;     ///< shared-warmup groups actually captured
+  u64 warmup_cycles_simulated = 0;   ///< warmup cycles run once per shared group
+  u64 warmup_cycles_saved = 0;       ///< warmup cycles the other members skipped
 };
 
 /// Worker count resolution: `VASIM_JOBS` when set, else hardware threads.
@@ -75,10 +79,19 @@ class SweepRunner {
   /// Live `jobs done/total + ETA` line on stderr while the sweep runs.
   void set_progress(bool on) { progress_ = on; }
 
+  /// Warm-start sharing: jobs whose warmup keys match (src/core/snapshot.hpp
+  /// -- conservatively, everything that can influence machine state at the
+  /// warmup boundary) run their warmup once per group and fork the
+  /// measurement from the shared snapshot.  Results are bitwise identical to
+  /// the straight-through sweep (tests/test_snap.cpp pins the checksum);
+  /// only the SweepReport's warmup_* accounting and wall times change.
+  void set_reuse_warmup(bool on) { reuse_warmup_ = on; }
+
  private:
   RunnerConfig cfg_;
   std::size_t workers_;
   bool progress_ = false;
+  bool reuse_warmup_ = false;
 };
 
 /// FNV-1a checksum over the order-sensitive, thread-count-invariant fields

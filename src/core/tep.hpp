@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/cpu/hooks.hpp"
+#include "src/snap/io.hpp"
 #include "src/timing/sensors.hpp"
 
 namespace vasim::core {
@@ -45,6 +46,36 @@ class TimingErrorPredictor final : public cpu::FaultPredictor {
   /// Storage cost in bits (tag + counter + stage + criticality per entry),
   /// used by the area/power study.
   [[nodiscard]] u64 storage_bits() const;
+
+  /// Serializes the table and tally counters (sensors are stateless
+  /// functions of the environment; the environment is reconstructed from
+  /// config on restore).
+  void save_state(snap::Writer& w) const {
+    w.put_u64(table_.size());
+    for (const Entry& e : table_) {
+      w.put_u16(e.tag);
+      w.put_u8(e.counter);
+      w.put_u8(e.stage);
+      w.put_u8(e.crit_counter);
+      w.put_bool(e.valid);
+    }
+    w.put_u64(lookups_);
+    w.put_u64(predictions_);
+    w.put_u64(allocations_);
+  }
+  void restore_state(snap::Reader& r) {
+    if (r.get_u64() != table_.size()) throw snap::SnapshotError("tep table size mismatch");
+    for (Entry& e : table_) {
+      e.tag = r.get_u16();
+      e.counter = r.get_u8();
+      e.stage = r.get_u8();
+      e.crit_counter = r.get_u8();
+      e.valid = r.get_bool();
+    }
+    lookups_ = r.get_u64();
+    predictions_ = r.get_u64();
+    allocations_ = r.get_u64();
+  }
 
  private:
   struct Entry {

@@ -31,4 +31,32 @@ void BranchPredictor::update(Pc pc, bool taken, Pc target) {
   history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
 }
 
+void BranchPredictor::save_state(snap::Writer& w) const {
+  w.put_u64(counters_.size());
+  w.put_bytes(counters_.data(), counters_.size());
+  w.put_u64(btb_.size());
+  for (const BtbEntry& e : btb_) {
+    w.put_u64(e.pc);
+    w.put_u64(e.target);
+    w.put_bool(e.valid);
+  }
+  w.put_u64(history_);
+  w.put_u64(lookups_);
+  w.put_u64(mispredicts_);
+}
+
+void BranchPredictor::restore_state(snap::Reader& r) {
+  if (r.get_u64() != counters_.size()) throw snap::SnapshotError("gshare table size mismatch");
+  r.get_bytes(counters_.data(), counters_.size());
+  if (r.get_u64() != btb_.size()) throw snap::SnapshotError("btb size mismatch");
+  for (BtbEntry& e : btb_) {
+    e.pc = r.get_u64();
+    e.target = r.get_u64();
+    e.valid = r.get_bool();
+  }
+  history_ = r.get_u64();
+  lookups_ = r.get_u64();
+  mispredicts_ = r.get_u64();
+}
+
 }  // namespace vasim::cpu

@@ -6,6 +6,7 @@
 
 #include "src/common/types.hpp"
 #include "src/cpu/config.hpp"
+#include "src/snap/io.hpp"
 
 namespace vasim::cpu {
 
@@ -33,6 +34,12 @@ class BranchPredictor {
   [[nodiscard]] u64 mispredicts() const { return mispredicts_; }
   /// Records a mispredict observed by the pipeline (outcome or target).
   void note_mispredict() { ++mispredicts_; }
+
+  /// Serializes counters, BTB, history, and the lookup/mispredict tallies.
+  void save_state(snap::Writer& w) const;
+  /// Restores into a predictor built from the same CoreConfig; throws on a
+  /// table-size mismatch.
+  void restore_state(snap::Reader& r);
 
  private:
   [[nodiscard]] std::size_t dir_index(Pc pc) const;

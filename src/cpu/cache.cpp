@@ -70,6 +70,31 @@ bool Cache::contains(Addr addr) const {
   return false;
 }
 
+void Cache::save_state(snap::Writer& w) const {
+  w.put_u64(lines_.size());
+  for (const Line& line : lines_) {
+    w.put_u64(line.tag);
+    w.put_bool(line.valid);
+    w.put_u64(line.lru);
+  }
+  w.put_u64(use_counter_);
+  w.put_u64(hits_);
+  w.put_u64(misses_);
+}
+
+void Cache::restore_state(snap::Reader& r) {
+  const u64 n = r.get_u64();
+  if (n != lines_.size()) throw snap::SnapshotError("cache geometry mismatch");
+  for (Line& line : lines_) {
+    line.tag = r.get_u64();
+    line.valid = r.get_bool();
+    line.lru = r.get_u64();
+  }
+  use_counter_ = r.get_u64();
+  hits_ = r.get_u64();
+  misses_ = r.get_u64();
+}
+
 MemoryHierarchy::MemoryHierarchy(const CoreConfig& cfg, obs::Registry* reg)
     : l1i_(cfg.l1i, reg, "l1i"), l1d_(cfg.l1d, reg, "l1d"), l2_(cfg.l2, reg, "l2"),
       mem_latency_(cfg.memory_latency), next_line_prefetch_(cfg.l2_next_line_prefetch) {
@@ -117,6 +142,20 @@ void MemoryHierarchy::export_stats(StatSet& stats) const {
   stats.inc("cache.l2.hits", l2_.hits());
   stats.inc("cache.l2.misses", l2_.misses());
   stats.inc("cache.l2.prefetches", prefetches_);
+}
+
+void MemoryHierarchy::save_state(snap::Writer& w) const {
+  l1i_.save_state(w);
+  l1d_.save_state(w);
+  l2_.save_state(w);
+  w.put_u64(prefetches_);
+}
+
+void MemoryHierarchy::restore_state(snap::Reader& r) {
+  l1i_.restore_state(r);
+  l1d_.restore_state(r);
+  l2_.restore_state(r);
+  prefetches_ = r.get_u64();
 }
 
 }  // namespace vasim::cpu

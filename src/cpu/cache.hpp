@@ -9,6 +9,7 @@
 #include "src/common/types.hpp"
 #include "src/cpu/config.hpp"
 #include "src/obs/registry.hpp"
+#include "src/snap/io.hpp"
 
 namespace vasim::cpu {
 
@@ -26,6 +27,13 @@ class Cache {
 
   /// Lookup without fill (used by tests and warmup probes).
   [[nodiscard]] bool contains(Addr addr) const;
+
+  /// Serializes line array + LRU clock (+ the standalone hit/miss fallbacks;
+  /// registry-backed counters are snapshotted with the registry).
+  void save_state(snap::Writer& w) const;
+  /// Restores into a cache built from the same CacheConfig; throws on a
+  /// geometry mismatch.
+  void restore_state(snap::Reader& r);
 
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
   [[nodiscard]] u64 hits() const { return hits_c_.valid() ? hits_c_.value() : hits_; }
@@ -75,6 +83,10 @@ class MemoryHierarchy {
   /// Standalone (registry-less) hierarchies only; registry-backed ones
   /// already export these names through the registry.
   void export_stats(StatSet& stats) const;
+
+  /// Serializes all three cache levels and the prefetch fallback counter.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
   [[nodiscard]] u64 prefetches() const {
     return prefetches_c_.valid() ? prefetches_c_.value() : prefetches_;

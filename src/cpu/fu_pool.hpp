@@ -15,6 +15,7 @@
 #include "src/cpu/config.hpp"
 #include "src/isa/dyninst.hpp"
 #include "src/obs/registry.hpp"
+#include "src/snap/io.hpp"
 
 namespace vasim::cpu {
 
@@ -53,6 +54,17 @@ class FuPool {
   [[nodiscard]] std::pair<u32, u32> kind_range(FuKind kind) const {
     const auto k = static_cast<std::size_t>(kind);
     return {kind_begin_[k], kind_end_[k]};
+  }
+
+  /// Serializes per-unit next_free reservations (the only mutable state;
+  /// kind layout is config-derived).
+  void save_state(snap::Writer& w) const {
+    w.put_u32(static_cast<u32>(units_.size()));
+    for (const Unit& u : units_) w.put_u64(u.next_free);
+  }
+  void restore_state(snap::Reader& r) {
+    if (r.get_u32() != units_.size()) throw snap::SnapshotError("fu pool size mismatch");
+    for (Unit& u : units_) u.next_free = r.get_u64();
   }
 
  private:

@@ -120,4 +120,24 @@ PipelineResult InOrderPipeline::run(u64 max_committed, u64 warmup_committed) {
   return r;
 }
 
+void InOrderPipeline::save_state(snap::Writer& w) const {
+  w.put_u64(now_);
+  w.put_u64(fetch_ready_);
+  for (int a = 0; a < isa::kNumArchRegs; ++a) w.put_u64(reg_ready_[a]);
+  w.put_u64(committed_);
+  snap::put_statset(w, stats_);
+  memory_.save_state(w);
+  bpred_.save_state(w);
+}
+
+void InOrderPipeline::restore_state(snap::Reader& r) {
+  now_ = r.get_u64();
+  fetch_ready_ = r.get_u64();
+  for (int a = 0; a < isa::kNumArchRegs; ++a) reg_ready_[a] = r.get_u64();
+  committed_ = r.get_u64();
+  stats_ = snap::get_statset(r);
+  memory_.restore_state(r);
+  bpred_.restore_state(r);
+}
+
 }  // namespace vasim::cpu

@@ -42,6 +42,16 @@ class InOrderPipeline {
   /// Runs `max_committed` instructions after `warmup_committed` of warmup.
   PipelineResult run(u64 max_committed, u64 warmup_committed = 0);
 
+  [[nodiscard]] u64 committed() const { return committed_; }
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  /// Serializes clock, scoreboard, caches, branch predictor and stats.  The
+  /// restored instance continues with run(max, 0): run() captures its
+  /// measurement base at entry when warmup is zero, so windowing matches the
+  /// uninterrupted run exactly.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   /// Executes one instruction; returns false when the source drains.
   bool step_one();

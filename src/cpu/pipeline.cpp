@@ -899,6 +899,11 @@ PipelineResult Pipeline::run(u64 max_committed, u64 warmup_committed) {
   while (committed_ < target && step()) {
   }
 
+  return result_window(base, base_committed, base_cycles);
+}
+
+PipelineResult Pipeline::result_window(const StatSet& base, u64 base_committed,
+                                       Cycle base_cycles) const {
   PipelineResult r;
   r.committed = committed_ - base_committed;
   r.cycles = now_ - base_cycles;
@@ -910,6 +915,145 @@ PipelineResult Pipeline::run(u64 max_committed, u64 warmup_committed) {
   // warmup diff above already windowed them.
   r.cpi = obs::CpiStack::from_stats(r.stats);
   return r;
+}
+
+// ---- snapshot ---------------------------------------------------------------
+
+void Pipeline::save_state(snap::Writer& w) const {
+  // Rename state.
+  w.put_u32(static_cast<u32>(rename_map_.size()));
+  for (const int v : rename_map_) w.put_i32(v);
+  w.put_u32(static_cast<u32>(free_list_.size()));
+  for (const int v : free_list_) w.put_i32(v);
+  w.put_u32(static_cast<u32>(phys_ready_.size()));
+  for (const u8 v : phys_ready_) w.put_u8(v);
+  for (const SeqNum v : phys_producer_) w.put_u64(v);
+
+  // Scheduler kernel.
+  window_.save_state(w);
+  w.put_u64(next_seq_);
+  w.put_u32(frontend_.size());
+  for (u32 i = 0; i < frontend_.size(); ++i) {
+    const FetchedInst& f = frontend_.at(i);
+    put_dyninst(w, f.di);
+    w.put_u64(f.seq);
+    w.put_u64(f.arrive);
+    w.put_bool(f.pred.predicted);
+    w.put_u8(static_cast<u8>(f.pred.stage));
+    w.put_bool(f.pred.critical);
+    w.put_u64(f.history);
+    w.put_bool(f.safe_mode);
+    w.put_bool(f.retire_fault);
+    w.put_bool(f.wrong_path);
+  }
+  w.put_u32(refetch_.size());
+  for (u32 i = 0; i < refetch_.size(); ++i) {
+    const RefetchInst& re = refetch_.at(i);
+    put_dyninst(w, re.di);
+    w.put_bool(re.safe_mode);
+  }
+  wheel_.save_state(w);
+  w.put_u64(event_shift_);
+
+  // Cycle state.
+  w.put_u64(now_);
+  w.put_u64(committed_);
+  w.put_u64(age_counter_);
+  w.put_i32(iq_count_);
+  w.put_i32(lq_count_);
+  w.put_i32(sq_count_);
+  w.put_bool(source_done_);
+  w.put_u64(fetch_stall_until_);
+  w.put_bool(fetch_blocked_on_.has_value());
+  w.put_u64(fetch_blocked_on_.value_or(0));
+  w.put_bool(wrong_path_active_);
+  w.put_u64(wrong_path_pc_);
+  w.put_i32(stall_pending_);
+  w.put_i32(stall_pending_ep_);
+  w.put_u64(squash_recover_until_);
+  w.put_i32(slots_frozen_now_);
+  w.put_i32(slots_frozen_next_);
+  w.put_bool(mem_blocked_now_);
+  w.put_bool(mem_blocked_next_);
+  w.put_u64(last_commit_cycle_);
+
+  // Metrics and components.
+  snap::put_statset(w, stats_);
+  registry_.save_state(w);
+  memory_.save_state(w);
+  bpred_.save_state(w);
+  fus_.save_state(w);
+}
+
+void Pipeline::restore_state(snap::Reader& r) {
+  if (r.get_u32() != rename_map_.size()) throw snap::SnapshotError("rename map size mismatch");
+  for (int& v : rename_map_) v = r.get_i32();
+  const u32 fl = r.get_u32();
+  if (fl > static_cast<u32>(cfg_.phys_regs)) throw snap::SnapshotError("free list over capacity");
+  free_list_.resize(fl);
+  for (int& v : free_list_) v = r.get_i32();
+  if (r.get_u32() != phys_ready_.size()) throw snap::SnapshotError("phys reg count mismatch");
+  for (u8& v : phys_ready_) v = r.get_u8();
+  for (SeqNum& v : phys_producer_) v = r.get_u64();
+
+  window_.restore_state(r);
+  next_seq_ = r.get_u64();
+  const u32 fn = r.get_u32();
+  if (fn > frontend_.capacity()) throw snap::SnapshotError("frontend queue over capacity");
+  frontend_.clear();
+  for (u32 i = 0; i < fn; ++i) {
+    FetchedInst f;
+    f.di = get_dyninst(r);
+    f.seq = r.get_u64();
+    f.arrive = r.get_u64();
+    f.pred.predicted = r.get_bool();
+    f.pred.stage = static_cast<timing::OooStage>(r.get_u8());
+    f.pred.critical = r.get_bool();
+    f.history = r.get_u64();
+    f.safe_mode = r.get_bool();
+    f.retire_fault = r.get_bool();
+    f.wrong_path = r.get_bool();
+    frontend_.push_back(f);
+  }
+  const u32 rn = r.get_u32();
+  if (rn > refetch_.capacity()) throw snap::SnapshotError("refetch queue over capacity");
+  refetch_.clear();
+  for (u32 i = 0; i < rn; ++i) {
+    RefetchInst re;
+    re.di = get_dyninst(r);
+    re.safe_mode = r.get_bool();
+    refetch_.push_back(re);
+  }
+  wheel_.restore_state(r);
+  event_shift_ = r.get_u64();
+
+  now_ = r.get_u64();
+  committed_ = r.get_u64();
+  age_counter_ = r.get_u64();
+  iq_count_ = r.get_i32();
+  lq_count_ = r.get_i32();
+  sq_count_ = r.get_i32();
+  source_done_ = r.get_bool();
+  fetch_stall_until_ = r.get_u64();
+  const bool have_blocked = r.get_bool();
+  const SeqNum blocked_seq = r.get_u64();
+  fetch_blocked_on_ = have_blocked ? std::optional<SeqNum>(blocked_seq) : std::nullopt;
+  wrong_path_active_ = r.get_bool();
+  wrong_path_pc_ = r.get_u64();
+  stall_pending_ = r.get_i32();
+  stall_pending_ep_ = r.get_i32();
+  squash_recover_until_ = r.get_u64();
+  slots_frozen_now_ = r.get_i32();
+  slots_frozen_next_ = r.get_i32();
+  mem_blocked_now_ = r.get_bool();
+  mem_blocked_next_ = r.get_bool();
+  last_commit_cycle_ = r.get_u64();
+
+  stats_ = snap::get_statset(r);
+  registry_.restore_state(r);
+  memory_.restore_state(r);
+  bpred_.restore_state(r);
+  fus_.restore_state(r);
 }
 
 // ---- scheme factories ---------------------------------------------------------

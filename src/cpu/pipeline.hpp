@@ -75,6 +75,36 @@ class Pipeline {
   /// Advances one cycle; false when everything has drained.
   bool step();
 
+  // ---- external run driving (snapshot capture / warm-start restore) --------
+  // run() is a thin composition of these three primitives; an external
+  // driver (core::Runner's snapshot paths) uses them directly so it can
+  // pause at arbitrary commit counts *without* perturbing the commit
+  // quantization run() would have produced.
+
+  /// Pins the total-commit ceiling the commit stage honours during step().
+  /// Must match the phase boundary run() would have used (warmup, then
+  /// warmup + instructions) for bit-identical continuation.
+  void set_commit_limit(u64 limit) { commit_limit_ = limit; }
+
+  /// Assembles the measured-window result exactly as run() does, given the
+  /// base observations captured at the warmup boundary.
+  [[nodiscard]] PipelineResult result_window(const StatSet& base, u64 base_committed,
+                                             Cycle base_cycles) const;
+
+  /// Serializes the complete deterministic machine state: rename/free-list/
+  /// ready/producer maps, the SoA issue window (ROB/LSQ occupancy included),
+  /// frontend/refetch rings, the event wheel with its global-stall shift,
+  /// caches, branch predictor, FU reservations, all cycle-state scalars, the
+  /// cold StatSet and every registry counter.  Scratch arrays (due_/re_/
+  /// cand_words_) are dead between step() calls and are not serialized.
+  void save_state(snap::Writer& w) const;
+
+  /// Restores into a pipeline freshly constructed with the same CoreConfig,
+  /// SchemeConfig and wiring.  Throws snap::SnapshotError on any geometry
+  /// mismatch; continuation after a successful restore is bit-identical to
+  /// the uninterrupted run (tests/test_snap.cpp, golden grid).
+  void restore_state(snap::Reader& r);
+
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] u64 committed() const { return committed_; }
   /// Cold-path StatSet only (registry counters live elsewhere); use

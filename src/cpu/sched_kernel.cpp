@@ -60,4 +60,170 @@ void EventWheel::filter_squashed(SeqNum last_kept) {
   }
 }
 
+void EventWheel::save_state(snap::Writer& w) const {
+  w.put_u64(next_pop_);
+  u32 count = 0;
+  for (u32 b = 0; b <= mask_; ++b) {
+    for (i32 idx = heads_[b]; idx >= 0; idx = pool_[idx].next) ++count;
+  }
+  w.put_u32(count);
+  for (u32 b = 0; b <= mask_; ++b) {
+    if (heads_[b] < 0) continue;
+    // Absolute stored cycle of bucket b: the wheel spans [next_pop_,
+    // next_pop_ + mask_], so b identifies exactly one cycle in that range.
+    const Cycle stored = next_pop_ + ((b - static_cast<u32>(next_pop_)) & mask_);
+    for (i32 idx = heads_[b]; idx >= 0; idx = pool_[idx].next) {
+      w.put_u64(stored);
+      w.put_u8(static_cast<u8>(pool_[idx].kind));
+      w.put_u64(pool_[idx].seq);
+    }
+  }
+}
+
+void EventWheel::restore_state(snap::Reader& r) {
+  clear_events();
+  next_pop_ = r.get_u64();
+  const u32 count = r.get_u32();
+  if (count > pool_cap_) throw snap::SnapshotError("event wheel pool overflow on restore");
+  for (u32 i = 0; i < count; ++i) {
+    const Cycle stored = r.get_u64();
+    const u8 kind = r.get_u8();
+    const SeqNum seq = r.get_u64();
+    if (kind > static_cast<u8>(EventKind::kReplay)) throw snap::SnapshotError("bad event kind");
+    if (stored < next_pop_ || stored - next_pop_ > mask_) throw snap::SnapshotError("event outside wheel horizon");
+    schedule(stored, static_cast<EventKind>(kind), seq);
+  }
+}
+
+void put_dyninst(snap::Writer& w, const isa::DynInst& d) {
+  w.put_u64(d.seq);
+  w.put_u64(d.pc);
+  w.put_u8(static_cast<u8>(d.op));
+  w.put_i32(d.src1);
+  w.put_i32(d.src2);
+  w.put_i32(d.dst);
+  w.put_u64(d.mem_addr);
+  w.put_i32(d.mem_size);
+  w.put_bool(d.taken);
+  w.put_u64(d.next_pc);
+}
+
+isa::DynInst get_dyninst(snap::Reader& r) {
+  isa::DynInst d;
+  d.seq = r.get_u64();
+  d.pc = r.get_u64();
+  const u8 op = r.get_u8();
+  if (op > static_cast<u8>(isa::OpClass::kBranch)) throw snap::SnapshotError("bad op class");
+  d.op = static_cast<isa::OpClass>(op);
+  d.src1 = r.get_i32();
+  d.src2 = r.get_i32();
+  d.dst = r.get_i32();
+  d.mem_addr = r.get_u64();
+  d.mem_size = r.get_i32();
+  d.taken = r.get_bool();
+  d.next_pc = r.get_u64();
+  return d;
+}
+
+void put_inst_state(snap::Writer& w, const InstState& is) {
+  put_dyninst(w, is.di);
+  w.put_u64(is.age);
+  w.put_u64(is.tep_history);
+  w.put_i32(is.phys_dst);
+  w.put_i32(is.old_phys);
+  w.put_i32(is.phys_src1);
+  w.put_i32(is.phys_src2);
+  w.put_bool(is.in_iq);
+  w.put_bool(is.issued);
+  w.put_bool(is.completed);
+  w.put_bool(is.safe_mode);
+  w.put_bool(is.pred_fault);
+  w.put_u8(static_cast<u8>(is.pred_stage));
+  w.put_bool(is.pred_critical);
+  w.put_bool(is.actual_fault);
+  w.put_u8(static_cast<u8>(is.actual_stage));
+  w.put_bool(is.fault_handled);
+  w.put_bool(is.replay_scheduled);
+  w.put_bool(is.retire_fault);
+  w.put_bool(is.retire_padded);
+  w.put_bool(is.wrong_path);
+}
+
+InstState get_inst_state(snap::Reader& r) {
+  InstState is;
+  is.di = get_dyninst(r);
+  is.age = r.get_u64();
+  is.tep_history = r.get_u64();
+  is.phys_dst = r.get_i32();
+  is.old_phys = r.get_i32();
+  is.phys_src1 = r.get_i32();
+  is.phys_src2 = r.get_i32();
+  is.in_iq = r.get_bool();
+  is.issued = r.get_bool();
+  is.completed = r.get_bool();
+  is.safe_mode = r.get_bool();
+  is.pred_fault = r.get_bool();
+  is.pred_stage = static_cast<timing::OooStage>(r.get_u8());
+  is.pred_critical = r.get_bool();
+  is.actual_fault = r.get_bool();
+  is.actual_stage = static_cast<timing::OooStage>(r.get_u8());
+  is.fault_handled = r.get_bool();
+  is.replay_scheduled = r.get_bool();
+  is.retire_fault = r.get_bool();
+  is.retire_padded = r.get_bool();
+  is.wrong_path = r.get_bool();
+  return is;
+}
+
+void IssueWindow::save_state(snap::Writer& w) const {
+  w.put_u64(head_seq_);
+  w.put_u32(size_);
+  for (u32 i = 0; i < size_; ++i) {
+    const u32 slot = slot_of(head_seq_ + i);
+    put_inst_state(w, cold_[slot]);
+    w.put_i32(src1_[slot]);
+    w.put_i32(src2_[slot]);
+    w.put_u64(addrq_[slot]);
+    w.put_u8(pending_[slot]);
+    w.put_u8(abs6_[slot]);
+  }
+  w.put_u32(words_);
+  for (u32 i = 0; i < words_; ++i) w.put_u64(waiting_[i]);
+  for (u32 i = 0; i < words_; ++i) w.put_u64(ready_[i]);
+  for (u32 i = 0; i < words_; ++i) w.put_u64(issued_[i]);
+  for (u32 i = 0; i < words_; ++i) w.put_u64(predf_[i]);
+  for (u32 i = 0; i < words_; ++i) w.put_u64(crit_[i]);
+  for (u32 i = 0; i < words_; ++i) w.put_u64(memop_[i]);
+  for (u32 i = 0; i < words_; ++i) w.put_u64(store_[i]);
+  w.put_u32(num_phys_);
+  for (u32 i = 0; i < num_phys_ * words_; ++i) w.put_u64(waiters1_[i]);
+  for (u32 i = 0; i < num_phys_ * words_; ++i) w.put_u64(waiters2_[i]);
+}
+
+void IssueWindow::restore_state(snap::Reader& r) {
+  head_seq_ = r.get_u64();
+  size_ = r.get_u32();
+  if (size_ > cap_mask_ + 1) throw snap::SnapshotError("issue window over capacity on restore");
+  for (u32 i = 0; i < size_; ++i) {
+    const u32 slot = slot_of(head_seq_ + i);
+    cold_[slot] = get_inst_state(r);
+    src1_[slot] = r.get_i32();
+    src2_[slot] = r.get_i32();
+    addrq_[slot] = r.get_u64();
+    pending_[slot] = r.get_u8();
+    abs6_[slot] = r.get_u8();
+  }
+  if (r.get_u32() != words_) throw snap::SnapshotError("issue window mask geometry mismatch");
+  for (u32 i = 0; i < words_; ++i) waiting_[i] = r.get_u64();
+  for (u32 i = 0; i < words_; ++i) ready_[i] = r.get_u64();
+  for (u32 i = 0; i < words_; ++i) issued_[i] = r.get_u64();
+  for (u32 i = 0; i < words_; ++i) predf_[i] = r.get_u64();
+  for (u32 i = 0; i < words_; ++i) crit_[i] = r.get_u64();
+  for (u32 i = 0; i < words_; ++i) memop_[i] = r.get_u64();
+  for (u32 i = 0; i < words_; ++i) store_[i] = r.get_u64();
+  if (r.get_u32() != num_phys_) throw snap::SnapshotError("issue window phys-reg count mismatch");
+  for (u32 i = 0; i < num_phys_ * words_; ++i) waiters1_[i] = r.get_u64();
+  for (u32 i = 0; i < num_phys_ * words_; ++i) waiters2_[i] = r.get_u64();
+}
+
 }  // namespace vasim::cpu

@@ -43,6 +43,7 @@
 #include "src/common/types.hpp"
 #include "src/cpu/hooks.hpp"
 #include "src/isa/dyninst.hpp"
+#include "src/snap/io.hpp"
 #include "src/timing/stage.hpp"
 
 namespace vasim::cpu {
@@ -227,6 +228,15 @@ class EventWheel {
   [[nodiscard]] u32 buckets() const { return mask_ + 1; }
   [[nodiscard]] u32 pool_capacity() const { return pool_cap_; }
 
+  /// Serializes the time base plus every pending event with its *absolute*
+  /// stored cycle (reconstructed from the bucket index relative to
+  /// next_pop_).  Restore re-schedules each event, so free-list and
+  /// intra-bucket list order may differ from the original -- unobservable,
+  /// because pop_due's contract leaves intra-bucket order unspecified and
+  /// the pipeline sorts popped events by (kind, seq).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   struct Node {
     SeqNum seq = 0;
@@ -275,6 +285,13 @@ struct InstState {
   bool retire_padded = false;  ///< retire already took its extra cycle
   bool wrong_path = false;     ///< synthesized mispredicted-path work
 };
+
+/// DynInst / InstState snapshot codecs, shared by IssueWindow::save_state
+/// and the Pipeline's frontend/refetch ring serialization.
+void put_dyninst(snap::Writer& w, const isa::DynInst& d);
+isa::DynInst get_dyninst(snap::Reader& r);
+void put_inst_state(snap::Writer& w, const InstState& is);
+InstState get_inst_state(snap::Reader& r);
 
 /// Structure-of-arrays ROB/issue window.  Slots are addressed by
 /// seq & (capacity-1): the window holds a contiguous SeqNum range no longer
@@ -489,6 +506,14 @@ class IssueWindow {
   [[nodiscard]] static u8 abs_distance(u8 ts, u8 head_ts) {
     return static_cast<u8>((ts - head_ts) & 63);
   }
+
+  /// Serializes occupancy, every live slot (cold record + hot mirrors), all
+  /// status bitmask words, and the per-register waiter masks.  The waiter
+  /// masks are copied verbatim (not re-derived): they legitimately carry
+  /// stale bits from recycled slots, and bit-identical continuation requires
+  /// preserving them exactly.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   static void set_or_clear(u64* mask, u32 w, u64 bit, bool on) {

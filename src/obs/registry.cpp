@@ -58,6 +58,41 @@ void Registry::export_to(StatSet& s) const {
   }
 }
 
+void Registry::save_state(snap::Writer& w) const {
+  for (const auto& h : histograms_) {
+    if (h.total() != 0) throw snap::SnapshotError("registry histogram holds samples; not snapshotable");
+  }
+  w.put_u32(static_cast<u32>(counter_names_.size()));
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    w.put_str(counter_names_[i]);
+    w.put_u64(counter_values_[i]);
+  }
+  w.put_u32(static_cast<u32>(gauge_names_.size()));
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    w.put_str(gauge_names_[i]);
+    w.put_f64(gauge_values_[i]);
+  }
+}
+
+void Registry::restore_state(snap::Reader& r) {
+  const u32 nc = r.get_u32();
+  for (u32 i = 0; i < nc; ++i) {
+    const std::string name = r.get_str();
+    const u64 v = r.get_u64();
+    const auto it = counter_index_.find(name);
+    if (it == counter_index_.end()) throw snap::SnapshotError("registry counter '" + name + "' not registered on restore side");
+    *it->second = v;
+  }
+  const u32 ng = r.get_u32();
+  for (u32 i = 0; i < ng; ++i) {
+    const std::string name = r.get_str();
+    const double v = r.get_f64();
+    const auto it = gauge_index_.find(name);
+    if (it == gauge_index_.end()) throw snap::SnapshotError("registry gauge '" + name + "' not registered on restore side");
+    *it->second = v;
+  }
+}
+
 void Registry::reset() {
   for (u64& v : counter_values_) v = 0;
   for (double& v : gauge_values_) v = 0.0;

@@ -28,6 +28,7 @@
 
 #include "src/common/stats.hpp"
 #include "src/common/types.hpp"
+#include "src/snap/io.hpp"
 
 namespace vasim::obs {
 
@@ -97,6 +98,17 @@ class Registry {
   /// Zeroes every counter and gauge (histograms are re-created).  Handles
   /// stay valid.
   void reset();
+
+  /// Serializes every counter and gauge value, keyed by name.  Histograms
+  /// carry no snapshot state here (no pipeline registers any); save_state
+  /// throws if one holds samples rather than silently dropping them.
+  void save_state(snap::Writer& w) const;
+
+  /// Restores values into already-registered metrics, matched by name.
+  /// Throws if a saved name is missing: the restoring side must have
+  /// registered the same metric set (same config, same code version) before
+  /// calling this.  Handles stay valid.
+  void restore_state(snap::Reader& r);
 
   [[nodiscard]] std::size_t num_counters() const { return counter_names_.size(); }
 

@@ -1,0 +1,145 @@
+#include "src/snap/format.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+
+namespace vasim::snap {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 4;
+constexpr std::size_t kChunkHeaderBytes = 4 + 4 + 8 + 4;
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("cannot open '" + path + "'");
+  std::vector<unsigned char> buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return buf;
+}
+
+/// Validates magic/version/endianness and returns a reader positioned at the
+/// chunk count.
+Reader open_header(const std::vector<unsigned char>& buf, bool strict_endian, bool* endian_ok) {
+  if (buf.size() < kHeaderBytes) throw SnapshotError("file too small for header (" + std::to_string(buf.size()) + " bytes)");
+  if (std::memcmp(buf.data(), kMagic, sizeof kMagic) != 0) throw SnapshotError("bad magic (not a vasim snapshot)");
+  Reader r(buf);
+  r.skip(sizeof kMagic);
+  const u32 version = r.get_u32();
+  if (version != kFormatVersion)
+    throw SnapshotError("container format version " + std::to_string(version) + " unsupported (this build reads " +
+                        std::to_string(kFormatVersion) + ")");
+  const u32 endian = r.get_u32();
+  const bool ok = endian == kEndianMarker;
+  if (endian_ok != nullptr) *endian_ok = ok;
+  if (strict_endian && !ok) throw SnapshotError("endianness marker mismatch (file written with raw host byte order?)");
+  return r;
+}
+
+}  // namespace
+
+std::string tag_name(u32 tag) {
+  std::string s(4, '.');
+  for (int i = 0; i < 4; ++i) {
+    const auto c = static_cast<unsigned char>((tag >> (8 * i)) & 0xFF);
+    if (std::isprint(c) != 0) s[static_cast<std::size_t>(i)] = static_cast<char>(c);
+  }
+  return s;
+}
+
+const Chunk* Snapshot::find(u32 tag) const {
+  for (const Chunk& c : chunks_)
+    if (c.tag == tag) return &c;
+  return nullptr;
+}
+
+const Chunk& Snapshot::require(u32 tag) const {
+  const Chunk* c = find(tag);
+  if (c == nullptr) throw SnapshotError("required chunk '" + tag_name(tag) + "' missing");
+  return *c;
+}
+
+std::vector<unsigned char> encode_snapshot(const Snapshot& s) {
+  Writer w;
+  w.put_bytes(kMagic, sizeof kMagic);
+  w.put_u32(kFormatVersion);
+  w.put_u32(kEndianMarker);
+  w.put_u32(static_cast<u32>(s.chunks().size()));
+  for (const Chunk& c : s.chunks()) {
+    w.put_u32(c.tag);
+    w.put_u32(c.version);
+    w.put_u64(c.payload.size());
+    w.put_u32(crc32(c.payload.data(), c.payload.size()));
+    w.put_bytes(c.payload.data(), c.payload.size());
+  }
+  return w.take();
+}
+
+Snapshot decode_snapshot(const unsigned char* data, std::size_t n) {
+  const std::vector<unsigned char> buf(data, data + n);
+  Reader r = open_header(buf, /*strict_endian=*/true, nullptr);
+  const u32 count = r.get_u32();
+  Snapshot s;
+  for (u32 i = 0; i < count; ++i) {
+    if (r.remaining() < kChunkHeaderBytes)
+      throw SnapshotError("truncated chunk table (chunk " + std::to_string(i) + " of " + std::to_string(count) + ")");
+    const u32 tag = r.get_u32();
+    const u32 version = r.get_u32();
+    const u64 size = r.get_u64();
+    const u32 crc_stored = r.get_u32();
+    if (r.remaining() < size)
+      throw SnapshotError("chunk '" + tag_name(tag) + "' truncated (declares " + std::to_string(size) + " bytes, " +
+                          std::to_string(r.remaining()) + " remain)");
+    std::vector<unsigned char> payload(static_cast<std::size_t>(size));
+    r.get_bytes(payload.data(), payload.size());
+    const u32 crc_actual = crc32(payload.data(), payload.size());
+    if (crc_actual != crc_stored)
+      throw SnapshotError("chunk '" + tag_name(tag) + "' CRC mismatch (stored " + std::to_string(crc_stored) +
+                          ", computed " + std::to_string(crc_actual) + ")");
+    s.add(tag, version, std::move(payload));
+  }
+  r.expect_done("snapshot container");
+  return s;
+}
+
+void write_snapshot_file(const std::string& path, const Snapshot& s) {
+  const std::vector<unsigned char> bytes = encode_snapshot(s);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SnapshotError("cannot write '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw SnapshotError("write failed for '" + path + "'");
+}
+
+Snapshot read_snapshot_file(const std::string& path) {
+  const std::vector<unsigned char> buf = slurp(path);
+  return decode_snapshot(buf.data(), buf.size());
+}
+
+SnapshotInfo read_snapshot_info(const std::string& path) {
+  const std::vector<unsigned char> buf = slurp(path);
+  SnapshotInfo info;
+  info.file_size = buf.size();
+  Reader r = open_header(buf, /*strict_endian=*/false, &info.endian_ok);
+  info.format_version = kFormatVersion;
+  const u32 count = r.get_u32();
+  for (u32 i = 0; i < count; ++i) {
+    if (r.remaining() < kChunkHeaderBytes)
+      throw SnapshotError("truncated chunk table (chunk " + std::to_string(i) + " of " + std::to_string(count) + ")");
+    ChunkInfo ci;
+    ci.tag = r.get_u32();
+    ci.version = r.get_u32();
+    ci.size = r.get_u64();
+    ci.crc_stored = r.get_u32();
+    if (r.remaining() < ci.size)
+      throw SnapshotError("chunk '" + tag_name(ci.tag) + "' truncated (declares " + std::to_string(ci.size) +
+                          " bytes, " + std::to_string(r.remaining()) + " remain)");
+    std::vector<unsigned char> payload(static_cast<std::size_t>(ci.size));
+    r.get_bytes(payload.data(), payload.size());
+    ci.crc_actual = crc32(payload.data(), payload.size());
+    ci.crc_ok = ci.crc_actual == ci.crc_stored;
+    info.chunks.push_back(ci);
+  }
+  return info;
+}
+
+}  // namespace vasim::snap

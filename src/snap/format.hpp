@@ -1,0 +1,121 @@
+// Versioned, checksummed chunk container for simulation snapshots.
+//
+// File layout (all little-endian):
+//
+//   offset  size  field
+//   0       8     magic "VASIMSNP"
+//   8       4     container format version (kFormatVersion)
+//   12      4     endianness marker 0x0A0B0C0D (catches a writer that dumped
+//                 raw host bytes instead of using snap::Writer)
+//   16      4     chunk count
+//   then per chunk:
+//           4     tag (four-cc, e.g. "META"; see chunk_tag)
+//           4     chunk payload version
+//           8     payload size in bytes
+//           4     CRC-32 of the payload
+//           n     payload bytes
+//
+// Forward compatibility: readers iterate the chunks they understand by tag
+// and MUST ignore tags they do not recognize (skip-unknown rule), so a newer
+// writer can add chunks without breaking old readers.  A reader that needs a
+// chunk and cannot find it throws.  Corruption is never tolerated: magic,
+// endianness, declared sizes, and every chunk CRC are verified up front by
+// read_snapshot_file.
+#ifndef VASIM_SNAP_FORMAT_HPP
+#define VASIM_SNAP_FORMAT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/snap/io.hpp"
+
+namespace vasim::snap {
+
+/// Container format version.  Bump only on layout changes to the header or
+/// chunk framing; payload evolution goes through per-chunk versions.
+inline constexpr u32 kFormatVersion = 1;
+
+/// File magic, first 8 bytes of every snapshot.
+inline constexpr char kMagic[8] = {'V', 'A', 'S', 'I', 'M', 'S', 'N', 'P'};
+
+/// Endianness marker as stored (little-endian) in the header.
+inline constexpr u32 kEndianMarker = 0x0A0B0C0Du;
+
+/// Compile-time four-cc: chunk_tag("META") == 'M' | 'E'<<8 | ...
+constexpr u32 chunk_tag(const char (&s)[5]) {
+  return static_cast<u32>(static_cast<unsigned char>(s[0])) |
+         (static_cast<u32>(static_cast<unsigned char>(s[1])) << 8) |
+         (static_cast<u32>(static_cast<unsigned char>(s[2])) << 16) |
+         (static_cast<u32>(static_cast<unsigned char>(s[3])) << 24);
+}
+
+/// Renders a tag back to 4 characters ('.' for non-printable bytes).
+std::string tag_name(u32 tag);
+
+/// One tagged payload.
+struct Chunk {
+  u32 tag = 0;
+  u32 version = 1;
+  std::vector<unsigned char> payload;
+};
+
+/// An ordered set of chunks -- the in-memory snapshot.  Warm-start sweep
+/// sharing passes Snapshot objects around without ever touching disk; the
+/// CLI persists them with write_snapshot_file.
+class Snapshot {
+ public:
+  void add(u32 tag, u32 version, std::vector<unsigned char> payload) {
+    chunks_.push_back(Chunk{tag, version, std::move(payload)});
+  }
+  void add(u32 tag, u32 version, Writer&& w) { add(tag, version, w.take()); }
+
+  /// First chunk with `tag`, or nullptr (caller decides whether absence is
+  /// an error).
+  [[nodiscard]] const Chunk* find(u32 tag) const;
+
+  /// Like find, but absence throws with the tag spelled out.
+  [[nodiscard]] const Chunk& require(u32 tag) const;
+
+  [[nodiscard]] const std::vector<Chunk>& chunks() const { return chunks_; }
+
+ private:
+  std::vector<Chunk> chunks_;
+};
+
+/// Serializes to the on-disk layout documented above.
+std::vector<unsigned char> encode_snapshot(const Snapshot& s);
+
+/// Parses and fully validates an encoded snapshot (magic, version,
+/// endianness, sizes, every CRC).  Throws SnapshotError on any defect.
+Snapshot decode_snapshot(const unsigned char* data, std::size_t n);
+
+void write_snapshot_file(const std::string& path, const Snapshot& s);
+Snapshot read_snapshot_file(const std::string& path);
+
+/// Per-chunk diagnostics for `vasim snap info`.
+struct ChunkInfo {
+  u32 tag = 0;
+  u32 version = 0;
+  u64 size = 0;
+  u32 crc_stored = 0;
+  u32 crc_actual = 0;
+  bool crc_ok = false;
+};
+
+struct SnapshotInfo {
+  u32 format_version = 0;
+  u64 file_size = 0;
+  bool endian_ok = false;
+  std::vector<ChunkInfo> chunks;
+};
+
+/// Tolerant reader for diagnostics: requires only the magic and an intact
+/// chunk table (throws on truncation mid-header), but reports CRC failures
+/// per chunk instead of throwing, so a corrupt snapshot is inspectable.
+SnapshotInfo read_snapshot_info(const std::string& path);
+
+}  // namespace vasim::snap
+
+#endif  // VASIM_SNAP_FORMAT_HPP

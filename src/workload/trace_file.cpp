@@ -10,7 +10,15 @@
 namespace vasim::workload {
 namespace {
 
-constexpr const char* kHeader = "vasim-trace 1";
+// Header: `<magic> <format-version> <byte-order>`.  The magic identifies the
+// file type, the version gates parsing (older/newer versions are rejected,
+// never misread), and the byte-order tag records how multi-byte values in
+// the records are rendered -- hex digits most-significant-first, i.e. "be".
+// v1 files ("vasim-trace 1", no byte-order tag) predate the tag and are
+// rejected with an explicit upgrade hint.
+constexpr const char* kMagic = "vasim-trace";
+constexpr int kTraceVersion = 2;
+constexpr const char* kByteOrder = "be";
 
 isa::OpClass parse_op(const std::string& token, u64 line) {
   static const std::map<std::string, isa::OpClass> table = {
@@ -26,7 +34,7 @@ isa::OpClass parse_op(const std::string& token, u64 line) {
 }  // namespace
 
 void write_trace(std::ostream& out, const std::vector<isa::DynInst>& trace) {
-  out << kHeader << "\n";
+  out << kMagic << " " << kTraceVersion << " " << kByteOrder << "\n";
   for (const isa::DynInst& d : trace) {
     out << std::hex << d.pc << std::dec << " " << isa::to_string(d.op) << " " << d.src1 << " "
         << d.src2 << " " << d.dst << " " << std::hex << d.mem_addr << std::dec << " "
@@ -45,8 +53,27 @@ std::vector<isa::DynInst> record_trace(isa::InstructionSource& source, u64 count
 TraceFileSource::TraceFileSource(std::istream& in, bool loop) : loop_(loop) {
   std::string line;
   u64 line_no = 1;
-  if (!std::getline(in, line) || line != kHeader) {
-    throw TraceFormatError(1, "missing 'vasim-trace 1' header");
+  if (!std::getline(in, line)) throw TraceFormatError(1, "empty input, expected trace header");
+  {
+    std::istringstream header(line);
+    std::string magic, order;
+    int version = 0;
+    header >> magic >> version >> order;
+    if (magic != kMagic) {
+      throw TraceFormatError(1, "not a vasim trace (missing '" + std::string(kMagic) +
+                                    "' magic)");
+    }
+    if (header.fail() || version != kTraceVersion) {
+      throw TraceFormatError(
+          1, "unsupported trace format version " +
+                 (version > 0 ? std::to_string(version) : std::string("(unreadable)")) +
+                 ", this build reads version " + std::to_string(kTraceVersion) +
+                 "; re-record the trace with `vasim record`");
+    }
+    if (order != kByteOrder) {
+      throw TraceFormatError(1, "unsupported byte order '" + order + "', expected '" +
+                                    std::string(kByteOrder) + "'");
+    }
   }
   while (std::getline(in, line)) {
     ++line_no;

@@ -6,10 +6,13 @@
 // instruction streams produced outside vasim.
 //
 // Format (text, line-oriented):
-//   vasim-trace 1
+//   vasim-trace 2 be
 //   <pc> <op> <src1> <src2> <dst> <mem_addr> <taken> <next_pc>
 // with pc/mem_addr/next_pc in hex, op as the OpClass name, registers in
-// decimal (-1 = none), taken as 0/1.
+// decimal (-1 = none), taken as 0/1.  The header is `<magic> <version>
+// <byte-order>`; readers reject a wrong magic, any other version (including
+// the tag-less v1), or a byte order other than "be" with a TraceFormatError
+// rather than guessing.
 #ifndef VASIM_WORKLOAD_TRACE_FILE_HPP
 #define VASIM_WORKLOAD_TRACE_FILE_HPP
 

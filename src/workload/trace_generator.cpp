@@ -227,4 +227,40 @@ bool TraceGenerator::next(isa::DynInst& out) {
   return true;
 }
 
+void TraceGenerator::save_state(snap::Writer& w) const {
+  w.put_u64(rng_.state());
+  w.put_u64(rng_.inc());
+  w.put_f64(rng_.gaussian_spare());
+  w.put_bool(rng_.has_gaussian_spare());
+  w.put_u64(cur_block_);
+  w.put_u64(cur_idx_);
+  w.put_u64(block_iter_.size());
+  for (const u32 v : block_iter_) w.put_u32(v);
+  w.put_u64(recent_dst_.size());
+  for (const int v : recent_dst_) w.put_i32(v);
+  w.put_u64(recent_head_);
+  w.put_i32(hub_reg_);
+  w.put_i32(next_dst_);
+  w.put_u64(emitted_);
+}
+
+void TraceGenerator::restore_state(snap::Reader& r) {
+  const u64 state = r.get_u64();
+  const u64 inc = r.get_u64();
+  const double spare = r.get_f64();
+  const bool have_spare = r.get_bool();
+  rng_.restore_raw(state, inc, spare, have_spare);
+  cur_block_ = static_cast<std::size_t>(r.get_u64());
+  cur_idx_ = static_cast<std::size_t>(r.get_u64());
+  if (r.get_u64() != block_iter_.size()) throw snap::SnapshotError("trace generator block count mismatch");
+  for (u32& v : block_iter_) v = r.get_u32();
+  if (r.get_u64() != recent_dst_.size()) throw snap::SnapshotError("trace generator recent-dst ring mismatch");
+  for (int& v : recent_dst_) v = r.get_i32();
+  recent_head_ = static_cast<std::size_t>(r.get_u64());
+  hub_reg_ = r.get_i32();
+  next_dst_ = r.get_i32();
+  emitted_ = r.get_u64();
+  if (cur_block_ >= blocks_.size()) throw snap::SnapshotError("trace generator cursor out of range");
+}
+
 }  // namespace vasim::workload

@@ -12,6 +12,7 @@
 
 #include "src/common/rng.hpp"
 #include "src/isa/dyninst.hpp"
+#include "src/snap/io.hpp"
 #include "src/workload/profiles.hpp"
 
 namespace vasim::workload {
@@ -27,6 +28,14 @@ class TraceGenerator final : public isa::InstructionSource {
   [[nodiscard]] const BenchmarkProfile& profile() const { return profile_; }
   /// Number of distinct static PCs in the synthetic program.
   [[nodiscard]] std::size_t static_footprint() const;
+
+  /// Serializes the RNG and dynamic walk cursors.  The static program is
+  /// NOT serialized: it is a deterministic function of the profile, so
+  /// restore_state targets a generator freshly constructed from the same
+  /// profile (build_static_program has already replayed the construction-time
+  /// RNG draws; restore then overwrites the RNG with the mid-walk state).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   struct StaticInstr {

@@ -241,7 +241,7 @@ TEST(TraceFile, RoundTripPreservesEverything) {
 
 TEST(TraceFile, LoopRestartsAtEnd) {
   std::stringstream buf;
-  buf << "vasim-trace 1\n";
+  buf << "vasim-trace 2 be\n";
   buf << "1000 alu 1 -1 2 0 0 1004\n";
   TraceFileSource replay(buf, /*loop=*/true);
   isa::DynInst d;
@@ -257,21 +257,66 @@ TEST(TraceFile, RejectsMalformedInput) {
     EXPECT_THROW(TraceFileSource{buf}, TraceFormatError);
   }
   {
-    std::stringstream buf("vasim-trace 1\n1000 alu 1\n");
+    std::stringstream buf("vasim-trace 2 be\n1000 alu 1\n");
     EXPECT_THROW(TraceFileSource{buf}, TraceFormatError);
   }
   {
-    std::stringstream buf("vasim-trace 1\n1000 teleport 1 -1 2 0 0 1004\n");
+    std::stringstream buf("vasim-trace 2 be\n1000 teleport 1 -1 2 0 0 1004\n");
     EXPECT_THROW(TraceFileSource{buf}, TraceFormatError);
   }
   {
-    std::stringstream buf("vasim-trace 1\n1000 alu 99 -1 2 0 0 1004\n");
+    std::stringstream buf("vasim-trace 2 be\n1000 alu 99 -1 2 0 0 1004\n");
     try {
       TraceFileSource src(buf);
       FAIL();
     } catch (const TraceFormatError& e) {
       EXPECT_EQ(e.line(), 2u);
     }
+  }
+}
+
+TEST(TraceFile, RejectsHeaderMismatches) {
+  // A v1 file round-trips to a rejection naming both versions, never a
+  // silent misparse.
+  {
+    std::stringstream buf("vasim-trace 1\n1000 alu 1 -1 2 0 0 1004\n");
+    try {
+      TraceFileSource src(buf);
+      FAIL() << "v1 header must be rejected";
+    } catch (const TraceFormatError& e) {
+      EXPECT_EQ(e.line(), 1u);
+      EXPECT_NE(std::string(e.what()).find("version 1"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("version 2"), std::string::npos) << e.what();
+    }
+  }
+  {
+    std::stringstream buf("vasim-trace 3 be\n");
+    EXPECT_THROW(TraceFileSource{buf}, TraceFormatError) << "future version must be rejected";
+  }
+  {
+    std::stringstream buf("vasim-trace 2 le\n");
+    try {
+      TraceFileSource src(buf);
+      FAIL() << "wrong byte order must be rejected";
+    } catch (const TraceFormatError& e) {
+      EXPECT_NE(std::string(e.what()).find("byte order"), std::string::npos) << e.what();
+    }
+  }
+  {
+    std::stringstream buf("gem5-trace 2 be\n");
+    EXPECT_THROW(TraceFileSource{buf}, TraceFormatError) << "wrong magic must be rejected";
+  }
+  {
+    std::stringstream buf("");
+    EXPECT_THROW(TraceFileSource{buf}, TraceFormatError) << "empty input must be rejected";
+  }
+  // The writer's own header is what the reader accepts (round trip).
+  {
+    std::stringstream buf;
+    write_trace(buf, {});
+    EXPECT_EQ(buf.str(), "vasim-trace 2 be\n");
+    TraceFileSource src(buf);
+    EXPECT_EQ(src.size(), 0u);
   }
 }
 

@@ -21,6 +21,14 @@
 //       Capture a committed-path trace to a vasim-trace file.
 //   vasim replay --trace FILE --scheme <name> [--vdd V] [--instr N]
 //       Drive the pipeline from a recorded (or external) trace file.
+//   vasim snap save --bench <name> --scheme <name> --out FILE [--vdd V]
+//                   [--instr N] [--warmup N] [--at N] [--predictor tep|mre|tvp]
+//       Simulate to the --at commit point (default: end of warmup) and write
+//       a checksummed snapshot; resume with `vasim run --from-snapshot`.
+//   vasim snap info FILE
+//       Pretty-print a snapshot's header, chunk table, CRC status and META.
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,10 +39,12 @@
 
 #include "src/common/table.hpp"
 #include "src/core/runner.hpp"
+#include "src/core/snapshot.hpp"
 #include "src/core/sweep.hpp"
 #include "src/cpu/observer.hpp"
 #include "src/obs/cpi.hpp"
 #include "src/obs/trace.hpp"
+#include "src/snap/format.hpp"
 #include "src/workload/trace_file.hpp"
 #include "src/workload/trace_generator.hpp"
 
@@ -53,21 +63,27 @@ struct Args {
   [[nodiscard]] bool has(const std::string& key) const { return options.count(key) != 0; }
 };
 
+bool parse_options(int start, int argc, char** argv, Args& a) {
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return false;
+    key = key.substr(2);
+    if (key == "stats" || key == "csv" || key == "cpi" || key == "progress" ||
+        key == "reuse-warmup") {
+      a.options[key] = "1";
+    } else {
+      if (i + 1 >= argc) return false;
+      a.options[key] = argv[++i];
+    }
+  }
+  return true;
+}
+
 std::optional<Args> parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Args a;
   a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) return std::nullopt;
-    key = key.substr(2);
-    if (key == "stats" || key == "csv" || key == "cpi" || key == "progress") {
-      a.options[key] = "1";
-    } else {
-      if (i + 1 >= argc) return std::nullopt;
-      a.options[key] = argv[++i];
-    }
-  }
+  if (!parse_options(2, argc, argv, a)) return std::nullopt;
   return a;
 }
 
@@ -78,8 +94,13 @@ int usage() {
                "fault-free|razor|ep|abs|ffs|cds [--vdd V]\n"
             << "            [--instr N] [--warmup N] [--predictor tep|mre|tvp]\n"
             << "            [--kanata FILE] [--trace FILE] [--stats] [--csv] [--cpi]\n"
+            << "  vasim run --from-snapshot FILE [--instr N] [--stats] [--csv] [--cpi]\n"
             << "  vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]\n"
-            << "              [--json FILE] [--trace FILE] [--cpi] [--progress]\n";
+            << "              [--json FILE] [--trace FILE] [--cpi] [--progress]\n"
+            << "              [--reuse-warmup]\n"
+            << "  vasim snap save --bench <name> --scheme <name> --out FILE [--vdd V]\n"
+            << "                  [--instr N] [--warmup N] [--at N] [--predictor tep|mre|tvp]\n"
+            << "  vasim snap info FILE\n";
   return 2;
 }
 
@@ -148,7 +169,41 @@ void print_cpi_table(const std::string& title, const obs::CpiStack& cpi, int com
   std::cout << t.render("CPI stack: " + title) << "\n";
 }
 
+int cmd_run_from_snapshot(const Args& args) {
+  try {
+    const core::RunSnapshot snap = core::RunSnapshot::read_file(args.get("from-snapshot", ""));
+    const core::RunMeta& m = snap.meta();
+    // The runner configuration is rebuilt from META so the resume is
+    // warmup-compatible by construction; only the measurement length may be
+    // overridden from the command line.
+    core::RunnerConfig rc;
+    rc.instructions = args.has("instr")
+                          ? std::strtoull(args.get("instr", "").c_str(), nullptr, 10)
+                          : m.instructions;
+    rc.warmup = m.warmup;
+    rc.core = m.core;
+    rc.tep = m.tep;
+    rc.predictor = m.predictor;
+    rc.check_semantics = m.check_semantics;
+    rc.commit_trail_stride = m.commit_trail_stride;
+    const core::ExperimentRunner runner(rc);
+    const core::RunResult r = runner.run_from(snap);
+    if (args.has("csv")) {
+      std::cout << "benchmark,scheme,vdd,committed,cycles,ipc,fault_rate_pct,replays,"
+                   "predictor_accuracy,energy_nj,edp\n";
+    }
+    print_result(r, nullptr, args.has("csv"));
+    if (args.has("stats")) std::cout << "\n" << r.stats.to_string();
+    if (args.has("cpi")) print_cpi_table(r.benchmark + "/" + r.scheme, r.cpi, rc.core.commit_width, r.committed);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
+
 int cmd_run(const Args& args) {
+  if (args.has("from-snapshot")) return cmd_run_from_snapshot(args);
   if (!args.has("bench") || !args.has("scheme")) return usage();
   const auto scheme = core::scheme_by_name(args.get("scheme", ""));
   if (!scheme) {
@@ -251,6 +306,7 @@ int cmd_sweep(const Args& args) {
                        : core::sweep_workers_from_env();
   core::SweepRunner sweeper(runner_config(args), workers);
   if (args.has("progress")) sweeper.set_progress(true);
+  if (args.has("reuse-warmup")) sweeper.set_reuse_warmup(true);
 
   // (fault-free + every scheme) x both faulty supplies per profile, one
   // thread-pooled grid; results come back in submission order.
@@ -311,6 +367,11 @@ int cmd_sweep(const Args& args) {
   }
   std::cout << report.jobs.size() << " runs in " << TextTable::fmt(report.wall_ms, 0)
             << " ms on " << report.workers << " worker(s)\n";
+  if (args.has("reuse-warmup")) {
+    std::cout << "warmup sharing: " << report.warmup_groups << " shared group(s), "
+              << report.warmup_cycles_simulated << " warmup cycles simulated, "
+              << report.warmup_cycles_saved << " saved\n";
+  }
 
   if (args.has("json")) {
     std::ofstream out(args.get("json", ""));
@@ -395,9 +456,112 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+int cmd_snap_save(const Args& args) {
+  if (!args.has("bench") || !args.has("scheme") || !args.has("out")) return usage();
+  const auto scheme = core::scheme_by_name(args.get("scheme", ""));
+  if (!scheme) {
+    std::cerr << "unknown scheme '" << args.get("scheme", "") << "'\n";
+    return 2;
+  }
+  workload::BenchmarkProfile prof;
+  try {
+    prof = workload::spec2006_profile(args.get("bench", ""));
+  } catch (const std::out_of_range& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  const double vdd = std::strtod(args.get("vdd", "0.97").c_str(), nullptr);
+  const core::RunnerConfig rc = runner_config(args);
+  const u64 at = args.has("at") ? std::strtoull(args.get("at", "").c_str(), nullptr, 10)
+                                : rc.warmup;
+  // Like run/sweep, the "fault-free" scheme name selects the baseline
+  // wiring: no fault model, no predictors.
+  const std::optional<cpu::SchemeConfig> scheme_opt =
+      scheme->name == "fault-free" ? std::optional<cpu::SchemeConfig>{} : scheme;
+  try {
+    const core::ExperimentRunner runner(rc);
+    const core::RunSnapshot snap = runner.capture(prof, scheme_opt, vdd, at);
+    snap.write_file(args.get("out", ""));
+    std::cout << "snapshot of " << prof.name << " / " << args.get("scheme", "") << " @ "
+              << TextTable::fmt(vdd, 2) << " V at commit " << snap.meta().captured_committed
+              << " (cycle " << snap.meta().captured_cycle << ") written to "
+              << args.get("out", "") << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_snap_info(const std::string& path) {
+  snap::SnapshotInfo info;
+  try {
+    info = snap::read_snapshot_info(path);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  std::cout << path << ": snapshot format v" << info.format_version << ", " << info.file_size
+            << " bytes, endianness " << (info.endian_ok ? "ok" : "MISMATCH") << "\n";
+  TextTable t({"chunk", "version", "bytes", "crc"});
+  bool all_crc_ok = info.endian_ok;
+  for (const snap::ChunkInfo& c : info.chunks) {
+    all_crc_ok = all_crc_ok && c.crc_ok;
+    char crc[32];
+    std::snprintf(crc, sizeof crc, c.crc_ok ? "%08x" : "%08x MISMATCH", c.crc_stored);
+    t.add_row({snap::tag_name(c.tag), std::to_string(c.version), std::to_string(c.size), crc});
+  }
+  std::cout << t.render("chunks") << "\n";
+  if (!all_crc_ok) {
+    std::cerr << "snapshot is damaged; it will be rejected on load\n";
+    return 2;
+  }
+  try {
+    const core::RunSnapshot s = core::RunSnapshot::read_file(path);
+    const core::RunMeta& m = s.meta();
+    TextTable mt({"field", "value"});
+    mt.add_row({"benchmark", m.profile.name});
+    mt.add_row({"scheme", m.fault_free ? "fault-free (baseline wiring)" : m.scheme.name});
+    mt.add_row({"vdd", TextTable::fmt(m.vdd, 2)});
+    mt.add_row({"warmup / instructions",
+                std::to_string(m.warmup) + " / " + std::to_string(m.instructions)});
+    mt.add_row({"captured at commit", std::to_string(m.captured_committed)});
+    mt.add_row({"captured at cycle", std::to_string(m.captured_cycle)});
+    mt.add_row({"measurement base", m.base_captured
+                                        ? "captured (commit " + std::to_string(m.base_committed) + ")"
+                                        : "pre-warmup (re-derived on resume)"});
+    mt.add_row({"semantics checker", m.check_semantics ? "attached" : "off"});
+    char key[32];
+    std::snprintf(key, sizeof key, "%016llx", static_cast<unsigned long long>(m.warmup_key));
+    mt.add_row({"warmup key", key});
+    std::cout << mt.render("META") << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_snap(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  if (sub == "info") {
+    if (argc != 4 || std::string(argv[3]).rfind("--", 0) == 0) return usage();
+    return cmd_snap_info(argv[3]);
+  }
+  if (sub == "save") {
+    Args a;
+    a.command = "snap-save";
+    if (!parse_options(3, argc, argv, a)) return usage();
+    return cmd_snap_save(a);
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "snap") == 0) return cmd_snap(argc, argv);
   const auto args = parse(argc, argv);
   if (!args) return usage();
   if (args->command == "list") return cmd_list();
