@@ -12,6 +12,14 @@ namespace vasim {
 /// unparsable.
 u64 env_u64(const std::string& name, u64 fallback);
 
+/// Reads a *count* knob (worker/batch sizes: VASIM_JOBS, VASIM_BATCH, ...)
+/// with loud validation instead of env_u64's silent fallback: a value that
+/// is not a plain decimal number (including trailing junk like "4x"), or is
+/// explicitly 0, warns on stderr and returns `fallback`; a value above
+/// `max_value` warns and clamps.  Unset/empty stays silent and returns
+/// `fallback`.
+u64 env_count(const std::string& name, u64 fallback, u64 max_value);
+
 /// Reads a string from the environment; `fallback` when unset.
 std::string env_str(const std::string& name, const std::string& fallback);
 

@@ -1,0 +1,176 @@
+#include "src/core/batch.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/env.hpp"
+#include "src/core/job_context.hpp"
+#include "src/core/snapshot.hpp"
+
+namespace vasim::core {
+namespace {
+
+/// Cycles each member runs per rotation.  Large enough that the per-member
+/// rotation overhead (virtual-free, but still a pointer chase and a cold
+/// working set) amortizes; small enough that B working sets interleave
+/// through the cache instead of serially evicting each other.
+constexpr u32 kSliceCycles = 4096;
+
+/// One batch member mid-flight.  The phase machine mirrors drive_run /
+/// run_from exactly: warmup to cfg.warmup (or restore past it), read the
+/// measurement base at the boundary, then measure to warmup + instructions.
+struct Member {
+  std::size_t pos = 0;  ///< index into the caller's cells span
+  RunnerConfig cfg;     ///< effective config (job override applied)
+  const workload::BenchmarkProfile* profile = nullptr;
+  double result_vdd = 0.0;  ///< supply reported in the result (warm override)
+  std::unique_ptr<detail::JobContext> ctx;
+  StatSet base;
+  u64 base_committed = 0;
+  Cycle base_cycles = 0;
+  u64 target = 0;
+  bool in_warmup = false;
+};
+
+/// Builds one member, including warm-start restore.  Throws on any setup
+/// failure (bad snapshot, key mismatch, illegal vdd override); the caller
+/// converts that into the member's per-cell error.
+std::unique_ptr<Member> setup_member(const RunnerConfig& base_cfg, const BatchRunner::Cell& cell,
+                                     std::size_t pos) {
+  auto m = std::make_unique<Member>();
+  m->pos = pos;
+  m->cfg = cell.job->config ? *cell.job->config : base_cfg;
+  m->result_vdd = cell.job->vdd;
+  m->target = m->cfg.warmup + m->cfg.instructions;
+
+  if (cell.warm != nullptr) {
+    const RunMeta& meta = cell.warm->meta();
+    if (!meta.fault_free && cell.job->vdd != meta.vdd) {
+      throw snap::SnapshotError(
+          "vdd override is only valid for fault-free snapshots (supply changes execution)");
+    }
+    const std::optional<cpu::SchemeConfig> scheme_opt =
+        meta.fault_free ? std::optional<cpu::SchemeConfig>{} : std::optional(meta.scheme);
+    if (warmup_key(m->cfg, meta.profile, scheme_opt, meta.vdd) != meta.warmup_key) {
+      throw snap::SnapshotError(
+          "warmup key mismatch: the resuming runner's warmup-relevant configuration differs "
+          "from the capturing one");
+    }
+    m->ctx = std::make_unique<detail::JobContext>(m->cfg, meta.profile, scheme_opt, meta.vdd);
+    detail::restore_into(*m->ctx, *cell.warm);
+    m->profile = &cell.warm->meta().profile;
+    m->base = meta.base;
+    m->base_committed = meta.base_committed;
+    m->base_cycles = meta.base_cycles;
+    m->in_warmup = !meta.base_captured && m->cfg.warmup > 0;
+  } else {
+    m->ctx = std::make_unique<detail::JobContext>(m->cfg, cell.job->profile, cell.job->scheme,
+                                                  cell.job->vdd);
+    m->profile = &cell.job->profile;
+    m->in_warmup = m->cfg.warmup > 0;
+  }
+  m->ctx->pipe->set_commit_limit(m->in_warmup ? m->cfg.warmup : m->target);
+  return m;
+}
+
+}  // namespace
+
+std::size_t sweep_batch_from_env() {
+  constexpr u64 kMaxBatch = 64;
+  return static_cast<std::size_t>(env_count("VASIM_BATCH", 1, kMaxBatch));
+}
+
+void BatchRunner::run_cells(const Cell* cells, std::size_t n, RunResult* results,
+                            std::exception_ptr* errors,
+                            const std::function<void(std::size_t)>& on_done) const {
+  for (std::size_t chunk = 0; chunk < n; chunk += batch_) {
+    const std::size_t end = std::min(n, chunk + batch_);
+
+    // Batch setup: scheme/predictor wiring, warm restores and commit limits
+    // all happen here, once, so the rotation below is pure step_n calls.
+    std::vector<std::unique_ptr<Member>> live;
+    live.reserve(end - chunk);
+    for (std::size_t i = chunk; i < end; ++i) {
+      const RunnerConfig& cfg = cells[i].job->config ? *cells[i].job->config : cfg_;
+      if (cfg.snapshot_interval > 0) {
+        // Periodic-snapshot jobs need drive_run's boundary machinery; they
+        // take the per-job path instead of joining the lockstep rotation.
+        try {
+          const ExperimentRunner runner(cfg);
+          const SweepJob& job = *cells[i].job;
+          results[i] = cells[i].warm != nullptr ? runner.run_from(*cells[i].warm, job.vdd)
+                       : job.scheme ? runner.run(job.profile, *job.scheme, job.vdd)
+                                    : runner.run_fault_free(job.profile, job.vdd);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        if (on_done) on_done(i);
+        continue;
+      }
+      try {
+        live.push_back(setup_member(cfg_, cells[i], i));
+      } catch (...) {
+        errors[i] = std::current_exception();
+        if (on_done) on_done(i);
+      }
+    }
+
+    // Lockstep rotation: every live member advances one slice per pass;
+    // retirees are compacted out in place (stable order, survivors never
+    // move relative to each other).
+    while (!live.empty()) {
+      std::size_t i = 0;
+      while (i < live.size()) {
+        if (i + 1 < live.size()) live[i + 1]->ctx->pipe->prefetch_hot_state();
+        Member& m = *live[i];
+        bool retired = false;
+        try {
+          cpu::Pipeline& pipe = *m.ctx->pipe;
+          pipe.step_n(kSliceCycles);
+          if (m.in_warmup && (pipe.committed() >= m.cfg.warmup || pipe.drained())) {
+            // The warmup boundary: read the measurement base exactly where
+            // drive_run / run_from would have, then open the commit limit
+            // for the measured window.
+            m.base = pipe.snapshot_stats();
+            m.base_committed = pipe.committed();
+            m.base_cycles = pipe.now();
+            m.in_warmup = false;
+            pipe.set_commit_limit(m.target);
+          } else if (!m.in_warmup && (pipe.committed() >= m.target || pipe.drained())) {
+            cpu::PipelineResult pr =
+                pipe.result_window(m.base, m.base_committed, m.base_cycles);
+            results[m.pos] =
+                detail::assemble_result(m.cfg, *m.ctx, *m.profile, m.result_vdd, std::move(pr));
+            retired = true;
+          }
+        } catch (...) {
+          errors[m.pos] = std::current_exception();
+          retired = true;
+        }
+        if (retired) {
+          if (on_done) on_done(m.pos);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+}
+
+std::vector<RunResult> BatchRunner::run(const std::vector<SweepJob>& jobs) const {
+  std::vector<Cell> cells(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) cells[i].job = &jobs[i];
+  std::vector<RunResult> results(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+  run_cells(cells.data(), cells.size(), results.data(), errors.data());
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace vasim::core

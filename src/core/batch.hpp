@@ -1,0 +1,69 @@
+// Lockstep batched execution engine (ROADMAP item 5).
+//
+// A BatchRunner advances B independent simulations through one fused cycle
+// loop: members are set up together (scheme wiring, warm-start restore and
+// phase limits hoisted out of the hot loop), then rotated through in slices
+// of kSliceCycles cycles each -- `for rotation { for member { step_n } }` --
+// with the next member's scheduler masks prefetched while the current one
+// runs.  Retired members are compacted out of the rotation without touching
+// survivors.
+//
+// Determinism: members share no mutable state, and each member executes the
+// exact step()/commit-limit/base-read sequence ExperimentRunner::run (or
+// run_from, for warm-started members) would have executed, so the RunResults
+// are bitwise identical to single-job execution regardless of batch width or
+// slice size (tests/test_batch.cpp pins the sweep checksum across widths).
+#ifndef VASIM_CORE_BATCH_HPP
+#define VASIM_CORE_BATCH_HPP
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "src/core/sweep.hpp"
+
+namespace vasim::core {
+
+class RunSnapshot;
+
+/// Lockstep executor.  Stateless between calls; deterministic.
+/// (sweep_batch_from_env, declared in sweep.hpp, resolves VASIM_BATCH.)
+class BatchRunner {
+ public:
+  explicit BatchRunner(const RunnerConfig& cfg = {},
+                       std::size_t batch = sweep_batch_from_env())
+      : cfg_(cfg), batch_(batch == 0 ? 1 : batch) {}
+
+  /// One grid cell: the job plus an optional shared warm-start snapshot
+  /// (same semantics as ExperimentRunner::run_from -- the snapshot's warmup
+  /// key must match, and `job->vdd` may only diverge from the captured
+  /// supply for fault-free snapshots).  Non-owning pointers.
+  struct Cell {
+    const SweepJob* job = nullptr;
+    const RunSnapshot* warm = nullptr;
+  };
+
+  /// Runs `n` cells in lockstep batches of batch().  `results[i]` receives
+  /// cell i's outcome unless `errors[i]` is set (a failing member never
+  /// takes the rest of its batch down).  `on_done`, when set, fires with
+  /// the cell index as each member retires -- progress/metadata hook.
+  void run_cells(const Cell* cells, std::size_t n, RunResult* results,
+                 std::exception_ptr* errors,
+                 const std::function<void(std::size_t)>& on_done = {}) const;
+
+  /// Convenience: cold-start every job, rethrow the first failure (by
+  /// submission index), return results in submission order.
+  [[nodiscard]] std::vector<RunResult> run(const std::vector<SweepJob>& jobs) const;
+
+  [[nodiscard]] std::size_t batch() const { return batch_; }
+  [[nodiscard]] const RunnerConfig& config() const { return cfg_; }
+
+ private:
+  RunnerConfig cfg_;
+  std::size_t batch_;
+};
+
+}  // namespace vasim::core
+
+#endif  // VASIM_CORE_BATCH_HPP

@@ -1,0 +1,99 @@
+// Internal per-simulation context shared by ExperimentRunner (one job at a
+// time, src/core/runner.cpp) and BatchRunner (B jobs lockstep,
+// src/core/batch.cpp).
+//
+// A JobContext owns everything one simulation needs -- trace generator,
+// fault model, predictors, pipeline, optional semantics checker and commit
+// trail -- wired exactly as the historical run()/run_fault_free bodies did.
+// Keeping construction, snapshot capture/restore and result assembly in one
+// place is what makes the batched engine bitwise-identical to the single-job
+// path by construction: both executors drive the same object through the
+// same phase boundaries, only the interleaving of step() calls differs (and
+// contexts share no mutable state, so interleaving is unobservable).
+//
+// This header is an implementation detail of vasim_core (namespace
+// core::detail); it is not part of the public experiment API.
+#ifndef VASIM_CORE_JOB_CONTEXT_HPP
+#define VASIM_CORE_JOB_CONTEXT_HPP
+
+#include <optional>
+#include <vector>
+
+#include "src/check/semantics.hpp"
+#include "src/core/runner.hpp"
+#include "src/core/snapshot.hpp"
+#include "src/workload/trace_generator.hpp"
+
+namespace vasim::core::detail {
+
+/// Samples the cycle counter at every `stride`-th commit (capped so huge
+/// runs stay cheap); consumed by test_golden_equiv's divergence printer.
+class CommitTrailObserver final : public cpu::PipelineObserver {
+ public:
+  CommitTrailObserver(u64 stride, std::vector<Cycle>* out) : stride_(stride), out_(out) {}
+  void on_cycle(Cycle now) override { now_ = now; }
+  void on_commit(SeqNum) override {
+    ++commits_;
+    if (commits_ % stride_ == 0 && out_->size() < kMaxEntries) out_->push_back(now_);
+  }
+
+  [[nodiscard]] u64 commits() const { return commits_; }
+  /// Snapshot restore: the trail vector is refilled externally; the commit
+  /// count must resume from the captured value for the stride phase to stay
+  /// aligned.
+  void set_commits(u64 commits) { commits_ = commits; }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 256;
+  u64 stride_;
+  std::vector<Cycle>* out_;
+  u64 commits_ = 0;
+  Cycle now_ = 0;
+};
+
+/// Everything one simulation owns, constructed in place exactly as the
+/// historical run()/run_fault_free bodies did.  Never moved: the pipeline
+/// holds pointers into gen/fm/predictor.  `scheme_opt == nullopt` selects
+/// the fault-free-baseline wiring (no fault model, no predictors).
+struct JobContext {
+  workload::TraceGenerator gen;
+  std::optional<timing::FaultModel> fm;
+  std::optional<TimingErrorPredictor> tep;
+  std::optional<MostRecentEntryPredictor> mre;
+  std::optional<TimingViolationPredictor> tvp;
+  cpu::FaultPredictor* predictor = nullptr;
+  bool fault_free = false;
+  cpu::SchemeConfig scheme;
+  std::optional<cpu::Pipeline> pipe;
+  std::optional<check::SemanticsChecker> checker;
+  std::vector<Cycle> trail;
+  std::optional<CommitTrailObserver> trail_obs;
+
+  JobContext(const RunnerConfig& cfg, const workload::BenchmarkProfile& profile,
+             const std::optional<cpu::SchemeConfig>& scheme_opt, double vdd);
+
+  JobContext(const JobContext&) = delete;
+  JobContext& operator=(const JobContext&) = delete;
+};
+
+/// Assembles the full snapshot container from a job paused at a cycle
+/// boundary.  Refuses to serialize a run whose checker already failed.
+RunSnapshot make_snapshot(const RunnerConfig& cfg, const JobContext& ctx,
+                          const workload::BenchmarkProfile& profile, double vdd,
+                          const StatSet& base, u64 base_committed, Cycle base_cycles,
+                          bool base_captured);
+
+/// Restores every chunk into a freshly constructed JobContext.  Chunks with
+/// unknown tags are ignored (forward compatibility); required chunks with a
+/// newer version, or any payload/geometry mismatch, throw.
+void restore_into(JobContext& ctx, const RunSnapshot& s);
+
+/// Computes the RunResult from a finished pipeline window.  Throws (with the
+/// checker's report) when the semantics checker observed a violation.
+RunResult assemble_result(const RunnerConfig& cfg, JobContext& ctx,
+                          const workload::BenchmarkProfile& profile, double vdd,
+                          cpu::PipelineResult&& pr);
+
+}  // namespace vasim::core::detail
+
+#endif  // VASIM_CORE_JOB_CONTEXT_HPP

@@ -4,207 +4,13 @@
 #include <stdexcept>
 #include <utility>
 
-#include "src/check/semantics.hpp"
+#include "src/core/job_context.hpp"
 #include "src/core/snapshot.hpp"
-#include "src/workload/trace_generator.hpp"
 
 namespace vasim::core {
 namespace {
 
-/// Samples the cycle counter at every `stride`-th commit (capped so huge
-/// runs stay cheap); consumed by test_golden_equiv's divergence printer.
-class CommitTrailObserver final : public cpu::PipelineObserver {
- public:
-  CommitTrailObserver(u64 stride, std::vector<Cycle>* out) : stride_(stride), out_(out) {}
-  void on_cycle(Cycle now) override { now_ = now; }
-  void on_commit(SeqNum) override {
-    ++commits_;
-    if (commits_ % stride_ == 0 && out_->size() < kMaxEntries) out_->push_back(now_);
-  }
-
-  [[nodiscard]] u64 commits() const { return commits_; }
-  /// Snapshot restore: the trail vector is refilled externally; the commit
-  /// count must resume from the captured value for the stride phase to stay
-  /// aligned.
-  void set_commits(u64 commits) { commits_ = commits; }
-
- private:
-  static constexpr std::size_t kMaxEntries = 256;
-  u64 stride_;
-  std::vector<Cycle>* out_;
-  u64 commits_ = 0;
-  Cycle now_ = 0;
-};
-
-/// Everything one simulation owns, constructed in place exactly as the
-/// historical run()/run_fault_free bodies did.  Never moved: the pipeline
-/// holds pointers into gen/fm/predictor.  `scheme_opt == nullopt` selects
-/// the fault-free-baseline wiring (no fault model, no predictors).
-struct JobContext {
-  workload::TraceGenerator gen;
-  std::optional<timing::FaultModel> fm;
-  std::optional<TimingErrorPredictor> tep;
-  std::optional<MostRecentEntryPredictor> mre;
-  std::optional<TimingViolationPredictor> tvp;
-  cpu::FaultPredictor* predictor = nullptr;
-  bool fault_free = false;
-  cpu::SchemeConfig scheme;
-  std::optional<cpu::Pipeline> pipe;
-  std::optional<check::SemanticsChecker> checker;
-  std::vector<Cycle> trail;
-  std::optional<CommitTrailObserver> trail_obs;
-
-  JobContext(const RunnerConfig& cfg, const workload::BenchmarkProfile& profile,
-             const std::optional<cpu::SchemeConfig>& scheme_opt, double vdd)
-      : gen(profile) {
-    fault_free = !scheme_opt.has_value();
-    scheme = fault_free ? cpu::scheme_fault_free() : *scheme_opt;
-    if (!fault_free) {
-      timing::PathModelConfig path_cfg;
-      path_cfg.seed = profile.seed;
-      path_cfg.p_faulty_high = profile.fr_high_pct / 100.0 * profile.fr_calib_high;
-      path_cfg.p_faulty_low = profile.fr_low_pct / 100.0 * profile.fr_calib_low;
-      fm.emplace(path_cfg, vdd);
-      tep.emplace(cfg.tep, &fm->environment());
-      mre.emplace(cfg.tep.entries);
-      tvp.emplace(cfg.tep.entries);
-      if (scheme.use_predictor) {
-        switch (cfg.predictor) {
-          case PredictorKind::kTep: predictor = &*tep; break;
-          case PredictorKind::kMre: predictor = &*mre; break;
-          case PredictorKind::kTvp: predictor = &*tvp; break;
-        }
-      }
-    }
-    pipe.emplace(cfg.core, scheme, &gen, fault_free ? nullptr : &*fm, predictor);
-    if (cfg.check_semantics) {
-      checker.emplace(cfg.core, scheme);
-      checker->attach(*pipe);
-    }
-    if (cfg.commit_trail_stride > 0) {
-      trail_obs.emplace(cfg.commit_trail_stride, &trail);
-      pipe->add_observer(&*trail_obs);
-    }
-  }
-
-  JobContext(const JobContext&) = delete;
-  JobContext& operator=(const JobContext&) = delete;
-};
-
-/// Assembles the full snapshot container from a job paused at a cycle
-/// boundary.  Refuses to serialize a run whose checker already failed.
-RunSnapshot make_snapshot(const RunnerConfig& cfg, const JobContext& ctx,
-                          const workload::BenchmarkProfile& profile, double vdd,
-                          const StatSet& base, u64 base_committed, Cycle base_cycles,
-                          bool base_captured) {
-  if (ctx.checker && !ctx.checker->ok()) {
-    throw std::runtime_error("snapshot capture refused, semantics checker failed:\n" +
-                             ctx.checker->report());
-  }
-  RunSnapshot s;
-  RunMeta m;
-  m.fault_free = ctx.fault_free;
-  m.profile = profile;
-  if (!ctx.fault_free) m.scheme = ctx.scheme;
-  m.vdd = vdd;
-  m.instructions = cfg.instructions;
-  m.warmup = cfg.warmup;
-  m.core = cfg.core;
-  m.tep = cfg.tep;
-  m.predictor = cfg.predictor;
-  m.check_semantics = cfg.check_semantics;
-  m.commit_trail_stride = cfg.commit_trail_stride;
-  m.captured_committed = ctx.pipe->committed();
-  m.captured_cycle = ctx.pipe->now();
-  m.base_captured = base_captured;
-  if (base_captured) {
-    m.base = base;
-    m.base_committed = base_committed;
-    m.base_cycles = base_cycles;
-  }
-  m.warmup_key = warmup_key(
-      cfg, profile,
-      ctx.fault_free ? std::optional<cpu::SchemeConfig>{} : std::optional(ctx.scheme), vdd);
-
-  snap::Writer meta_w;
-  put_run_meta(meta_w, m);
-  s.container().add(kChunkMeta, 1, std::move(meta_w));
-  snap::Writer pipe_w;
-  ctx.pipe->save_state(pipe_w);
-  s.container().add(kChunkPipe, 1, std::move(pipe_w));
-  snap::Writer gen_w;
-  ctx.gen.save_state(gen_w);
-  s.container().add(kChunkTgen, 1, std::move(gen_w));
-  if (!ctx.fault_free) {
-    snap::Writer pred_w;
-    ctx.tep->save_state(pred_w);
-    ctx.mre->save_state(pred_w);
-    ctx.tvp->save_state(pred_w);
-    s.container().add(kChunkPred, 1, std::move(pred_w));
-  }
-  if (ctx.checker) {
-    snap::Writer chk_w;
-    ctx.checker->save_state(chk_w);
-    s.container().add(kChunkChkr, 1, std::move(chk_w));
-  }
-  if (ctx.trail_obs) {
-    snap::Writer trail_w;
-    trail_w.put_u64(ctx.trail_obs->commits());
-    trail_w.put_u32(static_cast<u32>(ctx.trail.size()));
-    for (const Cycle c : ctx.trail) trail_w.put_u64(c);
-    s.container().add(kChunkTral, 1, std::move(trail_w));
-  }
-  // Re-decode through the public path so meta() is populated and the
-  // container is known-loadable before anyone relies on it.
-  return RunSnapshot::from_container(std::move(s.container()));
-}
-
-const snap::Chunk& require_v1(const snap::Snapshot& c, u32 tag) {
-  const snap::Chunk& chunk = c.require(tag);
-  if (chunk.version != 1) {
-    throw snap::SnapshotError(snap::tag_name(tag) + " chunk version " +
-                              std::to_string(chunk.version) + " (this build reads 1)");
-  }
-  return chunk;
-}
-
-/// Restores every chunk into a freshly constructed JobContext.  Chunks with
-/// unknown tags are ignored (forward compatibility); required chunks with a
-/// newer version, or any payload/geometry mismatch, throw.
-void restore_into(JobContext& ctx, const RunSnapshot& s) {
-  {
-    snap::Reader r(require_v1(s.container(), kChunkTgen).payload);
-    ctx.gen.restore_state(r);
-    r.expect_done("TGEN chunk");
-  }
-  {
-    snap::Reader r(require_v1(s.container(), kChunkPipe).payload);
-    ctx.pipe->restore_state(r);
-    r.expect_done("PIPE chunk");
-  }
-  if (!ctx.fault_free) {
-    snap::Reader r(require_v1(s.container(), kChunkPred).payload);
-    ctx.tep->restore_state(r);
-    ctx.mre->restore_state(r);
-    ctx.tvp->restore_state(r);
-    r.expect_done("PRED chunk");
-  }
-  if (ctx.checker) {
-    snap::Reader r(require_v1(s.container(), kChunkChkr).payload);
-    ctx.checker->restore_state(r);
-    r.expect_done("CHKR chunk");
-  }
-  if (ctx.trail_obs) {
-    snap::Reader r(require_v1(s.container(), kChunkTral).payload);
-    const u64 commits = r.get_u64();
-    const u32 n = r.get_u32();
-    ctx.trail.clear();
-    ctx.trail.reserve(n);
-    for (u32 i = 0; i < n; ++i) ctx.trail.push_back(r.get_u64());
-    r.expect_done("TRAL chunk");
-    ctx.trail_obs->set_commits(commits);
-  }
-}
+using detail::JobContext;
 
 /// Optional mid-run snapshot request for drive_run.
 struct CaptureSpec {
@@ -228,14 +34,15 @@ void drive_run(const RunnerConfig& cfg, JobContext& ctx,
   // Returns false when the driver should stop (warmup-only capture done).
   const auto boundary = [&]() -> bool {
     if (cap != nullptr && !cap->done && pipe.committed() >= cap->at) {
-      cap->snapshot = make_snapshot(cfg, ctx, profile, vdd, base, base_committed, base_cycles,
-                                    base_captured);
+      cap->snapshot = detail::make_snapshot(cfg, ctx, profile, vdd, base, base_committed,
+                                            base_cycles, base_captured);
       cap->done = true;
       if (cap->stop_after) return false;
     }
     if (cfg.snapshot_interval > 0) {
       while (pipe.committed() >= next_periodic) {
-        make_snapshot(cfg, ctx, profile, vdd, base, base_committed, base_cycles, base_captured)
+        detail::make_snapshot(cfg, ctx, profile, vdd, base, base_committed, base_cycles,
+                              base_captured)
             .write_file(cfg.snapshot_path + std::to_string(pipe.committed()) + ".vsnap");
         next_periodic += cfg.snapshot_interval;
       }
@@ -272,34 +79,6 @@ void drive_run(const RunnerConfig& cfg, JobContext& ctx,
   boundary();
 }
 
-RunResult assemble_result(const RunnerConfig& cfg, JobContext& ctx,
-                          const workload::BenchmarkProfile& profile, double vdd,
-                          cpu::PipelineResult&& pr) {
-  if (ctx.checker && !ctx.checker->ok()) throw std::runtime_error(ctx.checker->report());
-
-  RunResult r;
-  r.benchmark = profile.name;
-  r.scheme = ctx.fault_free ? "fault-free" : ctx.scheme.name;
-  r.commit_trail = std::move(ctx.trail);
-  r.checker_checks = ctx.checker ? ctx.checker->checks() : 0;
-  r.vdd = vdd;
-  r.committed = pr.committed;
-  r.cycles = pr.cycles;
-  r.ipc = pr.ipc();
-  const double actual = static_cast<double>(pr.stats.count("fault.actual"));
-  const double committed_faulty = static_cast<double>(pr.stats.count("fault.committed_faulty"));
-  r.fault_rate_pct =
-      pr.committed == 0 ? 0.0 : committed_faulty / static_cast<double>(pr.committed) * 100.0;
-  r.replays = static_cast<double>(pr.stats.count("fault.replays"));
-  r.predictor_accuracy =
-      actual > 0.0 ? static_cast<double>(pr.stats.count("fault.handled")) / actual : 0.0;
-  const EnergyModel em(cfg.energy);
-  r.energy = em.compute(pr.stats, vdd);
-  r.cpi = pr.cpi;
-  r.stats = std::move(pr.stats);
-  return r;
-}
-
 RunResult run_job(const RunnerConfig& cfg, const workload::BenchmarkProfile& profile,
                   const std::optional<cpu::SchemeConfig>& scheme, double vdd, CaptureSpec* cap) {
   JobContext ctx(cfg, profile, scheme, vdd);
@@ -308,7 +87,7 @@ RunResult run_job(const RunnerConfig& cfg, const workload::BenchmarkProfile& pro
   Cycle base_cycles = 0;
   drive_run(cfg, ctx, profile, vdd, cap, base, base_committed, base_cycles);
   cpu::PipelineResult pr = ctx.pipe->result_window(base, base_committed, base_cycles);
-  return assemble_result(cfg, ctx, profile, vdd, std::move(pr));
+  return detail::assemble_result(cfg, ctx, profile, vdd, std::move(pr));
 }
 
 }  // namespace
@@ -359,7 +138,7 @@ CaptureResult ExperimentRunner::run_and_capture(const workload::BenchmarkProfile
   cap.at = at_committed;
   drive_run(cfg_, ctx, profile, vdd, &cap, base, base_committed, base_cycles);
   cpu::PipelineResult pr = ctx.pipe->result_window(base, base_committed, base_cycles);
-  CaptureResult out{assemble_result(cfg_, ctx, profile, vdd, std::move(pr)),
+  CaptureResult out{detail::assemble_result(cfg_, ctx, profile, vdd, std::move(pr)),
                     std::move(cap.snapshot)};
   return out;
 }
@@ -381,7 +160,7 @@ RunResult ExperimentRunner::run_from(const RunSnapshot& snapshot,
   }
 
   JobContext ctx(cfg_, m.profile, scheme_opt, m.vdd);
-  restore_into(ctx, snapshot);
+  detail::restore_into(ctx, snapshot);
 
   cpu::Pipeline& pipe = *ctx.pipe;
   StatSet base = m.base;
@@ -402,7 +181,8 @@ RunResult ExperimentRunner::run_from(const RunSnapshot& snapshot,
   while (pipe.committed() < target && pipe.step()) {
   }
   cpu::PipelineResult pr = pipe.result_window(base, base_committed, base_cycles);
-  return assemble_result(cfg_, ctx, m.profile, vdd_override.value_or(m.vdd), std::move(pr));
+  return detail::assemble_result(cfg_, ctx, m.profile, vdd_override.value_or(m.vdd),
+                                 std::move(pr));
 }
 
 const std::vector<cpu::SchemeConfig>& comparative_schemes() {

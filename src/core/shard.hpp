@@ -1,0 +1,95 @@
+// Sweep sharding with a deterministic, checksum-witnessed merge.
+//
+// `vasim sweep --shard i/N` partitions the grid, runs only shard i's jobs
+// and writes a JSON *fragment*; `vasim sweep-merge` joins N fragments back
+// into a submission-ordered schema-3 report whose FNV checksum is bitwise
+// identical to the unsharded run.
+//
+// Two things make the round trip exact:
+//  * The partition is group-aware: when warm-start sharing is on, whole
+//    warmup groups travel to one shard (a group split across shards would
+//    degenerate into singletons and change the warmup_* accounting), so the
+//    merged accounting fields are the plain sum of the fragments'.
+//  * Each fragment entry carries the complete RunResult as a hex-encoded
+//    snap::Writer blob.  The human-readable metric fields in the fragment
+//    are advisory; the merge decodes the blobs, so every stat counter and
+//    double bit pattern that feeds sweep_checksum survives byte-for-byte.
+#ifndef VASIM_CORE_SHARD_HPP
+#define VASIM_CORE_SHARD_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/sweep.hpp"
+
+namespace vasim::core {
+
+/// One shard of an N-way split.  `index` is 1-based ("--shard 2/4" is the
+/// second of four).
+struct ShardSpec {
+  std::size_t index = 1;
+  std::size_t count = 1;
+};
+
+/// Parses "i/N"; throws std::invalid_argument on malformed input or an
+/// index outside [1, N].
+[[nodiscard]] ShardSpec parse_shard(const std::string& spec);
+
+/// Deterministic partition of `jobs`: returns shard `spec.index`'s global
+/// job indices in ascending order.  Partition units are whole warmup groups
+/// when `reuse_warmup` (keyed exactly as SweepRunner groups them, using
+/// `base_cfg` for jobs without a config override), single jobs otherwise;
+/// units round-robin over shards in first-appearance order.  Every job
+/// lands in exactly one shard; shards may be empty when N exceeds the unit
+/// count.
+[[nodiscard]] std::vector<std::size_t> shard_indices(const std::vector<SweepJob>& jobs,
+                                                     const ShardSpec& spec, bool reuse_warmup,
+                                                     const RunnerConfig& base_cfg);
+
+/// One finished job inside a fragment, tagged with its position in the
+/// *unsharded* grid so the merge can restore submission order.
+struct FragmentEntry {
+  std::size_t index = 0;
+  SweepOutcome outcome;
+};
+
+/// A per-shard sweep result: shard identity, this shard's share of the
+/// timing/warmup accounting, and its entries.
+struct SweepFragment {
+  std::string name;
+  std::size_t shard_index = 1;
+  std::size_t shard_count = 1;
+  std::size_t total_jobs = 0;
+  std::size_t workers = 1;
+  double wall_ms = 0.0;
+  std::size_t warmup_groups = 0;
+  u64 warmup_cycles_simulated = 0;
+  u64 warmup_cycles_saved = 0;
+  std::vector<FragmentEntry> entries;
+};
+
+/// Packages a shard's SweepReport (whose jobs are in `indices` order) as a
+/// fragment.  `total_jobs` is the unsharded grid size.
+[[nodiscard]] SweepFragment make_fragment(const std::string& name, const ShardSpec& spec,
+                                          std::size_t total_jobs,
+                                          const std::vector<std::size_t>& indices,
+                                          SweepReport&& report);
+
+/// Fragment JSON codec (schema in docs/sweep.md).  The reader is a targeted
+/// scanner over this writer's machine-generated layout, not a general JSON
+/// parser; it throws std::runtime_error on anything it cannot account for.
+void write_fragment_json(std::ostream& os, const SweepFragment& f);
+[[nodiscard]] SweepFragment read_fragment_json(std::istream& is);
+
+/// Joins fragments back into one submission-ordered report.  Validates that
+/// the fragments agree on name/shard_count/total_jobs, carry distinct shard
+/// indices and cover every job exactly once; throws std::runtime_error
+/// otherwise.  workers is the max over fragments; wall_ms and the warmup_*
+/// fields are sums (total compute, not elapsed time).
+[[nodiscard]] SweepReport merge_fragments(std::vector<SweepFragment> fragments);
+
+}  // namespace vasim::core
+
+#endif  // VASIM_CORE_SHARD_HPP

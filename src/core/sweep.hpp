@@ -56,7 +56,13 @@ struct SweepReport {
 };
 
 /// Worker count resolution: `VASIM_JOBS` when set, else hardware threads.
+/// Garbage values (non-numeric, 0, > 256) warn on stderr and fall back /
+/// clamp instead of silently misbehaving (src/common/env.hpp, env_count).
 [[nodiscard]] std::size_t sweep_workers_from_env();
+
+/// Lockstep batch width resolution: validated `VASIM_BATCH` when set, else
+/// 1 (batching stays opt-in; same env_count validation as VASIM_JOBS).
+[[nodiscard]] std::size_t sweep_batch_from_env();
 
 /// Thread-pooled experiment fan-out.  Stateless between sweeps.
 class SweepRunner {
@@ -87,9 +93,20 @@ class SweepRunner {
   /// only the SweepReport's warmup_* accounting and wall times change.
   void set_reuse_warmup(bool on) { reuse_warmup_ = on; }
 
+  /// Lockstep batching (the third execution mode, src/core/batch.hpp): jobs
+  /// are advanced B at a time through one fused cycle loop instead of one
+  /// per pool task.  Composes with both knobs above -- each pool worker runs
+  /// a whole batch, and warm-started members fork from their group snapshot
+  /// straight into the rotation.  Results stay bitwise identical for any B;
+  /// per-job wall_ms becomes "time until this member retired within its
+  /// batch" (metadata only, never checksummed).  B <= 1 disables batching.
+  void set_batch(std::size_t batch) { batch_ = batch == 0 ? 1 : batch; }
+  [[nodiscard]] std::size_t batch() const { return batch_; }
+
  private:
   RunnerConfig cfg_;
   std::size_t workers_;
+  std::size_t batch_ = sweep_batch_from_env();
   bool progress_ = false;
   bool reuse_warmup_ = false;
 };

@@ -861,6 +861,15 @@ bool Pipeline::step() {
   return true;
 }
 
+u32 Pipeline::step_n(u32 max_cycles) {
+  u32 executed = 0;
+  while (executed < max_cycles && committed_ < commit_limit_) {
+    if (!step()) break;
+    ++executed;
+  }
+  return executed;
+}
+
 StatSet Pipeline::snapshot_stats() const {
   // The cold StatSet merged with every registry counter (which now includes
   // the cache hierarchy and FU pool) plus branch-predictor state and the

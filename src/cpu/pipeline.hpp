@@ -75,6 +75,23 @@ class Pipeline {
   /// Advances one cycle; false when everything has drained.
   bool step();
 
+  /// Advances up to `max_cycles` cycles, stopping early when the commit
+  /// limit is reached or everything drains.  Returns the cycles actually
+  /// executed.  Exactly equivalent to calling step() in a loop with the
+  /// same commit-limit guard -- the batched lockstep driver uses this to
+  /// amortize the per-job call overhead over a slice of cycles.
+  u32 step_n(u32 max_cycles);
+
+  /// True when the source is exhausted and every in-flight structure is
+  /// empty: step() would return false.
+  [[nodiscard]] bool drained() const {
+    return source_done_ && window_.empty() && frontend_.empty() && refetch_.empty();
+  }
+
+  /// Batch entry point: prefetches the scheduler's hot mask words ahead of
+  /// this pipeline's next step() slice (see IssueWindow::prefetch_hot).
+  void prefetch_hot_state() const { window_.prefetch_hot(); }
+
   // ---- external run driving (snapshot capture / warm-start restore) --------
   // run() is a thin composition of these three primitives; an external
   // driver (core::Runner's snapshot paths) uses them directly so it can

@@ -354,6 +354,18 @@ class IssueWindow {
     return &cold_[slot_of(seq)];
   }
 
+  /// Batch entry point: touches the mask words and the head-of-window cold
+  /// record so a lockstep driver can pull the next job's hot state into
+  /// cache while the current job's cycle finishes (core::BatchRunner).
+  void prefetch_hot() const {
+    for (u32 w = 0; w < words_; ++w) {
+      __builtin_prefetch(&waiting_[w], 0, 3);
+      __builtin_prefetch(&ready_[w], 0, 3);
+      __builtin_prefetch(&issued_[w], 0, 3);
+    }
+    if (size_ > 0) __builtin_prefetch(&cold_[slot_of(head_seq_)], 0, 2);
+  }
+
   /// Appends the (fully initialized) record at the tail.  `src1_pending` /
   /// `src2_pending` flag the source operands that are not yet ready; the hot
   /// mirrors (including the per-register waiter masks) are derived here, in

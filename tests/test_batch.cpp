@@ -1,0 +1,407 @@
+// Lockstep batch engine and sweep sharding: batch-vs-single bitwise
+// identity (fuzz-seeded grids, semantics checker attached), mid-batch
+// retirement/compaction edges, warm-start composition, shard partition +
+// fragment round trip + merge determinism, and VASIM_BATCH validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <iterator>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/batch.hpp"
+#include "src/core/shard.hpp"
+#include "src/core/sweep.hpp"
+#include "src/workload/profiles.hpp"
+#include "tests/fuzz_util.hpp"
+
+namespace vasim {
+namespace {
+
+core::RunnerConfig batch_config() {
+  core::RunnerConfig rc;
+  rc.instructions = 2'000;
+  rc.warmup = 800;
+  return rc;
+}
+
+/// Field-by-field bitwise identity, including the pieces that feed
+/// sweep_checksum (stats counters) and the ones that do not (trail,
+/// checker_checks) -- batching must perturb neither.
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.vdd, b.vdd);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.fault_rate_pct, b.fault_rate_pct);
+  EXPECT_EQ(a.replays, b.replays);
+  EXPECT_EQ(a.predictor_accuracy, b.predictor_accuracy);
+  EXPECT_EQ(a.energy.dynamic_nj, b.energy.dynamic_nj);
+  EXPECT_EQ(a.energy.leakage_nj, b.energy.leakage_nj);
+  EXPECT_EQ(a.energy.edp, b.energy.edp);
+  EXPECT_EQ(a.stats.counters(), b.stats.counters());
+  EXPECT_EQ(a.commit_trail, b.commit_trail);
+  EXPECT_EQ(a.checker_checks, b.checker_checks);
+}
+
+// ---- lockstep batch engine -------------------------------------------------
+
+TEST(BatchLockstep, ChecksumIdenticalAcrossWidthsOverFuzzSeeds) {
+  const char* benches[] = {"bzip2", "gcc", "gobmk", "sjeng", "mcf", "tonto"};
+  const char* schemes[] = {"fault-free", "razor", "ep", "abs", "ffs", "cds"};
+  const double vdds[] = {0.97, 1.04};
+
+  for (const u64 seed : fuzzutil::seeds("batch", 21'000, 4)) {
+    Pcg32 rng(seed, 0xba7cULL);
+    core::RunnerConfig rc = batch_config();
+    rc.check_semantics = true;  // every member validated cycle by cycle
+    std::vector<core::SweepJob> jobs;
+    const std::size_t n = 3 + rng.next_below(4);  // 3..6 jobs
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto prof = workload::spec2006_profile(benches[rng.next_u32() % 6]);
+      const std::string scheme_name = schemes[rng.next_u32() % 6];
+      const std::optional<cpu::SchemeConfig> scheme =
+          scheme_name == "fault-free" ? std::optional<cpu::SchemeConfig>{}
+                                      : core::scheme_by_name(scheme_name);
+      const double vdd = scheme ? vdds[rng.next_u32() % 2] : 0.97;
+      jobs.push_back({prof, scheme, vdd, std::nullopt});
+    }
+
+    core::SweepRunner single(rc, 1);
+    single.set_batch(1);
+    core::SweepRunner batched(rc, 1);
+    batched.set_batch(1 + rng.next_below(4));  // widths 1..4, seed-chosen
+
+    const std::vector<core::RunResult> r1 = single.run_results(jobs);
+    const std::vector<core::RunResult> rb = batched.run_results(jobs);
+    ASSERT_EQ(r1.size(), jobs.size()) << "seed " << seed;
+    ASSERT_EQ(rb.size(), jobs.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " job " + std::to_string(i));
+      expect_identical(r1[i], rb[i]);
+      EXPECT_GT(rb[i].checker_checks, 0u);  // a pass with 0 checks is blind
+    }
+    EXPECT_EQ(core::sweep_checksum(r1), core::sweep_checksum(rb)) << "seed " << seed;
+  }
+}
+
+TEST(BatchLockstep, MidBatchRetirementCompactsWithoutPerturbingSurvivors) {
+  // Heterogeneous run lengths in one batch: short members retire mid-flight
+  // and the survivors compact over them.  Every member must still match its
+  // solo ExperimentRunner run exactly.  Lengths straddle slice boundaries
+  // and include warmup == 0 (a member that is born measuring).
+  const auto bzip2 = workload::spec2006_profile("bzip2");
+  const auto gobmk = workload::spec2006_profile("gobmk");
+  struct Shape {
+    u64 instructions;
+    u64 warmup;
+  };
+  const Shape shapes[] = {{500, 200}, {6'000, 800}, {1'500, 0}, {3'000, 1'200}, {700, 100}};
+  std::vector<core::SweepJob> jobs;
+  for (std::size_t i = 0; i < std::size(shapes); ++i) {
+    core::RunnerConfig rc = batch_config();
+    rc.instructions = shapes[i].instructions;
+    rc.warmup = shapes[i].warmup;
+    jobs.push_back({i % 2 == 0 ? bzip2 : gobmk,
+                    i % 2 == 0 ? std::optional(core::scheme_by_name("razor").value())
+                               : std::nullopt,
+                    0.97, rc});
+  }
+
+  const core::BatchRunner batch(batch_config(), jobs.size());
+  const std::vector<core::RunResult> rb = batch.run(jobs);
+  ASSERT_EQ(rb.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    const core::ExperimentRunner solo(*jobs[i].config);
+    const core::RunResult rs = jobs[i].scheme
+                                   ? solo.run(jobs[i].profile, *jobs[i].scheme, jobs[i].vdd)
+                                   : solo.run_fault_free(jobs[i].profile, jobs[i].vdd);
+    expect_identical(rs, rb[i]);
+    EXPECT_EQ(rb[i].committed, shapes[i].instructions);
+  }
+}
+
+TEST(BatchLockstep, WidthEdgesBatchWiderThanGridAndZeroClamp) {
+  const auto bzip2 = workload::spec2006_profile("bzip2");
+  std::vector<core::SweepJob> jobs;
+  jobs.push_back({bzip2, std::nullopt, 0.97, std::nullopt});
+  jobs.push_back({bzip2, core::scheme_by_name("ep"), 0.97, std::nullopt});
+
+  const core::BatchRunner wide(batch_config(), 16);  // batch > jobs
+  const core::BatchRunner narrow(batch_config(), 1);
+  const std::vector<core::RunResult> rw = wide.run(jobs);
+  const std::vector<core::RunResult> rn = narrow.run(jobs);
+  ASSERT_EQ(rw.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) expect_identical(rw[i], rn[i]);
+
+  core::SweepRunner sweeper(batch_config(), 1);
+  sweeper.set_batch(0);  // clamps to 1, never a zero-width chunk loop
+  EXPECT_EQ(sweeper.batch(), 1u);
+}
+
+TEST(BatchLockstep, ComposesWithWarmStartSharing) {
+  // The warm-fork path: group snapshots restore into batch members that
+  // re-derive the measurement base exactly where run_from would.
+  std::vector<core::SweepJob> jobs;
+  for (const auto& name : {"bzip2", "gobmk"}) {
+    const auto prof = workload::spec2006_profile(name);
+    jobs.push_back({prof, std::nullopt, 0.97, std::nullopt});
+    jobs.push_back({prof, std::nullopt, 1.10, std::nullopt});
+    jobs.push_back({prof, core::scheme_by_name("razor"), 0.97, std::nullopt});
+  }
+  core::SweepRunner plain(batch_config(), 1);
+  plain.set_batch(1);
+  core::SweepRunner warm_batched(batch_config(), 1);
+  warm_batched.set_batch(3);
+  warm_batched.set_reuse_warmup(true);
+
+  const core::SweepReport a = plain.run(jobs);
+  const core::SweepReport b = warm_batched.run(jobs);
+  EXPECT_EQ(core::sweep_checksum(a), core::sweep_checksum(b));
+  EXPECT_EQ(b.warmup_groups, 2u);  // one fault-free pair per profile
+  EXPECT_GT(b.warmup_cycles_simulated, 0u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_identical(a.jobs[i].result, b.jobs[i].result);
+  }
+}
+
+TEST(BatchLockstep, PooledBatchesMatchSequentialSingles) {
+  // workers > 1 x batch > 1: each pool task runs a whole batch; results
+  // must still be bitwise those of the sequential unbatched sweep.
+  const std::vector<core::SweepJob> jobs = [] {
+    std::vector<core::SweepJob> g;
+    for (const auto& name : {"bzip2", "gobmk", "mcf"}) {
+      const auto prof = workload::spec2006_profile(name);
+      g.push_back({prof, std::nullopt, 0.97, std::nullopt});
+      g.push_back({prof, core::scheme_by_name("abs"), 0.97, std::nullopt});
+    }
+    return g;
+  }();
+  core::SweepRunner sequential(batch_config(), 1);
+  sequential.set_batch(1);
+  core::SweepRunner pooled(batch_config(), 4);
+  pooled.set_batch(2);
+  const std::vector<core::RunResult> rs = sequential.run_results(jobs);
+  const std::vector<core::RunResult> rp = pooled.run_results(jobs);
+  ASSERT_EQ(rp.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    expect_identical(rs[i], rp[i]);
+  }
+  EXPECT_EQ(core::sweep_checksum(rs), core::sweep_checksum(rp));
+}
+
+TEST(BatchLockstep, ThrowingMemberIsContainedAndReported) {
+  std::vector<core::SweepJob> jobs;
+  const auto bzip2 = workload::spec2006_profile("bzip2");
+  jobs.push_back({bzip2, std::nullopt, 0.97, std::nullopt});
+  core::RunnerConfig broken = batch_config();
+  broken.core.phys_regs = 1;  // Pipeline's constructor rejects this
+  jobs.push_back({bzip2, std::nullopt, 0.97, broken});
+  jobs.push_back({bzip2, core::scheme_by_name("abs"), 0.97, std::nullopt});
+
+  const core::BatchRunner batch(batch_config(), 3);
+  EXPECT_THROW({ (void)batch.run(jobs); }, std::invalid_argument);
+
+  // The healthy members of the same batch still produced correct results:
+  // run through SweepRunner, which reports per-job and rethrows the first
+  // failure only after the grid drains.
+  core::SweepRunner sweeper(batch_config(), 1);
+  sweeper.set_batch(3);
+  EXPECT_THROW({ (void)sweeper.run(jobs); }, std::invalid_argument);
+  jobs[1].config.reset();
+  const core::SweepReport healthy = sweeper.run(jobs);
+  EXPECT_EQ(healthy.jobs.size(), jobs.size());
+}
+
+TEST(BatchEnv, VasimBatchValidation) {
+  // Not parallel-safe with other env-reading tests, but the suite runs
+  // tests in one process sequentially.
+  ASSERT_EQ(setenv("VASIM_BATCH", "8", 1), 0);
+  EXPECT_EQ(core::sweep_batch_from_env(), 8u);
+  ASSERT_EQ(setenv("VASIM_BATCH", "zzz", 1), 0);
+  EXPECT_EQ(core::sweep_batch_from_env(), 1u);  // garbage -> default, warned
+  ASSERT_EQ(setenv("VASIM_BATCH", "4x16", 1), 0);
+  EXPECT_EQ(core::sweep_batch_from_env(), 1u);  // strict parse, not "4"
+  ASSERT_EQ(setenv("VASIM_BATCH", "0", 1), 0);
+  EXPECT_EQ(core::sweep_batch_from_env(), 1u);  // zero is meaningless
+  ASSERT_EQ(setenv("VASIM_BATCH", "99999999", 1), 0);
+  EXPECT_EQ(core::sweep_batch_from_env(), 64u);  // clamped to the sane max
+  ASSERT_EQ(unsetenv("VASIM_BATCH"), 0);
+  EXPECT_EQ(core::sweep_batch_from_env(), 1u);  // batching stays opt-in
+}
+
+// ---- sweep sharding --------------------------------------------------------
+
+TEST(ShardMerge, ParseShardAcceptsAndRejects) {
+  const core::ShardSpec s = core::parse_shard("2/4");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 4u);
+  const core::ShardSpec one = core::parse_shard("1/1");
+  EXPECT_EQ(one.index, 1u);
+  EXPECT_EQ(one.count, 1u);
+  for (const char* bad : {"", "2", "2/", "/4", "0/4", "5/4", "a/4", "2/b", "1/0", "-1/4", "1/4/2"}) {
+    EXPECT_THROW({ (void)core::parse_shard(bad); }, std::invalid_argument) << "'" << bad << "'";
+  }
+}
+
+std::vector<core::SweepJob> shard_grid() {
+  std::vector<core::SweepJob> jobs;
+  for (const auto& name : {"bzip2", "gobmk", "sjeng"}) {
+    const auto prof = workload::spec2006_profile(name);
+    jobs.push_back({prof, std::nullopt, 0.97, std::nullopt});
+    jobs.push_back({prof, std::nullopt, 1.10, std::nullopt});
+    jobs.push_back({prof, core::scheme_by_name("razor"), 0.97, std::nullopt});
+    jobs.push_back({prof, core::scheme_by_name("ep"), 0.97, std::nullopt});
+  }
+  return jobs;
+}
+
+TEST(ShardMerge, PartitionCoversEveryJobExactlyOnce) {
+  const std::vector<core::SweepJob> jobs = shard_grid();
+  for (const bool reuse : {false, true}) {
+    std::set<std::size_t> seen;
+    for (std::size_t i = 1; i <= 3; ++i) {
+      const auto idx = core::shard_indices(jobs, {i, 3}, reuse, batch_config());
+      for (std::size_t k = 1; k < idx.size(); ++k) EXPECT_LT(idx[k - 1], idx[k]);  // ascending
+      for (const std::size_t j : idx) {
+        EXPECT_TRUE(seen.insert(j).second) << "job " << j << " in two shards (reuse=" << reuse
+                                           << ")";
+      }
+    }
+    EXPECT_EQ(seen.size(), jobs.size()) << "reuse=" << reuse;
+  }
+  // Group-aware mode keeps each fault-free warmup pair on one shard.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const auto idx = core::shard_indices(jobs, {i, 3}, true, batch_config());
+    for (std::size_t at = 0; at + 3 < jobs.size(); at += 4) {
+      const bool first = std::find(idx.begin(), idx.end(), at) != idx.end();
+      const bool second = std::find(idx.begin(), idx.end(), at + 1) != idx.end();
+      EXPECT_EQ(first, second) << "warmup group split across shards";
+    }
+  }
+}
+
+/// Runs shard i/N of `jobs`, packages it as a fragment, and round-trips it
+/// through the JSON codec (what the CLI writes to disk and sweep-merge
+/// reads back).
+core::SweepFragment run_shard(const std::vector<core::SweepJob>& jobs, std::size_t i,
+                              std::size_t n, bool reuse) {
+  const core::ShardSpec spec{i, n};
+  const auto indices = core::shard_indices(jobs, spec, reuse, batch_config());
+  std::vector<core::SweepJob> mine;
+  for (const std::size_t j : indices) mine.push_back(jobs[j]);
+  core::SweepRunner runner(batch_config(), 1);
+  runner.set_reuse_warmup(reuse);
+  core::SweepReport report = runner.run(mine);
+  const core::SweepFragment f =
+      core::make_fragment("unit", spec, jobs.size(), indices, std::move(report));
+  std::stringstream ss;
+  core::write_fragment_json(ss, f);
+  return core::read_fragment_json(ss);
+}
+
+TEST(ShardMerge, ThreeWayMergeIsChecksumIdenticalToUnsharded) {
+  const std::vector<core::SweepJob> jobs = shard_grid();
+  core::SweepRunner whole(batch_config(), 1);
+  const core::SweepReport unsharded = whole.run(jobs);
+
+  std::vector<core::SweepFragment> fragments;
+  for (std::size_t i = 1; i <= 3; ++i) fragments.push_back(run_shard(jobs, i, 3, false));
+  const core::SweepReport merged = core::merge_fragments(std::move(fragments));
+
+  ASSERT_EQ(merged.jobs.size(), jobs.size());
+  EXPECT_EQ(core::sweep_checksum(merged), core::sweep_checksum(unsharded));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    expect_identical(merged.jobs[i].result, unsharded.jobs[i].result);
+  }
+}
+
+TEST(ShardMerge, WarmupAccountingSumsExactlyAcrossShards) {
+  const std::vector<core::SweepJob> jobs = shard_grid();
+  core::SweepRunner whole(batch_config(), 1);
+  whole.set_reuse_warmup(true);
+  const core::SweepReport unsharded = whole.run(jobs);
+
+  std::vector<core::SweepFragment> fragments;
+  for (std::size_t i = 1; i <= 2; ++i) fragments.push_back(run_shard(jobs, i, 2, true));
+  const core::SweepReport merged = core::merge_fragments(std::move(fragments));
+
+  EXPECT_EQ(core::sweep_checksum(merged), core::sweep_checksum(unsharded));
+  // Whole groups travel to one shard, so the merged accounting is the plain
+  // sum and equals the unsharded run's.
+  EXPECT_EQ(merged.warmup_groups, unsharded.warmup_groups);
+  EXPECT_EQ(merged.warmup_cycles_simulated, unsharded.warmup_cycles_simulated);
+  EXPECT_EQ(merged.warmup_cycles_saved, unsharded.warmup_cycles_saved);
+  EXPECT_GT(merged.warmup_groups, 0u);
+}
+
+TEST(ShardMerge, MergeValidatesCoverageAndIdentity) {
+  const std::vector<core::SweepJob> jobs = shard_grid();
+  const core::SweepFragment f1 = run_shard(jobs, 1, 2, false);
+  const core::SweepFragment f2 = run_shard(jobs, 2, 2, false);
+
+  // Happy path sanity.
+  EXPECT_NO_THROW({ (void)core::merge_fragments({f1, f2}); });
+  // Missing shard -> incomplete coverage.
+  EXPECT_THROW({ (void)core::merge_fragments({f1}); }, std::runtime_error);
+  // Same shard twice -> duplicate index.
+  EXPECT_THROW({ (void)core::merge_fragments({f1, f1}); }, std::runtime_error);
+  // Disagreeing identity -> rejected.
+  core::SweepFragment renamed = f2;
+  renamed.name = "other";
+  EXPECT_THROW({ (void)core::merge_fragments({f1, renamed}); }, std::runtime_error);
+  core::SweepFragment wrong_count = f2;
+  wrong_count.shard_count = 3;
+  EXPECT_THROW({ (void)core::merge_fragments({f1, wrong_count}); }, std::runtime_error);
+}
+
+TEST(ShardMerge, FragmentJsonRoundTripPreservesEverything) {
+  const std::vector<core::SweepJob> jobs = shard_grid();
+  const core::ShardSpec spec{1, 2};
+  const auto indices = core::shard_indices(jobs, spec, false, batch_config());
+  std::vector<core::SweepJob> mine;
+  for (const std::size_t j : indices) mine.push_back(jobs[j]);
+  core::SweepRunner runner(batch_config(), 1);
+  core::SweepReport report = runner.run(mine);
+  const core::SweepFragment f =
+      core::make_fragment("unit", spec, jobs.size(), indices, std::move(report));
+
+  std::stringstream ss;
+  core::write_fragment_json(ss, f);
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"kind\": \"sweep_fragment\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard_index\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"blob\""), std::string::npos);
+
+  std::stringstream back(json);
+  const core::SweepFragment g = core::read_fragment_json(back);
+  EXPECT_EQ(g.name, f.name);
+  EXPECT_EQ(g.shard_index, f.shard_index);
+  EXPECT_EQ(g.shard_count, f.shard_count);
+  EXPECT_EQ(g.total_jobs, f.total_jobs);
+  EXPECT_EQ(g.warmup_groups, f.warmup_groups);
+  EXPECT_EQ(g.warmup_cycles_simulated, f.warmup_cycles_simulated);
+  EXPECT_EQ(g.warmup_cycles_saved, f.warmup_cycles_saved);
+  ASSERT_EQ(g.entries.size(), f.entries.size());
+  for (std::size_t i = 0; i < f.entries.size(); ++i) {
+    SCOPED_TRACE("entry " + std::to_string(i));
+    EXPECT_EQ(g.entries[i].index, f.entries[i].index);
+    expect_identical(g.entries[i].outcome.result, f.entries[i].outcome.result);
+  }
+
+  // Garbage in -> loud failure, not a silent half-parse.
+  std::stringstream junk("{\"kind\": \"something_else\"}");
+  EXPECT_THROW({ (void)core::read_fragment_json(junk); }, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vasim

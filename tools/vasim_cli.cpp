@@ -10,13 +10,20 @@
 //       --cpi adds the per-cause commit-slot (CPI stack) table; --trace
 //       writes per-instruction Chrome-trace JSON for Perfetto.
 //   vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]
-//               [--json FILE] [--trace FILE] [--cpi] [--progress]
+//               [--batch B] [--shard i/N] [--json FILE] [--trace FILE]
+//               [--cpi] [--progress]
 //       Run every scheme at both faulty supplies for one benchmark (or the
 //       whole suite), fanned out over a thread pool (VASIM_JOBS or --jobs;
 //       results are deterministic at any worker count), optionally dumping
 //       the machine-readable JSON result sink to FILE, a Chrome-trace span
 //       per job to --trace, per-scheme CPI stacks with --cpi, and a live
-//       done/total + ETA line on stderr with --progress.
+//       done/total + ETA line on stderr with --progress.  --batch (or
+//       VASIM_BATCH) advances B jobs per worker through the lockstep engine;
+//       --shard runs only the i-th of N deterministic grid partitions and
+//       writes a JSON fragment instead of the tables (docs/sweep.md).
+//   vasim sweep-merge FRAGMENT... --out FILE
+//       Join per-shard fragments back into one submission-ordered schema-3
+//       report; the FNV checksum is bitwise identical to the unsharded run.
 //   vasim record --bench <name> --out FILE [--instr N]
 //       Capture a committed-path trace to a vasim-trace file.
 //   vasim replay --trace FILE --scheme <name> [--vdd V] [--instr N]
@@ -39,6 +46,7 @@
 
 #include "src/common/table.hpp"
 #include "src/core/runner.hpp"
+#include "src/core/shard.hpp"
 #include "src/core/snapshot.hpp"
 #include "src/core/sweep.hpp"
 #include "src/cpu/observer.hpp"
@@ -96,8 +104,9 @@ int usage() {
             << "            [--kanata FILE] [--trace FILE] [--stats] [--csv] [--cpi]\n"
             << "  vasim run --from-snapshot FILE [--instr N] [--stats] [--csv] [--cpi]\n"
             << "  vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]\n"
-            << "              [--json FILE] [--trace FILE] [--cpi] [--progress]\n"
-            << "              [--reuse-warmup]\n"
+            << "              [--batch B] [--shard i/N] [--json FILE] [--trace FILE]\n"
+            << "              [--cpi] [--progress] [--reuse-warmup]\n"
+            << "  vasim sweep-merge FRAGMENT... --out FILE\n"
             << "  vasim snap save --bench <name> --scheme <name> --out FILE [--vdd V]\n"
             << "                  [--instr N] [--warmup N] [--at N] [--predictor tep|mre|tvp]\n"
             << "  vasim snap info FILE\n";
@@ -307,6 +316,9 @@ int cmd_sweep(const Args& args) {
   core::SweepRunner sweeper(runner_config(args), workers);
   if (args.has("progress")) sweeper.set_progress(true);
   if (args.has("reuse-warmup")) sweeper.set_reuse_warmup(true);
+  if (args.has("batch")) {
+    sweeper.set_batch(std::strtoull(args.get("batch", "1").c_str(), nullptr, 10));
+  }
 
   // (fault-free + every scheme) x both faulty supplies per profile, one
   // thread-pooled grid; results come back in submission order.
@@ -320,6 +332,49 @@ int cmd_sweep(const Args& args) {
       }
     }
   }
+
+  if (args.has("shard")) {
+    // Shard mode: run only this shard's deterministic partition of the full
+    // grid and emit a fragment (job indices are global, so the per-supply
+    // tables would be misleading -- the merge side renders the report).
+    core::ShardSpec spec;
+    try {
+      spec = core::parse_shard(args.get("shard", ""));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    const std::vector<std::size_t> indices =
+        core::shard_indices(jobs, spec, args.has("reuse-warmup"), sweeper.config());
+    std::vector<core::SweepJob> shard_jobs;
+    shard_jobs.reserve(indices.size());
+    for (const std::size_t i : indices) shard_jobs.push_back(jobs[i]);
+    core::SweepReport shard_report;
+    try {
+      shard_report = sweeper.run(shard_jobs);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    const double wall_ms = shard_report.wall_ms;
+    const core::SweepFragment frag = core::make_fragment(
+        "cli_sweep", spec, jobs.size(), indices, std::move(shard_report));
+    const std::string path =
+        args.has("json") ? args.get("json", "")
+                         : "BENCH_sweep.shard_" + std::to_string(spec.index) + "_of_" +
+                               std::to_string(spec.count) + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << "\n";
+      return 2;
+    }
+    core::write_fragment_json(out, frag);
+    std::cout << "shard " << spec.index << "/" << spec.count << ": " << indices.size()
+              << " of " << jobs.size() << " jobs in " << TextTable::fmt(wall_ms, 0)
+              << " ms; fragment written to " << path << "\n";
+    return 0;
+  }
+
   const core::SweepReport report = sweeper.run(jobs);
 
   const int commit_width = sweeper.config().core.commit_width;
@@ -542,6 +597,54 @@ int cmd_snap_info(const std::string& path) {
   }
 }
 
+int cmd_sweep_merge(int argc, char** argv) {
+  // Positional fragment paths plus --out; parsed by hand because the
+  // generic parser only understands --key value pairs.
+  std::vector<std::string> paths;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty() || out_path.empty()) return usage();
+  try {
+    std::vector<core::SweepFragment> fragments;
+    fragments.reserve(paths.size());
+    for (const std::string& p : paths) {
+      std::ifstream in(p);
+      if (!in) {
+        std::cerr << "cannot open " << p << "\n";
+        return 2;
+      }
+      fragments.push_back(core::read_fragment_json(in));
+    }
+    const std::string name = fragments.front().name;
+    const core::SweepReport merged = core::merge_fragments(std::move(fragments));
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 2;
+    }
+    core::write_sweep_json(out, name, merged);
+    char checksum[32];
+    std::snprintf(checksum, sizeof checksum, "%016llx",
+                  static_cast<unsigned long long>(core::sweep_checksum(merged)));
+    std::cout << "merged " << paths.size() << " fragment(s) -> " << merged.jobs.size()
+              << " jobs, checksum " << checksum << ", report written to " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
+
 int cmd_snap(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string sub = argv[2];
@@ -562,6 +665,7 @@ int cmd_snap(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "snap") == 0) return cmd_snap(argc, argv);
+  if (argc >= 2 && std::strcmp(argv[1], "sweep-merge") == 0) return cmd_sweep_merge(argc, argv);
   const auto args = parse(argc, argv);
   if (!args) return usage();
   if (args->command == "list") return cmd_list();
