@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <thread>
 
 #include <vector>
@@ -26,6 +27,7 @@
 #include "src/cpu/cache.hpp"
 #include "src/cpu/pipeline.hpp"
 #include "src/obs/registry.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/timing/fault_model.hpp"
 #include "src/workload/profiles.hpp"
 #include "src/workload/trace_generator.hpp"
@@ -267,8 +269,10 @@ void emit_stats_overhead_json() {
 // ---- scheduler-kernel record -----------------------------------------------
 
 /// Steady-state simulated MIPS of the step() loop (warmup and construction
-/// excluded), replaying the shared trace buffer.
-double kernel_steady_mips(bool with_faults, u64 measure_commits) {
+/// excluded), replaying the shared trace buffer.  `timeline_interval > 0`
+/// attaches an interval sampler before warmup, so the timed region measures
+/// the sampler's steady-state cost.
+double kernel_steady_mips(bool with_faults, u64 measure_commits, u64 timeline_interval = 0) {
   const auto prof = workload::spec2006_profile("sjeng");
   ReplaySource src(&kernel_trace_buffer());
   cpu::CoreConfig cfg;
@@ -278,6 +282,15 @@ double kernel_steady_mips(bool with_faults, u64 measure_commits) {
   cpu::Pipeline p(cfg, with_faults ? cpu::scheme_abs() : cpu::scheme_fault_free(), &src,
                   with_faults ? &fm : nullptr, with_faults ? &tep : nullptr);
   constexpr u64 kWarm = 30'000;
+  std::optional<obs::Timeline> tl;
+  if (timeline_interval > 0) {
+    obs::Timeline::Config tc;
+    tc.interval = timeline_interval;
+    tc.capacity_hint =
+        static_cast<std::size_t>((kWarm + measure_commits) / timeline_interval) + 8;
+    tl.emplace(tc, &p.registry());
+    p.set_timeline(&*tl, timeline_interval);
+  }
   while (p.committed() < kWarm) p.step();
   const auto t0 = std::chrono::steady_clock::now();
   while (p.committed() < kWarm + measure_commits) p.step();
@@ -323,6 +336,50 @@ void emit_kernel_json() {
   out << buf;
   std::printf("[BENCH_kernel.json: cycle loop %.0f MIPS (%.2fx), abs %.0f MIPS (%.2fx)]\n",
               best_ff, best_ff / kBaselineFaultFree, best_abs, best_abs / kBaselineAbs);
+}
+
+// ---- timeline-sampling overhead record ---------------------------------------
+
+/// Writes BENCH_timeline.json: steady-state kernel MIPS with and without an
+/// attached interval sampler at the default 10k-commit grain.  The CI guard
+/// asserts overhead_pct stays at or under 2%.  VASIM_TIMELINE_REPS /
+/// VASIM_TIMELINE_COMMITS shrink the measurement for smoke runs.
+void emit_timeline_json() {
+  if (env_u64("VASIM_JSON", 1) == 0) return;
+  const int reps = static_cast<int>(env_u64("VASIM_TIMELINE_REPS", 3));
+  const u64 measure = env_u64("VASIM_TIMELINE_COMMITS", 300'000);
+  constexpr u64 kInterval = 10'000;
+
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    best_off = std::max(best_off, kernel_steady_mips(true, measure));
+    best_on = std::max(best_on, kernel_steady_mips(true, measure, kInterval));
+  }
+  const double overhead_pct = best_on > 0.0 ? (best_off / best_on - 1.0) * 100.0 : 0.0;
+
+  std::ofstream out("BENCH_timeline.json");
+  if (!out) return;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"timeline\",\n"
+                "  \"schema_version\": 1,\n"
+                "  \"interval\": %llu,\n"
+                "  \"measure_commits\": %llu,\n"
+                "  \"mips_unsampled\": %.0f,\n"
+                "  \"mips_sampled\": %.0f,\n"
+                "  \"overhead_pct\": %.2f,\n"
+                "  \"windows\": %llu\n"
+                "}\n",
+                static_cast<unsigned long long>(kInterval),
+                static_cast<unsigned long long>(measure), best_off, best_on, overhead_pct,
+                static_cast<unsigned long long>(measure / kInterval));
+  out << buf;
+  std::printf("[BENCH_timeline.json: %.0f MIPS unsampled, %.0f MIPS sampled every %lluk "
+              "commits, overhead %.2f%%]\n",
+              best_off, best_on, static_cast<unsigned long long>(kInterval / 1000),
+              overhead_pct);
 }
 
 // ---- warm-start sweep record -------------------------------------------------
@@ -521,6 +578,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   emit_stats_overhead_json();
   emit_kernel_json();
+  emit_timeline_json();
   emit_snapshot_json();
   emit_batch_json();
   return 0;

@@ -139,6 +139,11 @@ void BatchRunner::run_cells(const Cell* cells, std::size_t n, RunResult* results
             m.base_cycles = pipe.now();
             m.in_warmup = false;
             pipe.set_commit_limit(m.target);
+            // Same cut drive_run makes: measured timeline windows must sum
+            // to the measured StatSet.
+            if (m.ctx->timeline) {
+              m.ctx->timeline->mark_measurement(pipe.now(), pipe.committed());
+            }
           } else if (!m.in_warmup && (pipe.committed() >= m.target || pipe.drained())) {
             cpu::PipelineResult pr =
                 pipe.result_window(m.base, m.base_committed, m.base_cycles);

@@ -49,6 +49,20 @@ JobContext::JobContext(const RunnerConfig& cfg, const workload::BenchmarkProfile
     trail_obs.emplace(cfg.commit_trail_stride, &trail);
     pipe->add_observer(&*trail_obs);
   }
+  if (cfg.timeline_interval > 0) {
+    obs::Timeline::Config tc;
+    tc.interval = cfg.timeline_interval;
+    // Full-run window budget plus slack for the boundary cut and the final
+    // partial window: sampling never allocates in steady state.
+    tc.capacity_hint =
+        static_cast<std::size_t>((cfg.warmup + cfg.instructions) / cfg.timeline_interval) + 8;
+    timeline = std::make_shared<obs::Timeline>(tc, &pipe->registry());
+    pipe->set_timeline(timeline.get(), cfg.timeline_interval);
+  }
+  if (cfg.profiler_hub != nullptr) {
+    profiler.emplace();
+    pipe->set_profiler(&*profiler);
+  }
 }
 
 RunSnapshot make_snapshot(const RunnerConfig& cfg, const JobContext& ctx,
@@ -150,6 +164,13 @@ void restore_into(JobContext& ctx, const RunSnapshot& s) {
     r.expect_done("TRAL chunk");
     ctx.trail_obs->set_commits(commits);
   }
+  if (ctx.timeline) {
+    // Warm-start fork: the timeline begins at the restored machine state.
+    // Re-attaching re-arms the next K-commit threshold from the restored
+    // commit count so the sampling grid continues seamlessly.
+    ctx.timeline->rebaseline(ctx.pipe->now(), ctx.pipe->committed());
+    ctx.pipe->set_timeline(ctx.timeline.get(), ctx.timeline->interval());
+  }
 }
 
 RunResult assemble_result(const RunnerConfig& cfg, JobContext& ctx,
@@ -177,6 +198,14 @@ RunResult assemble_result(const RunnerConfig& cfg, JobContext& ctx,
   r.energy = em.compute(pr.stats, vdd);
   r.cpi = pr.cpi;
   r.stats = std::move(pr.stats);
+  if (ctx.timeline) {
+    ctx.timeline->finalize(ctx.pipe->now(), ctx.pipe->committed());
+    r.timeline = ctx.timeline;
+  }
+  if (cfg.profiler_hub != nullptr && ctx.profiler) {
+    cfg.profiler_hub->merge(ctx.profiler->snapshot());
+    ctx.profiler->reset();  // a context reused after assembly starts clean
+  }
   return r;
 }
 

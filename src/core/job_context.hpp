@@ -16,6 +16,7 @@
 #ifndef VASIM_CORE_JOB_CONTEXT_HPP
 #define VASIM_CORE_JOB_CONTEXT_HPP
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -68,6 +69,10 @@ struct JobContext {
   std::optional<check::SemanticsChecker> checker;
   std::vector<Cycle> trail;
   std::optional<CommitTrailObserver> trail_obs;
+  /// Interval sampler over pipe->registry(); shared so assemble_result can
+  /// publish it into the RunResult without copying the columnar store.
+  std::shared_ptr<obs::Timeline> timeline;
+  std::optional<obs::Profiler> profiler;
 
   JobContext(const RunnerConfig& cfg, const workload::BenchmarkProfile& profile,
              const std::optional<cpu::SchemeConfig>& scheme_opt, double vdd);

@@ -1,0 +1,40 @@
+#include "src/core/progress.hpp"
+
+#include <cstdio>
+
+namespace vasim::core {
+
+ProgressMeter::ProgressMeter(std::string label, u64 total, std::string unit)
+    : label_(std::move(label)),
+      unit_(std::move(unit)),
+      total_(total),
+      t0_(std::chrono::steady_clock::now()),
+      last_print_(t0_ - std::chrono::hours(1)) {}
+
+void ProgressMeter::update(u64 done) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_print_ < std::chrono::milliseconds(100)) return;
+  last_print_ = now;
+  print(done, /*final=*/false);
+}
+
+void ProgressMeter::finish(u64 done) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  print(done, /*final=*/true);
+}
+
+void ProgressMeter::print(u64 done, bool final) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double eta =
+      (rate > 0.0 && total_ > done) ? static_cast<double>(total_ - done) / rate : 0.0;
+  std::fprintf(stderr, "\r[%s] %llu/%llu %s done, %.3g %s/s, ETA %.1fs ", label_.c_str(),
+               static_cast<unsigned long long>(done), static_cast<unsigned long long>(total_),
+               unit_.c_str(), rate, unit_.c_str(), eta);
+  if (final) std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace vasim::core

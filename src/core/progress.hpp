@@ -1,0 +1,45 @@
+// Shared live progress printer: "\r[label] done/total unit, rate, ETA".
+//
+// One implementation serves both granularities -- the sweep engine updates
+// it per finished job, a single run per slice of committed instructions --
+// so the two surfaces stay visually consistent.  Thread-safe (sweep workers
+// report concurrently) and rate-limited so per-commit callers cannot flood
+// stderr.
+#ifndef VASIM_CORE_PROGRESS_HPP
+#define VASIM_CORE_PROGRESS_HPP
+
+#include <chrono>
+#include <mutex>
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace vasim::core {
+
+/// Stderr progress meter with rate and ETA derived from a known total.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::string label, u64 total, std::string unit);
+
+  /// Reports `done` units complete.  Prints at most every ~100 ms (callers
+  /// may invoke it arbitrarily often); ETA extrapolates the mean rate since
+  /// construction.
+  void update(u64 done);
+
+  /// Final line plus newline, always printed.
+  void finish(u64 done);
+
+ private:
+  void print(u64 done, bool final);
+
+  std::string label_;
+  std::string unit_;
+  u64 total_;
+  std::chrono::steady_clock::time_point t0_;
+  std::chrono::steady_clock::time_point last_print_;
+  std::mutex mu_;
+};
+
+}  // namespace vasim::core
+
+#endif  // VASIM_CORE_PROGRESS_HPP

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/core/job_context.hpp"
+#include "src/core/progress.hpp"
 #include "src/core/snapshot.hpp"
 
 namespace vasim::core {
@@ -30,9 +31,15 @@ void drive_run(const RunnerConfig& cfg, JobContext& ctx,
   cpu::Pipeline& pipe = *ctx.pipe;
   bool base_captured = false;
   u64 next_periodic = cfg.snapshot_interval;
+  std::optional<ProgressMeter> meter;
+  if (cfg.progress) meter.emplace("run", cfg.warmup + cfg.instructions, "commits");
+  u64 progress_tick = 0;
 
   // Returns false when the driver should stop (warmup-only capture done).
   const auto boundary = [&]() -> bool {
+    // The meter rate-limits its own printing; the tick mask just keeps the
+    // steady-clock read off most cycles.
+    if (meter && (++progress_tick & 0x1FFF) == 0) meter->update(pipe.committed());
     if (cap != nullptr && !cap->done && pipe.committed() >= cap->at) {
       cap->snapshot = detail::make_snapshot(cfg, ctx, profile, vdd, base, base_committed,
                                             base_cycles, base_captured);
@@ -64,6 +71,9 @@ void drive_run(const RunnerConfig& cfg, JobContext& ctx,
     base_committed = pipe.committed();
     base_cycles = pipe.now();
     base_captured = true;
+    // Cut the timeline exactly at the measurement base so the measured
+    // windows sum to the measured StatSet, counter for counter.
+    if (ctx.timeline) ctx.timeline->mark_measurement(pipe.now(), pipe.committed());
   }
 
   const u64 target = cfg.warmup + cfg.instructions;
@@ -77,6 +87,7 @@ void drive_run(const RunnerConfig& cfg, JobContext& ctx,
   // so a still-pending request fires here unconditionally.
   if (cap != nullptr && !cap->done) cap->at = pipe.committed();
   boundary();
+  if (meter) meter->finish(pipe.committed());
 }
 
 RunResult run_job(const RunnerConfig& cfg, const workload::BenchmarkProfile& profile,
@@ -176,6 +187,10 @@ RunResult ExperimentRunner::run_from(const RunSnapshot& snapshot,
     base_committed = pipe.committed();
     base_cycles = pipe.now();
   }
+  // Warm-started timelines begin at the fork point (restore_into already
+  // rebaselined); the cut here separates any residual warmup windows so
+  // measured sums still reconcile with the measured StatSet.
+  if (ctx.timeline) ctx.timeline->mark_measurement(pipe.now(), pipe.committed());
   const u64 target = cfg_.warmup + cfg_.instructions;
   pipe.set_commit_limit(target);
   while (pipe.committed() < target && pipe.step()) {

@@ -4,6 +4,7 @@
 #ifndef VASIM_CORE_RUNNER_HPP
 #define VASIM_CORE_RUNNER_HPP
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,11 @@ struct RunResult {
   /// Invariant evaluations the semantics checker performed (0 when the
   /// checker was not attached); a run that "passes" with 0 checks is blind.
   u64 checker_checks = 0;
+  /// Interval-sampled counter timeline (null unless
+  /// RunnerConfig::timeline_interval was set).  Warm-started jobs begin
+  /// their timeline at the fork point.  Not folded into sweep_checksum
+  /// (diagnostic series, not an identity).
+  std::shared_ptr<const obs::Timeline> timeline;
 };
 
 /// (performance %, energy-delay %) overhead tuple, the format of Table 1.
@@ -78,6 +84,16 @@ struct RunnerConfig {
   /// boundary at or past each multiple), in addition to the normal run.
   u64 snapshot_interval = 0;
   std::string snapshot_path = "snap-";
+  /// When non-zero, attach an obs::Timeline sampling every N commits; the
+  /// result lands in RunResult::timeline.  Zero (the default) leaves the
+  /// run bitwise-identical to a build without the feature.
+  u64 timeline_interval = 0;
+  /// Live commits/s + ETA line on stderr while the run executes (the same
+  /// printer the sweep engine uses).
+  bool progress = false;
+  /// When set, every run attaches a wall-time self-profiler and merges its
+  /// snapshot here at result assembly.  Non-owning; must outlive the runs.
+  obs::ProfilerHub* profiler_hub = nullptr;
 };
 
 // Defined in src/core/snapshot.hpp; callers of the snapshot API include it.

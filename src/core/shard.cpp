@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "src/core/snapshot.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/snap/io.hpp"
 
 namespace vasim::core {
@@ -20,9 +21,9 @@ namespace {
 
 // ---- RunResult binary codec ------------------------------------------------
 // The authoritative payload of a fragment entry: every field sweep_checksum
-// reads (plus the diagnostic trail), encoded with the snapshot primitives so
-// double bit patterns and stat-counter maps survive the JSON round trip
-// byte-for-byte.
+// reads (plus the diagnostic trail and the optional timeline), encoded with
+// the snapshot primitives so double bit patterns and stat-counter maps
+// survive the JSON round trip byte-for-byte.
 
 void put_run_result(snap::Writer& w, const RunResult& r) {
   w.put_str(r.benchmark);
@@ -42,6 +43,10 @@ void put_run_result(snap::Writer& w, const RunResult& r) {
   w.put_u32(static_cast<u32>(r.commit_trail.size()));
   for (const Cycle c : r.commit_trail) w.put_u64(c);
   w.put_u64(r.checker_checks);
+  // Fragment schema 2: optional per-job timeline (excluded from the merge
+  // checksum, like everywhere else).
+  w.put_bool(r.timeline != nullptr);
+  if (r.timeline != nullptr) r.timeline->save(w);
 }
 
 RunResult get_run_result(snap::Reader& r) {
@@ -64,6 +69,9 @@ RunResult get_run_result(snap::Reader& r) {
   out.commit_trail.reserve(trail);
   for (u32 i = 0; i < trail; ++i) out.commit_trail.push_back(r.get_u64());
   out.checker_checks = r.get_u64();
+  if (r.get_bool()) {
+    out.timeline = std::make_shared<const obs::Timeline>(obs::Timeline::load(r));
+  }
   return out;
 }
 
@@ -299,7 +307,7 @@ void write_fragment_json(std::ostream& os, const SweepFragment& f) {
   os << "{\n"
      << "  \"bench\": \"" << json_escape(f.name) << "\",\n"
      << "  \"kind\": \"sweep_fragment\",\n"
-     << "  \"schema_version\": 1,\n"
+     << "  \"schema_version\": 2,\n"
      << "  \"shard_index\": " << f.shard_index << ",\n"
      << "  \"shard_count\": " << f.shard_count << ",\n"
      << "  \"total_jobs\": " << f.total_jobs << ",\n"
@@ -328,7 +336,7 @@ void write_fragment_json(std::ostream& os, const SweepFragment& f) {
   os << "\n  ]\n}\n";
 }
 
-SweepFragment read_fragment_json(std::istream& is) {
+SweepFragment read_fragment_json(std::istream& is, const std::string& path) {
   std::ostringstream buf;
   buf << is.rdbuf();
   Scanner sc(buf.str());
@@ -341,11 +349,9 @@ SweepFragment read_fragment_json(std::istream& is) {
     throw std::runtime_error("fragment: not a sweep fragment (wrong \"kind\")");
   }
   sc.seek("schema_version");
+  constexpr u64 kFragmentSchema = 2;
   const u64 schema = sc.scan_u64();
-  if (schema != 1) {
-    throw std::runtime_error("fragment: schema_version " + std::to_string(schema) +
-                             " (this build reads 1)");
-  }
+  if (schema != kFragmentSchema) throw FragmentSchemaError(path, schema, kFragmentSchema);
   sc.seek("shard_index");
   f.shard_index = static_cast<std::size_t>(sc.scan_u64());
   sc.seek("shard_count");

@@ -2,7 +2,7 @@
 //
 // `vasim sweep --shard i/N` partitions the grid, runs only shard i's jobs
 // and writes a JSON *fragment*; `vasim sweep-merge` joins N fragments back
-// into a submission-ordered schema-3 report whose FNV checksum is bitwise
+// into a submission-ordered schema-4 report whose FNV checksum is bitwise
 // identical to the unsharded run.
 //
 // Two things make the round trip exact:
@@ -19,12 +19,38 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/core/sweep.hpp"
 
 namespace vasim::core {
+
+/// A fragment written by a different (newer or older) build: the merge
+/// refuses to guess at the layout and names the offending file instead.
+/// Carries the fragment path plus the found/expected schema numbers so
+/// callers (and the CLI error message) can say exactly which shard to
+/// regenerate.
+class FragmentSchemaError : public std::runtime_error {
+ public:
+  FragmentSchemaError(std::string path, u64 found, u64 expected)
+      : std::runtime_error("fragment " + (path.empty() ? std::string("<stream>") : path) +
+                           ": schema_version " + std::to_string(found) + " (this build reads " +
+                           std::to_string(expected) + ")"),
+        path_(std::move(path)),
+        found_(found),
+        expected_(expected) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] u64 found() const { return found_; }
+  [[nodiscard]] u64 expected() const { return expected_; }
+
+ private:
+  std::string path_;
+  u64 found_;
+  u64 expected_;
+};
 
 /// One shard of an N-way split.  `index` is 1-based ("--shard 2/4" is the
 /// second of four).
@@ -79,9 +105,11 @@ struct SweepFragment {
 
 /// Fragment JSON codec (schema in docs/sweep.md).  The reader is a targeted
 /// scanner over this writer's machine-generated layout, not a general JSON
-/// parser; it throws std::runtime_error on anything it cannot account for.
+/// parser; it throws std::runtime_error on anything it cannot account for,
+/// and FragmentSchemaError specifically on a schema_version mismatch.
+/// `path` is diagnostic only -- it names the fragment in error messages.
 void write_fragment_json(std::ostream& os, const SweepFragment& f);
-[[nodiscard]] SweepFragment read_fragment_json(std::istream& is);
+[[nodiscard]] SweepFragment read_fragment_json(std::istream& is, const std::string& path = "");
 
 /// Joins fragments back into one submission-ordered report.  Validates that
 /// the fragments agree on name/shard_count/total_jobs, carry distinct shard

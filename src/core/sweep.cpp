@@ -16,8 +16,10 @@
 #include "src/common/env.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/core/batch.hpp"
+#include "src/core/progress.hpp"
 #include "src/core/snapshot.hpp"
 #include "src/obs/cpi.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/obs/trace.hpp"
 
 namespace vasim::core {
@@ -132,18 +134,18 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
     std::lock_guard<std::mutex> lock(meta_mu);
     return worker_ids.emplace(tid, worker_ids.size()).first->second;
   };
+  // The shared ProgressMeter (src/core/progress.hpp) serves sweeps and
+  // single runs alike; it rate-limits and locks internally.
+  std::optional<ProgressMeter> meter;
+  if (progress_) meter.emplace("sweep", jobs.size(), "jobs");
   const auto note_progress = [&] {
     const std::size_t d = ++done;
-    if (!progress_) return;
-    const double elapsed = ms_between(t0, Clock::now());
-    const double eta_ms =
-        d == 0 ? 0.0 : elapsed / static_cast<double>(d) *
-                           static_cast<double>(jobs.size() - d);
-    std::lock_guard<std::mutex> lock(meta_mu);
-    std::fprintf(stderr, "\r[sweep] %zu/%zu jobs done, ETA %.1fs ", d, jobs.size(),
-                 eta_ms / 1000.0);
-    if (d == jobs.size()) std::fputc('\n', stderr);
-    std::fflush(stderr);
+    if (!meter) return;
+    if (d == jobs.size()) {
+      meter->finish(d);
+    } else {
+      meter->update(d);
+    }
   };
 
   // Warm-start grouping (set_reuse_warmup): jobs whose conservative warmup
@@ -344,9 +346,12 @@ u64 sweep_checksum(const SweepReport& report) {
 }
 
 void write_sweep_json(std::ostream& os, const std::string& name, const SweepReport& report) {
+  // Schema 4: adds per-job "percentiles" (histogram p50/p95/p99 scalars,
+  // when any exist) and "timeline" (the interval-sampled series, when the
+  // sweep ran with a timeline interval).  Neither feeds the checksum.
   os << "{\n"
      << "  \"bench\": \"" << json_escape(name) << "\",\n"
-     << "  \"schema_version\": 3,\n"
+     << "  \"schema_version\": 4,\n"
      << "  \"workers\": " << report.workers << ",\n"
      << "  \"wall_ms\": " << json_f64(report.wall_ms) << ",\n"
      << "  \"warmup_groups\": " << report.warmup_groups << ",\n"
@@ -374,8 +379,29 @@ void write_sweep_json(std::ostream& os, const std::string& name, const SweepRepo
       os << (c == 0 ? "" : ", ") << "\"" << obs::to_string(static_cast<obs::CpiCause>(c))
          << "\": " << r.cpi.slots[static_cast<std::size_t>(c)];
     }
-    os << "}"
-       << ", \"wall_ms\": " << json_f64(j.wall_ms) << "}";
+    os << "}";
+    // Histogram percentile exports group by prefix: "<h>.p50/.p95/.p99"
+    // scalars become {"<h>": {"p50": ..., "p95": ..., "p99": ...}}.
+    bool any_pct = false;
+    for (const auto& [sname, value] : r.stats.scalars()) {
+      constexpr std::string_view kSuffix = ".p50";
+      if (sname.size() <= kSuffix.size() ||
+          sname.compare(sname.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) {
+        continue;
+      }
+      const std::string base_name = sname.substr(0, sname.size() - kSuffix.size());
+      os << (any_pct ? ", " : ", \"percentiles\": {") << "\"" << json_escape(base_name)
+         << "\": {\"p50\": " << json_f64(value)
+         << ", \"p95\": " << json_f64(r.stats.scalar(base_name + ".p95"))
+         << ", \"p99\": " << json_f64(r.stats.scalar(base_name + ".p99")) << "}";
+      any_pct = true;
+    }
+    if (any_pct) os << "}";
+    if (r.timeline) {
+      os << ", \"timeline\": ";
+      r.timeline->write_json(os, /*include_counters=*/false);
+    }
+    os << ", \"wall_ms\": " << json_f64(j.wall_ms) << "}";
   }
   os << "\n  ]\n}\n";
 }
@@ -398,15 +424,41 @@ void write_chrome_trace(std::ostream& os, const SweepReport& report) {
   for (std::size_t w = 0; w <= max_worker; ++w) {
     trace.thread_name(kPid, w, "worker " + std::to_string(w));
   }
-  for (const SweepOutcome& j : report.jobs) {
+  // Per-job timelines (when the sweep ran with a timeline interval) render
+  // as counter tracks on a second process row, one thread per job, with the
+  // window grid mapped onto the job's wall-clock span so the series align
+  // under the job spans above.
+  constexpr u64 kTimelinePid = 1;
+  bool any_timeline = false;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const SweepOutcome& j = report.jobs[i];
     const RunResult& r = j.result;
     char vdd[32];
     std::snprintf(vdd, sizeof vdd, "%g", r.vdd);
-    trace.complete_event(r.benchmark + "/" + r.scheme + "@" + vdd, "job", kPid, j.worker,
-                         j.start_ms * 1000.0, j.wall_ms * 1000.0,
+    const std::string label = r.benchmark + "/" + r.scheme + "@" + vdd;
+    trace.complete_event(label, "job", kPid, j.worker, j.start_ms * 1000.0,
+                         j.wall_ms * 1000.0,
                          {{"ipc", std::to_string(r.ipc)},
                           {"committed", std::to_string(r.committed)},
                           {"cycles", std::to_string(r.cycles)}});
+    if (r.timeline != nullptr && r.timeline->windows() > 0) {
+      if (!any_timeline) {
+        trace.process_name(kTimelinePid, "vasim timelines");
+        any_timeline = true;
+      }
+      trace.thread_name(kTimelinePid, i, label);
+      // Map the sampled cycle span (fork point .. last window) onto the
+      // job's wall span; warm-started timelines begin at non-zero cycles.
+      const auto last_cycle =
+          static_cast<double>(r.timeline->cycle_end(r.timeline->windows() - 1));
+      const auto base_cycle =
+          static_cast<double>(r.timeline->cycle_end(0) - r.timeline->cycle_delta(0));
+      const double span = last_cycle - base_cycle;
+      const double us_per_cycle = span > 0.0 ? j.wall_ms * 1000.0 / span : 0.0;
+      r.timeline->append_counter_tracks(trace, kTimelinePid, i, label + " ",
+                                        j.start_ms * 1000.0 - base_cycle * us_per_cycle,
+                                        us_per_cycle);
+    }
   }
   trace.finish();
 }

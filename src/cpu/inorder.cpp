@@ -101,15 +101,25 @@ bool InOrderPipeline::step_one() {
 }
 
 PipelineResult InOrderPipeline::run(u64 max_committed, u64 warmup_committed) {
+  const auto note_timeline = [&] {
+    if (timeline_ != nullptr && committed_ >= timeline_next_) {
+      timeline_->sample(now_, committed_);
+      timeline_next_ = (committed_ / timeline_interval_ + 1) * timeline_interval_;
+    }
+  };
   while (committed_ < warmup_committed && step_one()) {
+    note_timeline();
   }
   const StatSet base = stats_;
   const u64 base_committed = committed_;
   const Cycle base_cycles = now_;
+  if (timeline_ != nullptr) timeline_->mark_measurement(now_, committed_);
 
   const u64 target = warmup_committed + max_committed;
   while (committed_ < target && step_one()) {
+    note_timeline();
   }
+  if (timeline_ != nullptr) timeline_->finalize(now_, committed_);
 
   PipelineResult r;
   r.committed = committed_ - base_committed;

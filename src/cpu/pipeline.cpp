@@ -161,7 +161,14 @@ void Pipeline::broadcast(InstState& is) {
 void Pipeline::process_events() {
   // Drain the one bucket due this cycle (the stored key advances by exactly
   // one per scheduling step; stall cycles move the shift instead).
-  due_n_ = wheel_.pop_due(now_ - event_shift_, due_);
+  if (obs::kProfHooksEnabled && profiler_ != nullptr) {
+    // Sub-phase of kExecute (the enclosing scope): how much of event
+    // processing is the wheel pop itself.
+    const obs::Profiler::Scope s(profiler_, obs::ProfPhase::kEventWheel);
+    due_n_ = wheel_.pop_due(now_ - event_shift_, due_);
+  } else {
+    due_n_ = wheel_.pop_due(now_ - event_shift_, due_);
+  }
   // Deterministic order: broadcasts, completes, EP stalls, replays; then age.
   // A bucket holds a handful of events, so an insertion sort beats the
   // introsort machinery on every cycle of the hot loop.
@@ -562,6 +569,10 @@ bool Pipeline::issue_one(InstState& is, bool fwd) {
   // Fault oracle (Section 4.3) -- decided as the instruction engages the
   // OoO stages.
   if (faults_enabled() && !is.safe_mode && !is.wrong_path) {
+    // Profiled as a sub-phase of kSelect (this runs inside the select
+    // stage): how much wall-time the fault oracle costs.
+    const obs::Profiler::Scope prof(
+        obs::kProfHooksEnabled ? profiler_ : nullptr, obs::ProfPhase::kFaultCheck);
     const timing::FaultDecision d = fault_model_->query(
         is.di.pc, isa::is_mem(is.di.op) ? timing::FaultClass::kMemLike
                                         : timing::FaultClass::kAluLike,
@@ -848,17 +859,52 @@ bool Pipeline::step() {
 
   fire([&](SchedHooks& h) { h.on_cycle_start(now_, slots_frozen_now_, mem_blocked_now_); });
   if (observer_ != nullptr) observer_->on_cycle(now_);
-  process_events();
-  commit_stage();
-  select_stage();
-  dispatch_stage();
-  fetch_stage();
+  if (obs::kProfHooksEnabled && profiler_ != nullptr) {
+    // The profiled stage sequence is a duplicate so the unprofiled path
+    // stays exactly as it was (zero-cost-when-off, like the check hooks).
+    {
+      const obs::Profiler::Scope s(profiler_, obs::ProfPhase::kExecute);
+      process_events();
+    }
+    {
+      const obs::Profiler::Scope s(profiler_, obs::ProfPhase::kCommit);
+      commit_stage();
+    }
+    {
+      const obs::Profiler::Scope s(profiler_, obs::ProfPhase::kSelect);
+      select_stage();
+    }
+    {
+      const obs::Profiler::Scope s(profiler_, obs::ProfPhase::kDispatch);
+      dispatch_stage();
+    }
+    {
+      const obs::Profiler::Scope s(profiler_, obs::ProfPhase::kFetch);
+      fetch_stage();
+    }
+  } else {
+    process_events();
+    commit_stage();
+    select_stage();
+    dispatch_stage();
+    fetch_stage();
+  }
 
   ++now_;
+  note_timeline();
   if (!window_.empty() && now_ - last_commit_cycle_ > cfg_.watchdog_cycles) {
     throw std::runtime_error("Pipeline deadlock: no commit in watchdog window");
   }
   return true;
+}
+
+void Pipeline::set_timeline(obs::Timeline* timeline, u64 interval) {
+  timeline_ = (timeline != nullptr && interval > 0) ? timeline : nullptr;
+  timeline_interval_ = interval;
+  // Arm the next threshold from the current commit count so a re-attach
+  // after a warm-start restore continues the K-commit grid seamlessly.
+  timeline_next_ =
+      timeline_ != nullptr ? (committed_ / interval + 1) * interval : ~0ULL;
 }
 
 u32 Pipeline::step_n(u32 max_cycles) {

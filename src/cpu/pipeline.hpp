@@ -29,7 +29,9 @@
 
 #include "src/common/stats.hpp"
 #include "src/obs/cpi.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/obs/registry.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/cpu/branch_pred.hpp"
 #include "src/cpu/cache.hpp"
 #include "src/cpu/check_hooks.hpp"
@@ -156,6 +158,21 @@ class Pipeline {
   void set_check_hooks(SchedHooks* hooks) { hooks_ = hooks; }
   [[nodiscard]] SchedHooks* check_hooks() const { return hooks_; }
 
+  /// Attaches an interval sampler: `timeline` records one window at the
+  /// first cycle boundary at or past each `interval`-commit threshold
+  /// (null detaches).  Non-owning; the timeline must have been built over
+  /// this pipeline's registry().  Calling again after a state restore
+  /// re-arms the next threshold from the restored commit count.
+  void set_timeline(obs::Timeline* timeline, u64 interval);
+  [[nodiscard]] obs::Timeline* timeline() const { return timeline_; }
+
+  /// Attaches the wall-time self-profiler (null detaches).  Non-owning; a
+  /// no-op in builds with VASIM_PROF_HOOKS=0.
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_ = obs::kProfHooksEnabled ? profiler : nullptr;
+  }
+  [[nodiscard]] obs::Profiler* profiler() const { return profiler_; }
+
   [[nodiscard]] const MemoryHierarchy& memory() const { return memory_; }
   [[nodiscard]] const BranchPredictor& branch_predictor() const { return bpred_; }
   [[nodiscard]] const FuPool& fu_pool() const { return fus_; }
@@ -219,12 +236,25 @@ class Pipeline {
     }
   }
 
+  /// Samples the timeline when the cycle that just ended crossed a K-commit
+  /// threshold; one predictable branch per cycle when detached.
+  void note_timeline() {
+    if (timeline_ != nullptr && committed_ >= timeline_next_) {
+      timeline_->sample(now_, committed_);
+      timeline_next_ = (committed_ / timeline_interval_ + 1) * timeline_interval_;
+    }
+  }
+
   // ---- configuration -------------------------------------------------------
   CoreConfig cfg_;
   SchemeConfig scheme_;
   PipelineObserver* observer_ = nullptr;
   ObserverMux observer_mux_;
   SchedHooks* hooks_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  u64 timeline_interval_ = 0;
+  u64 timeline_next_ = ~0ULL;  ///< next commit threshold; ~0 when detached
+  obs::Profiler* profiler_ = nullptr;
   isa::InstructionSource* source_;
   const timing::FaultModel* fault_model_;
   FaultPredictor* predictor_;

@@ -1,0 +1,33 @@
+#include "src/obs/profiler.hpp"
+
+namespace vasim::obs {
+
+void ProfilerHub::merge(const Profiler::Snapshot& s) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto tid = std::this_thread::get_id();
+  auto it = worker_ids_.find(tid);
+  if (it == worker_ids_.end()) {
+    it = worker_ids_.emplace(tid, snaps_.size()).first;
+    snaps_.emplace_back();
+  }
+  snaps_[it->second].merge(s);
+}
+
+std::vector<ProfilerHub::WorkerReport> ProfilerHub::per_worker() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerReport> out;
+  out.reserve(snaps_.size());
+  for (std::size_t i = 0; i < snaps_.size(); ++i) {
+    out.push_back(WorkerReport{i, snaps_[i]});
+  }
+  return out;
+}
+
+Profiler::Snapshot ProfilerHub::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Profiler::Snapshot t;
+  for (const auto& s : snaps_) t.merge(s);
+  return t;
+}
+
+}  // namespace vasim::obs

@@ -54,6 +54,7 @@ void Registry::export_to(StatSet& s) const {
     if (h.total() == 0) continue;
     s.set(histogram_names_[i] + ".mean", h.mean());
     s.set(histogram_names_[i] + ".p50", h.quantile(0.5));
+    s.set(histogram_names_[i] + ".p95", h.quantile(0.95));
     s.set(histogram_names_[i] + ".p99", h.quantile(0.99));
   }
 }

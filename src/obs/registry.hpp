@@ -91,8 +91,8 @@ class Registry {
 
   /// Exports into `s`: every non-zero counter via StatSet::inc (matching the
   /// historical create-on-first-increment semantics), every gauge via set,
-  /// and every non-empty histogram as <name>.mean / <name>.p50 / <name>.p99
-  /// scalars.
+  /// and every non-empty histogram as <name>.mean / <name>.p50 / <name>.p95 /
+  /// <name>.p99 scalars.
   void export_to(StatSet& s) const;
 
   /// Zeroes every counter and gauge (histograms are re-created).  Handles
@@ -111,6 +111,13 @@ class Registry {
   void restore_state(snap::Reader& r);
 
   [[nodiscard]] std::size_t num_counters() const { return counter_names_.size(); }
+
+  /// Counter name / value by registration index: the enumeration surface the
+  /// timeline sampler freezes its column set from.
+  [[nodiscard]] const std::string& counter_name(std::size_t i) const {
+    return counter_names_[i];
+  }
+  [[nodiscard]] u64 counter_at(std::size_t i) const { return counter_values_[i]; }
 
  private:
   // Deques give pointer stability; parallel name vectors keep insertion

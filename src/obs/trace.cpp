@@ -104,6 +104,16 @@ void ChromeTraceWriter::complete_event(std::string_view name, std::string_view c
   emit(buf);
 }
 
+void ChromeTraceWriter::counter_event(std::string_view name, std::string_view category,
+                                      u64 pid, u64 tid, double ts_us,
+                                      std::initializer_list<Arg> args) {
+  std::string buf;
+  event_prefix(buf, name, category, 'C', pid, tid, ts_us);
+  append_args(buf, args);
+  buf += '}';
+  emit(buf);
+}
+
 void ChromeTraceWriter::instant_event(std::string_view name, std::string_view category,
                                       u64 pid, u64 tid, double ts_us,
                                       std::initializer_list<Arg> args) {

@@ -52,6 +52,12 @@ class ChromeTraceWriter {
   void complete_event(std::string_view name, std::string_view category, u64 pid, u64 tid,
                       double ts_us, double dur_us, std::initializer_list<Arg> args = {});
 
+  /// Counter event ("C"): one sample per series in `args` on the counter
+  /// track `name`; multiple args render as a stacked chart in Perfetto.
+  /// Arg values must be JSON numbers.
+  void counter_event(std::string_view name, std::string_view category, u64 pid, u64 tid,
+                     double ts_us, std::initializer_list<Arg> args);
+
   /// Instant event ("i", thread scope).
   void instant_event(std::string_view name, std::string_view category, u64 pid, u64 tid,
                      double ts_us, std::initializer_list<Arg> args = {});

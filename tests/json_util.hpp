@@ -1,0 +1,112 @@
+// Shared JSON test helpers.
+//
+// The toolchain ships no JSON library, so the tests validate generated JSON
+// with a minimal recursive-descent syntax checker -- no DOM, just "is this
+// valid JSON" -- plus a substring counter for pinning event counts.  Used by
+// test_obs (Chrome traces), test_timeline (timeline exports) and test_sweep
+// (the JSON result sink).
+#ifndef VASIM_TESTS_JSON_UTIL_HPP
+#define VASIM_TESTS_JSON_UTIL_HPP
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace vasim::testutil {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] bool parse() {
+    const bool ok = value();
+    ws();
+    return ok && i_ == s_.size();
+  }
+
+ private:
+  void ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
+  }
+  [[nodiscard]] bool eat(char c) {
+    ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (s_.compare(i_, word.size(), word) != 0) return false;
+    i_ += word.size();
+    return true;
+  }
+  [[nodiscard]] bool string_lit() {
+    if (!eat('"')) return false;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+      }
+      ++i_;
+    }
+    return i_ < s_.size() && s_[i_++] == '"';
+  }
+  [[nodiscard]] bool number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    while (i_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+                              s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+                              s_[i_] == '-' || s_[i_] == '+')) {
+      ++i_;
+    }
+    return i_ > start;
+  }
+  [[nodiscard]] bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      ws();
+      if (!string_lit() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  [[nodiscard]] bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+  [[nodiscard]] bool value() {
+    ws();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_lit();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+inline std::size_t count_substr(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vasim::testutil
+
+#endif  // VASIM_TESTS_JSON_UTIL_HPP

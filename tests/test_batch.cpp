@@ -403,5 +403,41 @@ TEST(ShardMerge, FragmentJsonRoundTripPreservesEverything) {
   EXPECT_THROW({ (void)core::read_fragment_json(junk); }, std::runtime_error);
 }
 
+TEST(ShardMerge, MismatchedFragmentSchemaFailsWithNamedError) {
+  // A fragment written by an older build (schema 1): the reader must refuse
+  // with the typed error naming the file and both schema numbers, so a
+  // partially regenerated shard set fails loudly instead of merging stale
+  // per-job layouts.
+  std::stringstream old_frag(
+      "{\n"
+      "  \"bench\": \"x\",\n"
+      "  \"kind\": \"sweep_fragment\",\n"
+      "  \"schema_version\": 1,\n"
+      "  \"shard_index\": 1,\n"
+      "  \"shard_count\": 1,\n"
+      "  \"total_jobs\": 0,\n"
+      "  \"workers\": 1,\n"
+      "  \"wall_ms\": 0,\n"
+      "  \"warmup_groups\": 0,\n"
+      "  \"warmup_cycles_simulated\": 0,\n"
+      "  \"warmup_cycles_saved\": 0,\n"
+      "  \"jobs\": []\n"
+      "}\n");
+  try {
+    (void)core::read_fragment_json(old_frag, "frag_a.json");
+    FAIL() << "schema 1 fragment must be rejected";
+  } catch (const core::FragmentSchemaError& e) {
+    EXPECT_EQ(e.path(), "frag_a.json");
+    EXPECT_EQ(e.found(), 1u);
+    EXPECT_EQ(e.expected(), 2u);
+    EXPECT_NE(std::string(e.what()).find("frag_a.json"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("schema_version 1"), std::string::npos);
+  }
+  // FragmentSchemaError stays catchable as the codec's generic error type.
+  std::stringstream again(
+      "{\"bench\": \"x\", \"kind\": \"sweep_fragment\", \"schema_version\": 7}");
+  EXPECT_THROW({ (void)core::read_fragment_json(again); }, std::runtime_error);
+}
+
 }  // namespace
 }  // namespace vasim

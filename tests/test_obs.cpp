@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/core/sweep.hpp"
@@ -17,106 +18,13 @@
 #include "src/timing/fault_model.hpp"
 #include "src/workload/profiles.hpp"
 #include "src/workload/trace_generator.hpp"
+#include "tests/json_util.hpp"
 
 namespace vasim {
 namespace {
 
-// ---- minimal JSON parser ---------------------------------------------------
-// Recursive-descent syntax checker; no DOM, just "is this valid JSON".  The
-// toolchain ships no JSON library, and the trace files must load in
-// chrome://tracing, so well-formedness is the contract worth pinning.
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view s) : s_(s) {}
-
-  [[nodiscard]] bool parse() {
-    const bool ok = value();
-    ws();
-    return ok && i_ == s_.size();
-  }
-
- private:
-  void ws() {
-    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
-  }
-  [[nodiscard]] bool eat(char c) {
-    ws();
-    if (i_ < s_.size() && s_[i_] == c) {
-      ++i_;
-      return true;
-    }
-    return false;
-  }
-  [[nodiscard]] bool literal(std::string_view word) {
-    if (s_.compare(i_, word.size(), word) != 0) return false;
-    i_ += word.size();
-    return true;
-  }
-  [[nodiscard]] bool string_lit() {
-    if (!eat('"')) return false;
-    while (i_ < s_.size() && s_[i_] != '"') {
-      if (s_[i_] == '\\') {
-        ++i_;
-        if (i_ >= s_.size()) return false;
-      }
-      ++i_;
-    }
-    return i_ < s_.size() && s_[i_++] == '"';
-  }
-  [[nodiscard]] bool number() {
-    const std::size_t start = i_;
-    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
-    while (i_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
-                              s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
-                              s_[i_] == '-' || s_[i_] == '+')) {
-      ++i_;
-    }
-    return i_ > start;
-  }
-  [[nodiscard]] bool object() {
-    if (!eat('{')) return false;
-    if (eat('}')) return true;
-    do {
-      ws();
-      if (!string_lit() || !eat(':') || !value()) return false;
-    } while (eat(','));
-    return eat('}');
-  }
-  [[nodiscard]] bool array() {
-    if (!eat('[')) return false;
-    if (eat(']')) return true;
-    do {
-      if (!value()) return false;
-    } while (eat(','));
-    return eat(']');
-  }
-  [[nodiscard]] bool value() {
-    ws();
-    if (i_ >= s_.size()) return false;
-    switch (s_[i_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_lit();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  std::string_view s_;
-  std::size_t i_ = 0;
-};
-
-std::size_t count_substr(const std::string& hay, const std::string& needle) {
-  std::size_t n = 0;
-  for (std::size_t at = hay.find(needle); at != std::string::npos;
-       at = hay.find(needle, at + 1)) {
-    ++n;
-  }
-  return n;
-}
+using testutil::JsonParser;
+using testutil::count_substr;
 
 // ---- Registry --------------------------------------------------------------
 
@@ -168,6 +76,25 @@ TEST(Registry, GaugeAndHistogramExport) {
   EXPECT_DOUBLE_EQ(s.scalar("pred.accuracy"), 0.75);
   EXPECT_DOUBLE_EQ(s.scalar("lat.issue.mean"), 3.0);
   EXPECT_EQ(s.scalars().count("lat.empty.mean"), 0u) << "empty histograms not exported";
+}
+
+TEST(Registry, HistogramQuantileExportPinsKnownDistribution) {
+  // 100 samples over [0, 10) in 10 buckets: 30 at 2.0, 50 at 5.0, 20 at 9.0.
+  // Linear interpolation inside the holding bucket gives exact pinnable
+  // quantiles: p50 -> rank 50 is 20/50 into [5,6) = 5.4; p95 -> rank 95 is
+  // 15/20 into [9,10) = 9.75; p99 -> 19/20 into [9,10) = 9.95.
+  obs::Registry reg;
+  Histogram* h = reg.histogram("lat.replay", 0.0, 10.0, 10);
+  for (int i = 0; i < 30; ++i) h->add(2.0);
+  for (int i = 0; i < 50; ++i) h->add(5.0);
+  for (int i = 0; i < 20; ++i) h->add(9.0);
+
+  StatSet s;
+  reg.export_to(s);
+  EXPECT_DOUBLE_EQ(s.scalar("lat.replay.p50"), 5.4);
+  EXPECT_DOUBLE_EQ(s.scalar("lat.replay.p95"), 9.75);
+  EXPECT_DOUBLE_EQ(s.scalar("lat.replay.p99"), 9.95);
+  EXPECT_DOUBLE_EQ(s.scalar("lat.replay.mean"), (30 * 2.0 + 50 * 5.0 + 20 * 9.0) / 100.0);
 }
 
 TEST(Registry, ResetZeroesButKeepsHandles) {
@@ -309,6 +236,38 @@ TEST(ChromeTrace, JsonQuoteEscapes) {
   EXPECT_EQ(obs::json_quote("plain"), "\"plain\"");
   EXPECT_EQ(obs::json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
   EXPECT_TRUE(JsonParser(obs::json_quote("tab\there\nnl")).parse());
+}
+
+TEST(ChromeTrace, ConcurrentSpansAndCounterTracksStayValidJson) {
+  // N jobs' worth of spans plus counter-track samples racing into one
+  // writer: the per-event mutex must keep the stream valid JSON with every
+  // event intact.  Run under the TSan preset this also proves data-race
+  // freedom of counter_event against complete_event.
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 50;
+  std::ostringstream os;
+  obs::ChromeTraceWriter writer(&os);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&writer, t] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        const double ts = static_cast<double>(i) * 10.0;
+        writer.complete_event("job", "sweep", 0, static_cast<u64>(t), ts, 5.0,
+                              {{"worker", std::to_string(t)}});
+        writer.counter_event("ipc", "timeline", 1, static_cast<u64>(t), ts,
+                             {{"ipc", "1.5"}, {"cpi_base", "0.66"}});
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  writer.finish();
+
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonParser(json).parse()) << "concurrent trace must stay valid JSON";
+  EXPECT_EQ(count_substr(json, "\"ph\": \"X\""), kThreads * kEventsPerThread);
+  EXPECT_EQ(count_substr(json, "\"ph\": \"C\""), kThreads * kEventsPerThread);
+  EXPECT_EQ(writer.events_written(), 2u * kThreads * kEventsPerThread);
 }
 
 }  // namespace

@@ -123,7 +123,7 @@ TEST(SweepJson, EmitsValidStructure) {
   core::write_sweep_json(os, "unit", report);
   const std::string json = os.str();
   EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"warmup_groups\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"workers\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"razor\""), std::string::npos);
@@ -143,6 +143,31 @@ TEST(SweepJson, EmitsValidStructure) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SweepJson, EmitsHistogramPercentilesPerJob) {
+  // No pipeline registers a histogram today, so the percentile emission is
+  // pinned on a hand-built report: any stats scalar triple <base>.p50/.p95/
+  // .p99 must surface as a per-job "percentiles" object.
+  const core::SweepRunner runner(small_config(), 1);
+  core::SweepReport report = runner.run({{workload::spec2006_profile("bzip2"), std::nullopt,
+                                          0.97, std::nullopt}});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  core::RunResult& r = report.jobs[0].result;
+  // Exactly representable doubles so the %.17g serialization is predictable.
+  r.stats.set("lat.replay.p50", 0.5);
+  r.stats.set("lat.replay.p95", 0.75);
+  r.stats.set("lat.replay.p99", 0.875);
+
+  std::ostringstream os;
+  core::write_sweep_json(os, "unit", report);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"percentiles\": {\"lat.replay\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\": 0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 0.875"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
 }
 
 TEST(ThreadPool, RunsAllTasksAndWaitsIdle) {

@@ -5,13 +5,19 @@
 //       List the available benchmark profiles and schemes.
 //   vasim run --bench <name> --scheme <name> [--vdd V] [--instr N]
 //             [--warmup N] [--predictor tep|mre|tvp] [--kanata FILE]
-//             [--trace FILE] [--stats] [--csv] [--cpi]
+//             [--trace FILE] [--timeline FILE] [--timeline-interval K]
+//             [--stats] [--csv] [--cpi] [--progress] [--profile]
 //       Run one simulation and print a summary (or CSV row / full stats).
 //       --cpi adds the per-cause commit-slot (CPI stack) table; --trace
-//       writes per-instruction Chrome-trace JSON for Perfetto.
+//       writes per-instruction Chrome-trace JSON for Perfetto; --timeline
+//       samples every registry counter each K commits (default 10000) and
+//       writes the per-window series as JSON (or CSV when FILE ends in
+//       .csv); --progress prints a live commits/s + ETA line on stderr;
+//       --profile attributes the simulator's own wall-time to its pipeline
+//       stages (docs/observability.md).
 //   vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]
 //               [--batch B] [--shard i/N] [--json FILE] [--trace FILE]
-//               [--cpi] [--progress]
+//               [--timeline-interval K] [--cpi] [--progress] [--profile]
 //       Run every scheme at both faulty supplies for one benchmark (or the
 //       whole suite), fanned out over a thread pool (VASIM_JOBS or --jobs;
 //       results are deterministic at any worker count), optionally dumping
@@ -20,9 +26,12 @@
 //       done/total + ETA line on stderr with --progress.  --batch (or
 //       VASIM_BATCH) advances B jobs per worker through the lockstep engine;
 //       --shard runs only the i-th of N deterministic grid partitions and
-//       writes a JSON fragment instead of the tables (docs/sweep.md).
+//       writes a JSON fragment instead of the tables (docs/sweep.md);
+//       --timeline-interval embeds a per-job timeline in the JSON sink and
+//       appends Perfetto counter tracks to --trace; --profile prints
+//       per-worker and whole-sweep simulator self-profiles.
 //   vasim sweep-merge FRAGMENT... --out FILE
-//       Join per-shard fragments back into one submission-ordered schema-3
+//       Join per-shard fragments back into one submission-ordered schema-4
 //       report; the FNV checksum is bitwise identical to the unsharded run.
 //   vasim record --bench <name> --out FILE [--instr N]
 //       Capture a committed-path trace to a vasim-trace file.
@@ -51,6 +60,8 @@
 #include "src/core/sweep.hpp"
 #include "src/cpu/observer.hpp"
 #include "src/obs/cpi.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/obs/trace.hpp"
 #include "src/snap/format.hpp"
 #include "src/workload/trace_file.hpp"
@@ -77,7 +88,7 @@ bool parse_options(int start, int argc, char** argv, Args& a) {
     if (key.rfind("--", 0) != 0) return false;
     key = key.substr(2);
     if (key == "stats" || key == "csv" || key == "cpi" || key == "progress" ||
-        key == "reuse-warmup") {
+        key == "reuse-warmup" || key == "profile") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return false;
@@ -101,11 +112,15 @@ int usage() {
             << "  vasim run --bench <name> --scheme "
                "fault-free|razor|ep|abs|ffs|cds [--vdd V]\n"
             << "            [--instr N] [--warmup N] [--predictor tep|mre|tvp]\n"
-            << "            [--kanata FILE] [--trace FILE] [--stats] [--csv] [--cpi]\n"
-            << "  vasim run --from-snapshot FILE [--instr N] [--stats] [--csv] [--cpi]\n"
+            << "            [--kanata FILE] [--trace FILE] [--timeline FILE]\n"
+            << "            [--timeline-interval K] [--stats] [--csv] [--cpi]\n"
+            << "            [--progress] [--profile]\n"
+            << "  vasim run --from-snapshot FILE [--instr N] [--timeline FILE]\n"
+            << "            [--stats] [--csv] [--cpi] [--progress] [--profile]\n"
             << "  vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]\n"
             << "              [--batch B] [--shard i/N] [--json FILE] [--trace FILE]\n"
-            << "              [--cpi] [--progress] [--reuse-warmup]\n"
+            << "              [--timeline-interval K] [--cpi] [--progress]\n"
+            << "              [--reuse-warmup] [--profile]\n"
             << "  vasim sweep-merge FRAGMENT... --out FILE\n"
             << "  vasim snap save --bench <name> --scheme <name> --out FILE [--vdd V]\n"
             << "                  [--instr N] [--warmup N] [--at N] [--predictor tep|mre|tvp]\n"
@@ -135,7 +150,67 @@ core::RunnerConfig runner_config(const Args& args) {
   } else if (pred == "tvp") {
     rc.predictor = core::PredictorKind::kTvp;
   }
+  rc.timeline_interval = std::strtoull(args.get("timeline-interval", "0").c_str(), nullptr, 10);
   return rc;
+}
+
+/// Default sampling grain when --timeline names a file but no interval.
+constexpr u64 kDefaultTimelineInterval = 10'000;
+
+/// Writes a finalized timeline as JSON, or CSV when the path ends in .csv.
+int write_timeline_file(const obs::Timeline& tl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    tl.write_csv(out);
+  } else {
+    tl.write_json(out);
+  }
+  std::cout << "timeline with " << tl.windows() << " windows (every " << tl.interval()
+            << " commits) written to " << path << "\n";
+  return 0;
+}
+
+/// The --profile report: whole-run stage attribution, plus a per-worker
+/// breakdown when more than one host thread contributed.
+void print_profile_tables(const obs::ProfilerHub& hub) {
+  const obs::Profiler::Snapshot total = hub.total();
+  const double total_ns = static_cast<double>(total.total_ns());
+  TextTable t({"phase", "calls", "ms", "share%"});
+  for (int p = 0; p < obs::kNumProfPhases; ++p) {
+    const auto phase = static_cast<obs::ProfPhase>(p);
+    const auto i = static_cast<std::size_t>(p);
+    t.add_row({std::string(obs::to_string(phase)), std::to_string(total.calls[i]),
+               TextTable::fmt(static_cast<double>(total.ns[i]) / 1e6, 2),
+               TextTable::fmt(total_ns == 0.0 ? 0.0
+                                              : static_cast<double>(total.ns[i]) / total_ns * 100.0,
+                              1)});
+  }
+  std::cout << t.render("simulator self-profile") << "\n"
+            << "(fault-check is part of select, event-wheel part of execute; shares are\n"
+            << " of the five top-level phases)\n";
+  const std::vector<obs::ProfilerHub::WorkerReport> workers = hub.per_worker();
+  if (workers.size() > 1) {
+    std::vector<std::string> header = {"worker"};
+    for (int p = 0; p < obs::kNumProfPhases; ++p) {
+      header.emplace_back(obs::to_string(static_cast<obs::ProfPhase>(p)));
+    }
+    header.emplace_back("total");
+    TextTable wt(header);
+    for (const obs::ProfilerHub::WorkerReport& w : workers) {
+      std::vector<std::string> row = {std::to_string(w.worker)};
+      for (int p = 0; p < obs::kNumProfPhases; ++p) {
+        row.push_back(TextTable::fmt(static_cast<double>(w.snap.ns[static_cast<std::size_t>(p)]) / 1e6, 2));
+      }
+      row.push_back(TextTable::fmt(static_cast<double>(w.snap.total_ns()) / 1e6, 2));
+      wt.add_row(row);
+    }
+    std::cout << wt.render("self-profile per worker (ms)") << "\n";
+  }
 }
 
 void print_result(const core::RunResult& r, const core::RunResult* baseline, bool csv) {
@@ -195,6 +270,14 @@ int cmd_run_from_snapshot(const Args& args) {
     rc.predictor = m.predictor;
     rc.check_semantics = m.check_semantics;
     rc.commit_trail_stride = m.commit_trail_stride;
+    rc.timeline_interval =
+        std::strtoull(args.get("timeline-interval", "0").c_str(), nullptr, 10);
+    if (args.has("timeline") && rc.timeline_interval == 0) {
+      rc.timeline_interval = kDefaultTimelineInterval;
+    }
+    rc.progress = args.has("progress");
+    obs::ProfilerHub hub;
+    if (args.has("profile")) rc.profiler_hub = &hub;
     const core::ExperimentRunner runner(rc);
     const core::RunResult r = runner.run_from(snap);
     if (args.has("csv")) {
@@ -204,6 +287,11 @@ int cmd_run_from_snapshot(const Args& args) {
     print_result(r, nullptr, args.has("csv"));
     if (args.has("stats")) std::cout << "\n" << r.stats.to_string();
     if (args.has("cpi")) print_cpi_table(r.benchmark + "/" + r.scheme, r.cpi, rc.core.commit_width, r.committed);
+    if (args.has("timeline") && r.timeline != nullptr) {
+      const int rcio = write_timeline_file(*r.timeline, args.get("timeline", ""));
+      if (rcio != 0) return rcio;
+    }
+    if (args.has("profile")) print_profile_tables(hub);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
@@ -227,8 +315,20 @@ int cmd_run(const Args& args) {
     return 2;
   }
   const double vdd = std::strtod(args.get("vdd", "0.97").c_str(), nullptr);
-  const core::RunnerConfig rc = runner_config(args);
+  core::RunnerConfig rc = runner_config(args);
+  if (args.has("timeline") && rc.timeline_interval == 0) {
+    rc.timeline_interval = kDefaultTimelineInterval;
+  }
+  rc.progress = args.has("progress");
+  obs::ProfilerHub hub;
+  if (args.has("profile")) rc.profiler_hub = &hub;
   const core::ExperimentRunner runner(rc);
+  // The fault-free comparison run keeps the plain configuration: its
+  // telemetry would only shadow the requested scheme's.
+  core::RunnerConfig rc_baseline = rc;
+  rc_baseline.timeline_interval = 0;
+  rc_baseline.progress = false;
+  rc_baseline.profiler_hub = nullptr;
 
   if (args.has("kanata") || args.has("trace")) {
     // Trace dumps need a hand-built pipeline to attach observers; both
@@ -258,7 +358,22 @@ int cmd_run(const Args& args) {
       trace_obs = std::make_unique<cpu::TraceObserver>(trace.get(), 20'000);
       pipe.add_observer(trace_obs.get());
     }
+    std::optional<obs::Timeline> tl;
+    if (rc.timeline_interval > 0) {
+      obs::Timeline::Config tc;
+      tc.interval = rc.timeline_interval;
+      tc.capacity_hint =
+          static_cast<std::size_t>((rc.warmup + rc.instructions) / rc.timeline_interval) + 8;
+      tl.emplace(tc, &pipe.registry());
+      pipe.set_timeline(&*tl, tc.interval);
+    }
+    std::optional<obs::Profiler> profiler;
+    if (args.has("profile")) {
+      profiler.emplace();
+      pipe.set_profiler(&*profiler);
+    }
     const cpu::PipelineResult pr = pipe.run(rc.instructions, rc.warmup);
+    if (tl) tl->finalize(pipe.now(), pipe.committed());
     std::cout << "committed " << pr.committed << " in " << pr.cycles << " cycles (IPC "
               << TextTable::fmt(pr.ipc()) << ")\n";
     if (kanata) {
@@ -266,6 +381,12 @@ int cmd_run(const Args& args) {
                 << " instructions written to " << args.get("kanata", "") << "\n";
     }
     if (trace) {
+      if (tl && tl->windows() > 0) {
+        // The instruction spans place one cycle at one microsecond (pid 1);
+        // the counter tracks share that timebase on their own process row.
+        trace->process_name(2, "timeline");
+        tl->append_counter_tracks(*trace, 2, 0, "", 0.0, 1.0);
+      }
       trace->finish();
       std::cout << "Chrome trace with " << trace_obs->instructions_traced()
                 << " instructions written to " << args.get("trace", "")
@@ -275,6 +396,14 @@ int cmd_run(const Args& args) {
       print_cpi_table(prof.name + "/" + scheme->name, pr.cpi, rc.core.commit_width,
                       pr.committed);
     }
+    if (args.has("timeline") && tl) {
+      const int rcio = write_timeline_file(*tl, args.get("timeline", ""));
+      if (rcio != 0) return rcio;
+    }
+    if (profiler) {
+      hub.merge(profiler->snapshot());
+      print_profile_tables(hub);
+    }
     return 0;
   }
 
@@ -282,7 +411,9 @@ int cmd_run(const Args& args) {
                                 ? runner.run_fault_free(prof, vdd)
                                 : runner.run(prof, *scheme, vdd);
   std::optional<core::RunResult> baseline;
-  if (scheme->name != "fault-free") baseline = runner.run_fault_free(prof, vdd);
+  if (scheme->name != "fault-free") {
+    baseline = core::ExperimentRunner(rc_baseline).run_fault_free(prof, vdd);
+  }
   if (args.has("csv")) {
     std::cout << "benchmark,scheme,vdd,committed,cycles,ipc,fault_rate_pct,replays,"
                  "predictor_accuracy,energy_nj,edp\n";
@@ -292,6 +423,11 @@ int cmd_run(const Args& args) {
   if (args.has("cpi")) {
     print_cpi_table(prof.name + "/" + scheme->name, r.cpi, rc.core.commit_width, r.committed);
   }
+  if (args.has("timeline") && r.timeline != nullptr) {
+    const int rcio = write_timeline_file(*r.timeline, args.get("timeline", ""));
+    if (rcio != 0) return rcio;
+  }
+  if (args.has("profile")) print_profile_tables(hub);
   return 0;
 }
 
@@ -313,7 +449,10 @@ int cmd_sweep(const Args& args) {
   const std::size_t workers =
       args.has("jobs") ? std::strtoull(args.get("jobs", "1").c_str(), nullptr, 10)
                        : core::sweep_workers_from_env();
-  core::SweepRunner sweeper(runner_config(args), workers);
+  core::RunnerConfig sweep_rc = runner_config(args);
+  obs::ProfilerHub hub;
+  if (args.has("profile")) sweep_rc.profiler_hub = &hub;
+  core::SweepRunner sweeper(sweep_rc, workers);
   if (args.has("progress")) sweeper.set_progress(true);
   if (args.has("reuse-warmup")) sweeper.set_reuse_warmup(true);
   if (args.has("batch")) {
@@ -422,6 +561,7 @@ int cmd_sweep(const Args& args) {
   }
   std::cout << report.jobs.size() << " runs in " << TextTable::fmt(report.wall_ms, 0)
             << " ms on " << report.workers << " worker(s)\n";
+  if (args.has("profile")) print_profile_tables(hub);
   if (args.has("reuse-warmup")) {
     std::cout << "warmup sharing: " << report.warmup_groups << " shared group(s), "
               << report.warmup_cycles_simulated << " warmup cycles simulated, "
@@ -623,7 +763,7 @@ int cmd_sweep_merge(int argc, char** argv) {
         std::cerr << "cannot open " << p << "\n";
         return 2;
       }
-      fragments.push_back(core::read_fragment_json(in));
+      fragments.push_back(core::read_fragment_json(in, p));
     }
     const std::string name = fragments.front().name;
     const core::SweepReport merged = core::merge_fragments(std::move(fragments));
