@@ -1,0 +1,195 @@
+// Cold paths of the delay-tracking scheduler kernel (construction, squash
+// filtering, serialization); the per-cycle hot paths stay inline in
+// delay_sched.hpp.
+#include "src/cpu/delay_sched.hpp"
+
+#include <vector>
+
+namespace vasim::cpu {
+
+void DelayQueue::init(Arena& a, u32 cap_pow2, u32 buckets_pow2, u32 pool_cap, u32 num_phys) {
+  mask_ = buckets_pow2 - 1;
+  pool_cap_ = pool_cap;
+  cap_ = cap_pow2;
+  num_phys_ = num_phys;
+  pool_ = a.alloc<Node>(pool_cap);
+  heads_ = a.alloc<i32>(buckets_pow2);
+  max_seq_ = a.alloc<SeqNum>(buckets_pow2);
+  state_ = a.alloc<u8>(cap_pow2);
+  due_ = a.alloc<Cycle>(cap_pow2);
+  queued_seq_ = a.alloc<SeqNum>(cap_pow2);
+  est_ready_ = a.alloc<Cycle>(num_phys);
+  ready_.init(a.alloc<u32>(cap_pow2), cap_pow2);
+  for (u32 b = 0; b < buckets_pow2; ++b) {
+    heads_[b] = -1;
+    max_seq_[b] = 0;
+  }
+  for (u32 s = 0; s < cap_pow2; ++s) {
+    state_[s] = kNone;
+    due_[s] = 0;
+    queued_seq_[s] = 0;
+  }
+  for (u32 p = 0; p < num_phys; ++p) est_ready_[p] = 0;
+  for (u32 i = 0; i < pool_cap; ++i) pool_[i].next = static_cast<i32>(i) + 1;
+  pool_[pool_cap - 1].next = -1;
+  free_ = 0;
+  next_pop_ = 0;
+}
+
+void DelayQueue::pop_due(Cycle stored_now, IssueWindow& win) {
+  next_pop_ = stored_now + 1;
+  const u32 b = static_cast<u32>(stored_now) & mask_;
+  i32 idx = heads_[b];
+  heads_[b] = -1;
+  max_seq_[b] = 0;
+  while (idx >= 0) {
+    const Node n = pool_[idx];
+    recycle(idx);
+    idx = n.next;
+    const u32 slot = win.slot_of(n.seq);
+    // Staleness gate: a re-file (wake repair) or a recycled slot leaves
+    // behind nodes whose (seq, due) no longer match the slot's current key.
+    if (state_[slot] != kQueued || queued_seq_[slot] != n.seq || due_[slot] != n.due) continue;
+    InstState* is = win.find(n.seq);
+    if (is == nullptr || is->issued) {  // defensive; squash filtering keeps this dead
+      state_[slot] = kNone;
+      continue;
+    }
+    if (win.pending_of(slot) == 0) {
+      state_[slot] = kReady;
+      ready_.push_back(slot);
+      continue;
+    }
+    // The estimate fired early (e.g. a load producer missed the cache).
+    // Repair from the producers' estimates -- exact once a producer has
+    // issued -- or park until the resolving broadcast re-files the entry.
+    Cycle again = 0;
+    if (is->phys_src1 != kNoReg && est_ready_[is->phys_src1] > again) {
+      again = est_ready_[is->phys_src1];
+    }
+    if (is->phys_src2 != kNoReg && est_ready_[is->phys_src2] > again) {
+      again = est_ready_[is->phys_src2];
+    }
+    if (again > stored_now) {
+      file(slot, n.seq, again);
+    } else {
+      state_[slot] = kParked;
+    }
+  }
+}
+
+void DelayQueue::filter_squashed(SeqNum last_kept, const IssueWindow& win) {
+  (void)win;
+  // Ready FIFO: drop squashed slots in place, preserving order.
+  const u32 n = ready_.size();
+  for (u32 i = 0; i < n; ++i) {
+    const u32 slot = ready_.front();
+    ready_.pop_front();
+    if (queued_seq_[slot] > last_kept) {
+      state_[slot] = kNone;
+      continue;
+    }
+    ready_.push_back(slot);
+  }
+  // Buckets: same link surgery as EventWheel::filter_squashed, preserving
+  // survivor order.  Buckets whose max seq is old enough are skipped.
+  for (u32 b = 0; b <= mask_; ++b) {
+    if (heads_[b] < 0 || max_seq_[b] <= last_kept) continue;
+    SeqNum maxs = 0;
+    i32* link = &heads_[b];
+    while (*link >= 0) {
+      Node& node = pool_[*link];
+      if (node.seq > last_kept) {
+        const u32 slot = static_cast<u32>(node.seq) & (cap_ - 1);
+        if (queued_seq_[slot] == node.seq) state_[slot] = kNone;
+        const i32 dead = *link;
+        *link = node.next;
+        recycle(dead);
+      } else {
+        if (node.seq > maxs) maxs = node.seq;
+        link = &node.next;
+      }
+    }
+    max_seq_[b] = maxs;
+  }
+}
+
+void DelayQueue::clear_entries() {
+  for (u32 b = 0; b <= mask_; ++b) {
+    heads_[b] = -1;
+    max_seq_[b] = 0;
+  }
+  for (u32 s = 0; s < cap_; ++s) state_[s] = kNone;
+  ready_.clear();
+  for (u32 i = 0; i < pool_cap_; ++i) pool_[i].next = static_cast<i32>(i) + 1;
+  pool_[pool_cap_ - 1].next = -1;
+  free_ = 0;
+}
+
+void DelayQueue::save_state(snap::Writer& w) const {
+  w.put_u64(next_pop_);
+  // Filed nodes, written tail-first per bucket so the restoring file()
+  // prepends them back into the original list order (pop order is
+  // observable: it decides ready-FIFO append order).
+  u32 count = 0;
+  for (u32 b = 0; b <= mask_; ++b) {
+    for (i32 idx = heads_[b]; idx >= 0; idx = pool_[idx].next) ++count;
+  }
+  w.put_u32(count);
+  std::vector<i32> chain;
+  for (u32 b = 0; b <= mask_; ++b) {
+    if (heads_[b] < 0) continue;
+    chain.clear();
+    for (i32 idx = heads_[b]; idx >= 0; idx = pool_[idx].next) chain.push_back(idx);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      w.put_u64(pool_[*it].due);
+      w.put_u64(pool_[*it].seq);
+    }
+  }
+  // Per-slot keys and states, verbatim (stale keys participate in the
+  // staleness gate, so bit-identical continuation preserves them exactly).
+  w.put_u32(cap_);
+  for (u32 s = 0; s < cap_; ++s) {
+    w.put_u8(state_[s]);
+    w.put_u64(due_[s]);
+    w.put_u64(queued_seq_[s]);
+  }
+  w.put_u32(ready_.size());
+  for (u32 i = 0; i < ready_.size(); ++i) w.put_u32(ready_.at(i));
+  w.put_u32(num_phys_);
+  for (u32 p = 0; p < num_phys_; ++p) w.put_u64(est_ready_[p]);
+}
+
+void DelayQueue::restore_state(snap::Reader& r) {
+  clear_entries();
+  next_pop_ = r.get_u64();
+  const u32 count = r.get_u32();
+  if (count > pool_cap_) throw snap::SnapshotError("delay queue pool overflow on restore");
+  for (u32 i = 0; i < count; ++i) {
+    const Cycle due = r.get_u64();
+    const SeqNum seq = r.get_u64();
+    if (due < next_pop_ || due - next_pop_ > mask_) {
+      throw snap::SnapshotError("delay queue entry outside wheel horizon");
+    }
+    file(static_cast<u32>(seq) & (cap_ - 1), seq, due);
+  }
+  if (r.get_u32() != cap_) throw snap::SnapshotError("delay queue capacity mismatch");
+  for (u32 s = 0; s < cap_; ++s) {
+    const u8 st = r.get_u8();
+    if (st > kParked) throw snap::SnapshotError("bad delay queue slot state");
+    state_[s] = st;
+    due_[s] = r.get_u64();
+    queued_seq_[s] = r.get_u64();
+  }
+  const u32 nready = r.get_u32();
+  if (nready > cap_) throw snap::SnapshotError("delay queue ready list overflow on restore");
+  for (u32 i = 0; i < nready; ++i) {
+    const u32 slot = r.get_u32();
+    if (slot >= cap_) throw snap::SnapshotError("delay queue ready slot out of range");
+    ready_.push_back(slot);
+  }
+  if (r.get_u32() != num_phys_) throw snap::SnapshotError("delay queue phys-reg count mismatch");
+  for (u32 p = 0; p < num_phys_; ++p) est_ready_[p] = r.get_u64();
+}
+
+}  // namespace vasim::cpu

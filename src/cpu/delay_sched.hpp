@@ -1,0 +1,191 @@
+// Readiness-ordered delay-tracking scheduler kernel (SchedKernel::kDelayQueue).
+//
+// The bitmask IssueWindow answers "who can issue this cycle?" with an
+// O(window) masked scan every cycle.  The DelayQueue answers it by keeping a
+// prediction of *when* each queued instruction becomes ready and filing the
+// instruction under that cycle in a bucket wheel, so the select stage pops
+// one bucket (O(ready)) instead of scanning (modeled on Diavastos & Carlson's
+// real-time load-delay-tracking scheduler, arXiv 2109.03112, adapted to this
+// simulator's event-driven timing):
+//
+//   estimate    At dispatch, an instruction's due cycle is the max of its
+//               pending sources' estimated ready cycles.  A producer's
+//               estimate is its own due cycle plus its class latency, with
+//               loads assumed to *hit* the L1 (the load-delay-tracking
+//               assumption).  Once a producer actually issues its exact
+//               broadcast cycle is known and overwrites the estimate.
+//   pop+verify  Select pops the bucket due this cycle and verifies each
+//               entry against the window's operand state.  A verified entry
+//               joins the ready FIFO (selection order = readiness order);
+//               a miss-estimated entry is re-filed under the repaired
+//               estimate, or parked until a broadcast resolves it.
+//   repair      Early estimates (a load missed) are repaired at pop time
+//               from the producer's now-exact completion; late estimates (a
+//               producer issued sooner than assumed) are repaired by the tag
+//               broadcast itself: a wake that makes an instruction ready
+//               re-files it under the current cycle.  Net effect: an
+//               instruction enters the ready FIFO on exactly the cycle the
+//               baseline kernel would first see it as a candidate.
+//
+// The DelayQueue replaces only select-stage candidate *discovery*.  The
+// IssueWindow remains the ROB/LSQ container, wakeup/CDL source and
+// store-to-load gate; TEP gating, delayed tag broadcast (VTE) and the
+// ABS/FFS/CDS policy classes apply to the ready FIFO the same way they apply
+// to the masked scan -- FFS/CDS as a two-pass class filter, age (ABS) only
+// as the arrival order within a readiness tier.
+//
+// All cycles are *stored* cycles (absolute minus the pipeline's global-stall
+// shift), exactly like the EventWheel, so a global stall shifts every filed
+// entry in O(1).
+#ifndef VASIM_CPU_DELAY_SCHED_HPP
+#define VASIM_CPU_DELAY_SCHED_HPP
+
+#include "src/common/types.hpp"
+#include "src/cpu/sched_kernel.hpp"
+
+namespace vasim::cpu {
+
+class DelayQueue {
+ public:
+  [[nodiscard]] static std::size_t bytes_needed(u32 cap_pow2, u32 buckets_pow2, u32 pool_cap,
+                                                u32 num_phys) {
+    return Arena::need<Node>(pool_cap) + Arena::need<i32>(buckets_pow2) +
+           Arena::need<SeqNum>(buckets_pow2) + Arena::need<u8>(cap_pow2) +
+           Arena::need<Cycle>(cap_pow2) + Arena::need<Cycle>(num_phys) +
+           Arena::need<SeqNum>(cap_pow2) + Arena::need<u32>(cap_pow2);
+  }
+
+  void init(Arena& a, u32 cap_pow2, u32 buckets_pow2, u32 pool_cap, u32 num_phys);
+
+  /// Expected-completion bookkeeping: `note_producer_estimate` records the
+  /// dispatch-time guess for a destination tag (producer due + class latency,
+  /// cache-hit assumed for loads); `note_producer_actual` overwrites it with
+  /// the exact broadcast cycle once the producer issues.
+  void note_producer_estimate(int phys_dst, Cycle stored_ready) {
+    if (phys_dst != kNoReg) est_ready_[phys_dst] = stored_ready;
+  }
+  void note_producer_actual(int phys_dst, Cycle stored_ready) {
+    if (phys_dst != kNoReg) est_ready_[phys_dst] = stored_ready;
+  }
+  [[nodiscard]] Cycle est_ready(int phys) const { return phys == kNoReg ? 0 : est_ready_[phys]; }
+
+  /// Files a freshly dispatched instruction under its estimated ready cycle:
+  /// max(now+1, est of each pending source), clamped to the wheel horizon.
+  /// `pending1`/`pending2` are the not-yet-ready source tags (kNoReg when
+  /// that operand is ready).  Returns the (snapped/clamped) due cycle, which
+  /// is also the earliest select cycle -- never the dispatch cycle itself.
+  Cycle enqueue(u32 slot, SeqNum seq, Cycle stored_now, int pending1, int pending2) {
+    Cycle due = stored_now + 1;
+    if (pending1 != kNoReg && est_ready_[pending1] > due) due = est_ready_[pending1];
+    if (pending2 != kNoReg && est_ready_[pending2] > due) due = est_ready_[pending2];
+    state_[slot] = kQueued;
+    return file(slot, seq, due);
+  }
+
+  /// Tag-broadcast repair: `slot` just became ready (pending hit zero).  If
+  /// its filed estimate lies in the future, re-file it under the current
+  /// cycle so it is selectable exactly when the baseline kernel would see
+  /// it; a parked entry re-enters the wheel the same way.
+  void on_newly_ready(u32 slot, SeqNum seq, Cycle stored_now) {
+    if (state_[slot] == kReady) return;  // already selectable (defensive)
+    if (state_[slot] == kQueued && queued_seq_[slot] == seq && due_[slot] <= stored_now) return;
+    state_[slot] = kQueued;
+    file(slot, seq, stored_now);
+  }
+
+  /// Drains the bucket due at `stored_now` (must advance by exactly one per
+  /// scheduling cycle, like EventWheel::pop_due).  Each live entry whose
+  /// operands are ready moves to the ready FIFO; a not-yet-ready entry is
+  /// re-filed under the repaired estimate of its still-pending sources (or
+  /// parked when no future estimate exists -- the resolving broadcast
+  /// re-files it).  `win` is the authoritative operand/liveness state.
+  void pop_due(Cycle stored_now, IssueWindow& win);
+
+  /// The ready FIFO (slot numbers, readiness order).  The select stage
+  /// drains it with `take_ready`, issues what it can, and returns the
+  /// survivors in order with `put_back_ready`.
+  [[nodiscard]] u32 ready_size() const { return ready_.size(); }
+  u32 take_ready(u32* out) {
+    u32 n = 0;
+    while (!ready_.empty()) {
+      out[n++] = ready_.front();
+      ready_.pop_front();
+    }
+    return n;
+  }
+  void put_back_ready(const u32* slots, u32 n) {
+    for (u32 i = 0; i < n; ++i) ready_.push_back(slots[i]);
+  }
+  /// The entry left the scheduler (issued).
+  void on_issued(u32 slot) { state_[slot] = kNone; }
+
+  /// Squash: drops every filed/ready entry with seq > last_kept (their slots
+  /// and seq numbers are about to be recycled).  Buckets whose max seq is
+  /// <= last_kept are skipped without scanning, like EventWheel.
+  void filter_squashed(SeqNum last_kept, const IssueWindow& win);
+  /// Full squash: nothing in flight survives.  The time base persists.
+  void clear_entries();
+
+  [[nodiscard]] u32 buckets() const { return mask_ + 1; }
+
+  /// Serialization mirrors EventWheel: the time base, per-register
+  /// estimates, the ready FIFO, and every filed node with its absolute
+  /// stored cycle.  Restore re-files each node, which preserves intra-bucket
+  /// order because save walks buckets in list order and file() prepends.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
+ private:
+  enum SlotState : u8 { kNone = 0, kQueued = 1, kReady = 2, kParked = 3 };
+
+  struct Node {
+    SeqNum seq = 0;
+    Cycle due = 0;  ///< the due cycle this node was filed under (staleness key)
+    i32 next = -1;
+  };
+
+  /// Files (slot, seq) under `due` (snapped to the next pop, clamped to the
+  /// horizon) and stamps the slot's current-due key, staling any earlier
+  /// node for the same slot.  Returns the effective due cycle.
+  Cycle file(u32 slot, SeqNum seq, Cycle due) {
+    if (due < next_pop_) due = next_pop_;
+    if (due - next_pop_ > mask_) due = next_pop_ + mask_;  // repair at pop
+    if (free_ < 0) throw std::logic_error("DelayQueue: node pool exhausted");
+    const u32 b = static_cast<u32>(due) & mask_;
+    const i32 idx = free_;
+    Node& n = pool_[idx];
+    free_ = n.next;
+    n.seq = seq;
+    n.due = due;
+    n.next = heads_[b];
+    if (heads_[b] < 0 || seq > max_seq_[b]) max_seq_[b] = seq;
+    heads_[b] = idx;
+    due_[slot] = due;
+    queued_seq_[slot] = seq;
+    return due;
+  }
+
+  void recycle(i32 idx) {
+    pool_[idx].next = free_;
+    free_ = idx;
+  }
+
+  Node* pool_ = nullptr;
+  i32* heads_ = nullptr;
+  SeqNum* max_seq_ = nullptr;
+  u8* state_ = nullptr;        ///< per window slot
+  Cycle* due_ = nullptr;       ///< per window slot: the live node's due key
+  SeqNum* queued_seq_ = nullptr;  ///< per window slot: seq the key belongs to
+  Cycle* est_ready_ = nullptr;    ///< per physical register, stored cycles
+  Ring<u32> ready_;
+  i32 free_ = -1;
+  u32 mask_ = 0;
+  u32 pool_cap_ = 0;
+  u32 cap_ = 0;
+  u32 num_phys_ = 0;
+  Cycle next_pop_ = 0;
+};
+
+}  // namespace vasim::cpu
+
+#endif  // VASIM_CPU_DELAY_SCHED_HPP

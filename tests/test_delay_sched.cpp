@@ -1,0 +1,517 @@
+// Delay-tracking scheduler kernel (SchedKernel::kDelayQueue) test suite.
+//
+// The kernel contract is *architectural-stream identity*: for any scheme x
+// benchmark x supply point, both scheduler kernels must commit exactly the
+// same instruction stream (pc, op, effective address, branch outcome and
+// target, in the same commit order).  Cycle-level timing legitimately
+// differs -- the delay queue visits ready instructions in readiness order,
+// not age order -- so the cycle-accurate trajectory is pinned separately by
+// its own golden fixture (tests/golden/delay_sched_golden.txt), recorded
+// with:
+//   VASIM_GOLDEN_RECORD=1 ./build/tests/test_delay_sched
+//
+// Every identity run carries the semantics checker, so the delay kernel is
+// also validated cycle by cycle against the kernel-independent scheduling
+// rules (eligibility, pass class, LSQ spacing, store-to-load ordering).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/check/semantics.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/job_context.hpp"
+#include "src/core/runner.hpp"
+#include "src/core/snapshot.hpp"
+#include "src/core/sweep.hpp"
+#include "src/cpu/pipeline.hpp"
+#include "src/snap/io.hpp"
+#include "src/timing/voltage.hpp"
+#include "src/workload/profiles.hpp"
+#include "src/workload/trace_generator.hpp"
+
+namespace {
+
+using namespace vasim;
+
+// ---- committed architectural stream hash -------------------------------------
+
+/// Hashes the committed architectural stream: for every commit, the fetched
+/// instruction's (pc, op, mem_addr, taken, next_pc) folded in commit order
+/// (FNV-1a over the fields).  Wrong-path and squashed work never commits, so
+/// two runs with equal hashes and counts executed the same program.
+class ArchStreamHash final : public cpu::PipelineObserver {
+ public:
+  void on_fetch(SeqNum seq, const isa::DynInst& di) override { inflight_[seq] = di; }
+  void on_commit(SeqNum seq) override {
+    const auto it = inflight_.find(seq);
+    if (it == inflight_.end()) {
+      ++missing_;
+      return;
+    }
+    const isa::DynInst& d = it->second;
+    fold(d.pc);
+    fold(static_cast<u64>(d.op));
+    fold(d.mem_addr);
+    fold(d.taken ? 1 : 0);
+    fold(d.next_pc);
+    ++commits_;
+    inflight_.erase(it);
+  }
+  void on_squash(SeqNum first, SeqNum last) override {
+    for (SeqNum s = first; s <= last; ++s) inflight_.erase(s);
+  }
+
+  [[nodiscard]] u64 hash() const { return h_; }
+  [[nodiscard]] u64 commits() const { return commits_; }
+  [[nodiscard]] u64 missing() const { return missing_; }
+
+ private:
+  void fold(u64 v) {
+    h_ ^= v;
+    h_ *= 1099511628211ULL;
+  }
+  u64 h_ = 1469598103934665603ULL;
+  u64 commits_ = 0;
+  u64 missing_ = 0;  ///< commits with no recorded fetch (must stay zero)
+  std::unordered_map<SeqNum, isa::DynInst> inflight_;
+};
+
+struct StreamResult {
+  u64 hash = 0;
+  u64 commits = 0;
+};
+
+/// Runs one (kernel, bench, scheme, vdd) job with the semantics checker and
+/// the stream hasher attached and returns the committed-stream digest.
+StreamResult run_stream(cpu::SchedKernel kernel, const std::string& bench,
+                        const std::optional<cpu::SchemeConfig>& scheme, double vdd,
+                        u64 instructions, bool wrong_path = false) {
+  core::RunnerConfig rc;
+  rc.instructions = instructions;
+  rc.warmup = 0;  // hash the stream from the first commit
+  rc.check_semantics = true;
+  rc.core.sched_kernel = kernel;
+  rc.core.model_wrong_path = wrong_path;
+  core::detail::JobContext ctx(rc, workload::spec2006_profile(bench), scheme, vdd);
+  ArchStreamHash hash;
+  ctx.pipe->add_observer(&hash);
+  (void)ctx.pipe->run(rc.instructions, rc.warmup);
+  EXPECT_TRUE(ctx.checker->ok()) << ctx.checker->report();
+  EXPECT_GT(ctx.checker->checks(), 0u);
+  EXPECT_EQ(hash.missing(), 0u) << "commit without a recorded fetch";
+  return {hash.hash(), hash.commits()};
+}
+
+std::string label(const std::string& bench, const std::optional<cpu::SchemeConfig>& scheme,
+                  double vdd) {
+  return bench + "/" + (scheme ? scheme->name : "fault-free") + "@" + std::to_string(vdd);
+}
+
+// ---- cross-kernel architectural identity -------------------------------------
+
+TEST(DelayQueueIdentity, GridCommitsIdenticalArchitecturalStreams) {
+  const std::vector<std::string> benches = {"bzip2", "mcf", "sjeng"};
+  constexpr u64 kInstr = 8'000;
+  for (const std::string& b : benches) {
+    // Fault-free baseline at nominal supply.
+    {
+      SCOPED_TRACE(label(b, std::nullopt, timing::SupplyPoints::kNominal));
+      const StreamResult iw = run_stream(cpu::SchedKernel::kIssueWindow, b, std::nullopt,
+                                         timing::SupplyPoints::kNominal, kInstr);
+      const StreamResult dq = run_stream(cpu::SchedKernel::kDelayQueue, b, std::nullopt,
+                                         timing::SupplyPoints::kNominal, kInstr);
+      EXPECT_EQ(iw.commits, dq.commits);
+      EXPECT_EQ(iw.hash, dq.hash);
+    }
+    // Every comparative scheme at both faulty supplies.
+    for (const double vdd : {timing::SupplyPoints::kHighFault, timing::SupplyPoints::kLowFault}) {
+      for (const cpu::SchemeConfig& s : core::comparative_schemes()) {
+        SCOPED_TRACE(label(b, s, vdd));
+        const StreamResult iw = run_stream(cpu::SchedKernel::kIssueWindow, b, s, vdd, kInstr);
+        const StreamResult dq = run_stream(cpu::SchedKernel::kDelayQueue, b, s, vdd, kInstr);
+        EXPECT_EQ(iw.commits, dq.commits);
+        EXPECT_EQ(iw.hash, dq.hash);
+      }
+    }
+  }
+}
+
+TEST(DelayQueueIdentity, WrongPathAndSquashRefetchStreamsMatch) {
+  // Wrong-path fetch synthesizes squashed work and squash-refetch recycles
+  // sequence numbers -- the paths where a kernel bug would let non-program
+  // instructions commit or drop program ones.
+  constexpr u64 kInstr = 6'000;
+  {
+    SCOPED_TRACE("wrong-path razor");
+    const auto s = cpu::scheme_razor();
+    const StreamResult iw =
+        run_stream(cpu::SchedKernel::kIssueWindow, "bzip2", s, 0.97, kInstr, true);
+    const StreamResult dq =
+        run_stream(cpu::SchedKernel::kDelayQueue, "bzip2", s, 0.97, kInstr, true);
+    EXPECT_EQ(iw.commits, dq.commits);
+    EXPECT_EQ(iw.hash, dq.hash);
+  }
+  {
+    SCOPED_TRACE("squash-refetch abs");
+    cpu::SchemeConfig s = cpu::scheme_abs();
+    s.recovery = cpu::RecoveryModel::kSquashRefetch;
+    const StreamResult iw = run_stream(cpu::SchedKernel::kIssueWindow, "gcc", s, 0.97, kInstr);
+    const StreamResult dq = run_stream(cpu::SchedKernel::kDelayQueue, "gcc", s, 0.97, kInstr);
+    EXPECT_EQ(iw.commits, dq.commits);
+    EXPECT_EQ(iw.hash, dq.hash);
+  }
+}
+
+class DelayQueueFuzzIdentity : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DelayQueueFuzzIdentity, RandomMachineShapesCommitIdenticalStreams) {
+  Pcg32 rng(GetParam(), 0xde1a0ULL);
+
+  cpu::CoreConfig shape;
+  shape.issue_width = 1 + static_cast<int>(rng.next_below(8));
+  shape.fetch_width = shape.issue_width;
+  shape.dispatch_width = shape.issue_width;
+  shape.commit_width = shape.issue_width;
+  shape.rob_entries = 16 << rng.next_below(4);  // 16..128
+  shape.iq_entries = std::min(shape.rob_entries, 8 << static_cast<int>(rng.next_below(3)));
+  shape.lq_entries = 8 + static_cast<int>(rng.next_below(24));
+  shape.sq_entries = 8 + static_cast<int>(rng.next_below(24));
+  shape.model_wrong_path = rng.next_bool(0.3);
+
+  const auto profiles = workload::spec2006_profiles();
+  const auto prof = profiles[rng.next_below(static_cast<u32>(profiles.size()))];
+  const auto schemes = core::comparative_schemes();
+  cpu::SchemeConfig scheme = schemes[rng.next_below(static_cast<u32>(schemes.size()))];
+  if (rng.next_bool(0.3)) scheme.recovery = cpu::RecoveryModel::kSquashRefetch;
+  const double vdd = rng.next_bool(0.5) ? 0.97 : 1.04;
+
+  const auto run_one = [&](cpu::SchedKernel kernel) {
+    core::RunnerConfig rc;
+    rc.instructions = 5'000;
+    rc.warmup = 0;
+    rc.check_semantics = true;
+    rc.core = shape;
+    rc.core.sched_kernel = kernel;
+    core::detail::JobContext ctx(rc, prof, scheme, vdd);
+    ArchStreamHash hash;
+    ctx.pipe->add_observer(&hash);
+    (void)ctx.pipe->run(rc.instructions, rc.warmup);
+    EXPECT_TRUE(ctx.checker->ok()) << ctx.checker->report();
+    EXPECT_EQ(hash.missing(), 0u);
+    return StreamResult{hash.hash(), hash.commits()};
+  };
+  const StreamResult iw = run_one(cpu::SchedKernel::kIssueWindow);
+  const StreamResult dq = run_one(cpu::SchedKernel::kDelayQueue);
+  EXPECT_EQ(iw.commits, dq.commits);
+  EXPECT_EQ(iw.hash, dq.hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, DelayQueueFuzzIdentity, ::testing::Range<u64>(1, 9));
+
+// ---- snapshot round trip -----------------------------------------------------
+
+core::RunnerConfig delay_snap_config() {
+  core::RunnerConfig rc;
+  rc.instructions = 3'000;
+  rc.warmup = 1'500;
+  rc.check_semantics = true;
+  rc.commit_trail_stride = 250;
+  rc.core.sched_kernel = cpu::SchedKernel::kDelayQueue;
+  return rc;
+}
+
+void expect_bitwise_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.cpi.slots, b.cpi.slots);
+  EXPECT_EQ(a.stats.counters(), b.stats.counters());
+  EXPECT_EQ(a.commit_trail, b.commit_trail);
+  EXPECT_EQ(a.checker_checks, b.checker_checks);
+}
+
+TEST(DelayQueueSnapshot, WarmupCaptureResumesBitIdentically) {
+  const auto prof = workload::spec2006_profile("bzip2");
+  const auto scheme = core::scheme_by_name("abs");
+  const core::ExperimentRunner runner(delay_snap_config());
+  const core::RunResult straight = runner.run(prof, *scheme, 0.97);
+
+  const core::RunSnapshot snap =
+      runner.capture(prof, scheme, 0.97, delay_snap_config().warmup);
+  EXPECT_EQ(snap.meta().core.sched_kernel, cpu::SchedKernel::kDelayQueue);
+  expect_bitwise_identical(runner.run_from(snap), straight);
+}
+
+TEST(DelayQueueSnapshot, FaultFreeCaptureResumesBitIdentically) {
+  const auto prof = workload::spec2006_profile("sjeng");
+  const core::ExperimentRunner runner(delay_snap_config());
+  const core::RunResult straight = runner.run_fault_free(prof, 0.97);
+  const core::RunSnapshot snap = runner.capture(prof, std::nullopt, 0.97, 800);
+  expect_bitwise_identical(runner.run_from(snap), straight);
+}
+
+TEST(DelayQueueSnapshot, KernelIsPartOfTheWarmupKey) {
+  // A warmup captured under one kernel must never seed a run under the
+  // other: the kernels' cycle-level trajectories differ, so sharing would
+  // silently mix timing models.  The kernel field folds into the warmup key
+  // through put_core_config.
+  const core::RunnerConfig dq_cfg = delay_snap_config();
+  core::RunnerConfig iw_cfg = dq_cfg;
+  iw_cfg.core.sched_kernel = cpu::SchedKernel::kIssueWindow;
+  const auto prof = workload::spec2006_profile("gcc");
+  const std::optional<cpu::SchemeConfig> none;
+  EXPECT_NE(core::warmup_key(dq_cfg, prof, none, 0.97),
+            core::warmup_key(iw_cfg, prof, none, 0.97));
+
+  const core::RunSnapshot snap =
+      core::ExperimentRunner(dq_cfg).capture(prof, std::nullopt, 0.97, 800);
+  EXPECT_THROW((void)core::ExperimentRunner(iw_cfg).run_from(snap), snap::SnapshotError);
+}
+
+// ---- config validation (named errors) ----------------------------------------
+
+void expect_invalid(const cpu::CoreConfig& cfg, const std::string& needle) {
+  try {
+    cpu::validate_core_config(cfg);
+    FAIL() << "expected invalid_argument mentioning '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error message '" << e.what() << "' does not mention '" << needle << "'";
+  }
+}
+
+TEST(CoreConfigValidation, NamedErrorsForEachConstraint) {
+  cpu::CoreConfig ok;
+  EXPECT_NO_THROW(cpu::validate_core_config(ok));
+
+  cpu::CoreConfig iq_pow2 = ok;
+  iq_pow2.iq_entries = 48;
+  expect_invalid(iq_pow2, "power of two");
+
+  // The queue count is a dispatch gate, not the window size: an iq gate
+  // larger than the ROB (or a ROB smaller than the default iq) is legal and
+  // simply never binds.
+  cpu::CoreConfig iq_over_rob = ok;
+  iq_over_rob.iq_entries = 256;
+  EXPECT_NO_THROW(cpu::validate_core_config(iq_over_rob));
+  cpu::CoreConfig small_rob = ok;
+  small_rob.rob_entries = 16;
+  EXPECT_NO_THROW(cpu::validate_core_config(small_rob));
+
+  cpu::CoreConfig rob_zero = ok;
+  rob_zero.rob_entries = 0;
+  expect_invalid(rob_zero, "rob_entries out of range");
+
+  cpu::CoreConfig rob_huge = ok;
+  rob_huge.rob_entries = 1 << 20;
+  expect_invalid(rob_huge, "rob_entries out of range");
+
+  cpu::CoreConfig lq_zero = ok;
+  lq_zero.lq_entries = 0;
+  expect_invalid(lq_zero, "must be positive");
+
+  cpu::CoreConfig phys_small = ok;
+  phys_small.phys_regs = 33;
+  expect_invalid(phys_small, "arch regs + dispatch_width");
+}
+
+TEST(CoreConfigValidation, PipelineConstructorEnforcesValidation) {
+  cpu::CoreConfig bad;
+  bad.iq_entries = 48;
+  workload::TraceGenerator gen(workload::spec2006_profile("bzip2"));
+  EXPECT_THROW(cpu::Pipeline(bad, cpu::scheme_fault_free(), &gen, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(CoreConfigValidation, KernelNamesRoundTrip) {
+  cpu::SchedKernel k = cpu::SchedKernel::kIssueWindow;
+  EXPECT_TRUE(cpu::sched_kernel_from_string("delay-queue", k));
+  EXPECT_EQ(k, cpu::SchedKernel::kDelayQueue);
+  EXPECT_STREQ(cpu::to_string(k), "delay-queue");
+  EXPECT_TRUE(cpu::sched_kernel_from_string("issue-window", k));
+  EXPECT_EQ(k, cpu::SchedKernel::kIssueWindow);
+  EXPECT_STREQ(cpu::to_string(k), "issue-window");
+  EXPECT_FALSE(cpu::sched_kernel_from_string("bogus", k));
+}
+
+// ---- cycle-accurate golden fixture -------------------------------------------
+
+std::string fixture_path() {
+  std::string dir(__FILE__);
+  dir.erase(dir.find_last_of('/'));
+  return dir + "/golden/delay_sched_golden.txt";
+}
+
+core::RunnerConfig delay_golden_config() {
+  core::RunnerConfig cfg;
+  cfg.instructions = 6'000;
+  cfg.warmup = 3'000;
+  cfg.check_semantics = true;
+  cfg.commit_trail_stride = 500;
+  cfg.core.sched_kernel = cpu::SchedKernel::kDelayQueue;
+  return cfg;
+}
+
+std::vector<core::SweepJob> delay_golden_jobs() {
+  std::vector<core::SweepJob> jobs;
+  const std::vector<std::string> benches = {"bzip2", "gcc", "sjeng"};
+  for (const std::string& b : benches) {
+    const workload::BenchmarkProfile prof = workload::spec2006_profile(b);
+    jobs.push_back({prof, std::nullopt, timing::SupplyPoints::kNominal, std::nullopt});
+    for (const double vdd : {timing::SupplyPoints::kHighFault, timing::SupplyPoints::kLowFault}) {
+      for (const cpu::SchemeConfig& s : core::comparative_schemes()) {
+        jobs.push_back({prof, s, vdd, std::nullopt});
+      }
+    }
+  }
+  // IQ-512 shape: the delay queue's headline operating point (the bucket pop
+  // replaces a 512-entry masked scan), with ROB/registers scaled to keep the
+  // larger queue honest.
+  {
+    core::RunnerConfig big = delay_golden_config();
+    big.core.iq_entries = 512;
+    big.core.rob_entries = 512;
+    big.core.phys_regs = 576;
+    big.core.lq_entries = 128;
+    big.core.sq_entries = 128;
+    jobs.push_back({workload::spec2006_profile("mcf"), cpu::scheme_abs(),
+                    timing::SupplyPoints::kHighFault, big});
+    jobs.push_back({workload::spec2006_profile("mcf"), std::nullopt,
+                    timing::SupplyPoints::kNominal, big});
+  }
+  return jobs;
+}
+
+u64 bits_of(double v) {
+  u64 b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+struct GoldenRow {
+  std::string bench;
+  std::string scheme;
+  u64 vdd_bits = 0;
+  u64 committed = 0;
+  u64 cycles = 0;
+  u64 ipc_bits = 0;
+  std::vector<u64> cpi;
+  std::vector<u64> trail;
+};
+
+GoldenRow row_of(const core::RunResult& r) {
+  GoldenRow row;
+  row.bench = r.benchmark;
+  row.scheme = r.scheme;
+  row.vdd_bits = bits_of(r.vdd);
+  row.committed = r.committed;
+  row.cycles = r.cycles;
+  row.ipc_bits = bits_of(r.ipc);
+  for (int i = 0; i < obs::kNumCpiCauses; ++i) {
+    row.cpi.push_back(r.cpi.slots[static_cast<std::size_t>(i)]);
+  }
+  for (const Cycle c : r.commit_trail) row.trail.push_back(c);
+  return row;
+}
+
+std::string trail_divergence(const GoldenRow& got, const GoldenRow& want, u64 stride) {
+  const std::size_t n = std::min(got.trail.size(), want.trail.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (got.trail[i] != want.trail[i]) {
+      return "first divergence at commit ~" + std::to_string((i + 1) * stride) +
+             " (trail sample " + std::to_string(i) + "): cycle " +
+             std::to_string(got.trail[i]) + " vs golden " + std::to_string(want.trail[i]);
+    }
+  }
+  if (got.trail.size() != want.trail.size()) {
+    return "trail length changed: " + std::to_string(got.trail.size()) + " vs golden " +
+           std::to_string(want.trail.size());
+  }
+  return "trails identical (divergence after the last sampled commit)";
+}
+
+TEST(DelayQueueGolden, GridMatchesRecordedFixtures) {
+  const std::vector<core::SweepJob> jobs = delay_golden_jobs();
+  const core::SweepRunner runner(delay_golden_config(), 1);
+  const std::vector<core::RunResult> results = runner.run_results(jobs);
+  const u64 checksum = core::sweep_checksum(results);
+
+  const char* record = std::getenv("VASIM_GOLDEN_RECORD");
+  if (record != nullptr && std::strcmp(record, "0") != 0) {
+    std::ofstream out(fixture_path());
+    ASSERT_TRUE(out) << "cannot write " << fixture_path();
+    out << "# bench scheme vdd_bits committed cycles ipc_bits cpi[" << obs::kNumCpiCauses
+        << "] trail <n> <cycle>*\n";
+    for (const core::RunResult& r : results) {
+      const GoldenRow row = row_of(r);
+      out << row.bench << ' ' << row.scheme << ' ' << row.vdd_bits << ' ' << row.committed
+          << ' ' << row.cycles << ' ' << row.ipc_bits;
+      for (const u64 s : row.cpi) out << ' ' << s;
+      out << " trail " << row.trail.size();
+      for (const u64 c : row.trail) out << ' ' << c;
+      out << '\n';
+    }
+    out << "checksum " << checksum << '\n';
+    GTEST_SKIP() << "recorded " << results.size() << " golden rows to " << fixture_path();
+  }
+
+  std::ifstream in(fixture_path());
+  ASSERT_TRUE(in) << "missing fixture " << fixture_path()
+                  << " (record with VASIM_GOLDEN_RECORD=1)";
+  std::vector<GoldenRow> expected;
+  u64 expected_checksum = 0;
+  bool have_checksum = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "checksum") {
+      ls >> expected_checksum;
+      have_checksum = true;
+      continue;
+    }
+    GoldenRow row;
+    row.bench = first;
+    ls >> row.scheme >> row.vdd_bits >> row.committed >> row.cycles >> row.ipc_bits;
+    row.cpi.resize(static_cast<std::size_t>(obs::kNumCpiCauses));
+    for (u64& s : row.cpi) ls >> s;
+    std::string marker;
+    std::size_t trail_len = 0;
+    ls >> marker >> trail_len;
+    ASSERT_EQ(marker, "trail") << "malformed fixture line: " << line;
+    row.trail.resize(trail_len);
+    for (u64& c : row.trail) ls >> c;
+    ASSERT_FALSE(ls.fail()) << "malformed fixture line: " << line;
+    expected.push_back(std::move(row));
+  }
+  ASSERT_TRUE(have_checksum) << "fixture has no checksum line";
+  ASSERT_EQ(expected.size(), results.size()) << "grid shape changed; re-record fixtures";
+
+  const u64 stride = delay_golden_config().commit_trail_stride;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GoldenRow got = row_of(results[i]);
+    const GoldenRow& want = expected[i];
+    SCOPED_TRACE("job " + std::to_string(i) + ": " + want.bench + "/" + want.scheme);
+    EXPECT_GT(results[i].checker_checks, 0u);
+    EXPECT_EQ(got.bench, want.bench);
+    EXPECT_EQ(got.scheme, want.scheme);
+    EXPECT_EQ(got.vdd_bits, want.vdd_bits);
+    EXPECT_EQ(got.committed, want.committed);
+    EXPECT_EQ(got.cycles, want.cycles) << trail_divergence(got, want, stride);
+    EXPECT_EQ(got.ipc_bits, want.ipc_bits);
+    EXPECT_EQ(got.cpi, want.cpi) << trail_divergence(got, want, stride);
+    EXPECT_EQ(got.trail, want.trail) << trail_divergence(got, want, stride);
+  }
+  EXPECT_EQ(checksum, expected_checksum);
+}
+
+}  // namespace

@@ -458,6 +458,77 @@ TEST(SchedAbsTimestamp, WrapUnderContinuousSlotFreezingStaysSound) {
   EXPECT_GT(r.cycles, r.committed);
 }
 
+// ---- ABS wrap and wheel squash-skip across issue-queue sizes -----------------
+// The delay-queue work raised the practical iq_entries ceiling to 512; the
+// 6-bit ABS timestamp and the wheel's per-bucket max_seq squash skip must
+// stay sound when the in-flight window is 1x, 4x and 8x the 64-value
+// timestamp space.
+
+class SchedAbsWrapAtSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedAbsWrapAtSize, ContinuousFreezingWrapStaysSound) {
+  const int iq = GetParam();
+  FlatSource src;
+  cpu::CoreConfig cfg;
+  cfg.rob_entries = iq;
+  cfg.iq_entries = iq;
+  cfg.phys_regs = 96 + iq / 2;  // keep renaming ahead of the larger window
+  cfg.issue_width = 1;          // drain slowly so the window backs up past 64 ages
+  AlwaysWritebackPredictor pred;
+  const cpu::SchemeConfig scheme = cpu::scheme_abs();
+  const timing::PathModelConfig pcfg{7, 0.10, 0.03};
+  const timing::FaultModel fm(pcfg, timing::SupplyPoints::kHighFault);
+  cpu::Pipeline p(cfg, scheme, &src, &fm, &pred);
+  check::SemanticsChecker checker(cfg, scheme);
+  checker.attach(p);
+  const cpu::PipelineResult r = p.run(3'000, 1'000);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.checks(), 0u);
+  EXPECT_EQ(r.committed, 3'000u);
+  EXPECT_GT(r.cpi.slots[static_cast<std::size_t>(obs::CpiCause::kSlotFreeze)], 1'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(IqSizes, SchedAbsWrapAtSize, ::testing::Values(64, 256, 512));
+
+class SchedWheelSquashSkipAtSize : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SchedWheelSquashSkipAtSize, FilterSquashedSkipsAndDropsCorrectBuckets) {
+  // Spread events across the whole wheel (buckets scale with iq_entries in
+  // the pipeline): an old-seq bucket near the horizon edge must be *skipped*
+  // by the max_seq fast path, mixed buckets filtered node by node, and
+  // all-young buckets emptied -- at every wheel size.
+  const u32 buckets = GetParam();
+  WheelFixture f(buckets, /*pool=*/64);
+  const Cycle edge = buckets - 1;  // horizon edge: farthest schedulable cycle
+  f.w.schedule(1, EventKind::kBroadcast, 5);    // survivor
+  f.w.schedule(1, EventKind::kComplete, 500);   // squashed (mixed bucket)
+  f.w.schedule(edge / 2, EventKind::kComplete, 3);   // max_seq below cut: skipped
+  f.w.schedule(edge / 2, EventKind::kBroadcast, 9);  // same bucket, also old
+  f.w.schedule(edge, EventKind::kReplay, 600);       // entire bucket squashed
+  f.w.filter_squashed(/*last_kept=*/10);
+  // Refetch recycles a squashed seq into a fresh event; it must survive the
+  // earlier filter untouched.
+  f.w.schedule(2, EventKind::kBroadcast, 500);
+  Event out[8];
+  ASSERT_EQ(f.w.pop_due(0, out), 0u);
+  ASSERT_EQ(f.w.pop_due(1, out), 1u);
+  EXPECT_EQ(out[0].seq, 5u);
+  ASSERT_EQ(f.w.pop_due(2, out), 1u);
+  EXPECT_EQ(out[0].seq, 500u);
+  for (Cycle c = 3; c <= edge; ++c) {
+    const u32 n = f.w.pop_due(c, out);
+    if (c == edge / 2) {
+      ASSERT_EQ(n, 2u) << "skipped bucket lost events at size " << buckets;
+      EXPECT_EQ(out[0].seq + out[1].seq, 12u);  // seqs 3 and 9, either order
+    } else {
+      ASSERT_EQ(n, 0u) << "stale event at stored cycle " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WheelSizes, SchedWheelSquashSkipAtSize,
+                         ::testing::Values(64u, 256u, 512u));
+
 TEST(SchedKernelAllocations, SteadyStateCycleLoopIsAllocationFree) {
   FlatSource src;
   cpu::CoreConfig cfg;

@@ -1,8 +1,17 @@
 // Steady-state cycle-loop probe: pregenerates a trace buffer, replays it
 // through the pipeline, and reports simulated MIPS for the step() loop only
 // (no trace generation or construction in the timed region).
+//
+//   kernel_probe [--kernel issue-window|delay-queue] [--iq N] [--rob N]
+//                [--phys N] [--reps R]
+//
+// The knobs mirror the vasim CLI so the probe can time either scheduler
+// kernel at any issue-queue size (the same grid bench_micro sweeps).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
 #include <vector>
 
 #include "src/core/tep.hpp"
@@ -30,10 +39,10 @@ class ReplaySource final : public isa::InstructionSource {
   std::size_t i_ = 0;
 };
 
-double measure_mips(const std::vector<isa::DynInst>& buf, bool with_faults) {
+double measure_mips(const std::vector<isa::DynInst>& buf, const cpu::CoreConfig& cfg,
+                    bool with_faults) {
   const auto prof = workload::spec2006_profile("sjeng");
   ReplaySource src(&buf);
-  cpu::CoreConfig cfg;
   timing::PathModelConfig pcfg{prof.seed, prof.fr_high_pct / 100.0, prof.fr_low_pct / 100.0};
   const timing::FaultModel fm(pcfg, 0.97);
   core::TimingErrorPredictor tep({}, &fm.environment());
@@ -51,7 +60,39 @@ double measure_mips(const std::vector<isa::DynInst>& buf, bool with_faults) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cpu::CoreConfig cfg;
+  int reps = 3;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const char* key = argv[i];
+    const char* val = argv[i + 1];
+    if (std::strcmp(key, "--kernel") == 0) {
+      if (!cpu::sched_kernel_from_string(val, cfg.sched_kernel)) {
+        std::fprintf(stderr, "unknown scheduler kernel '%s'\n", val);
+        return 2;
+      }
+    } else if (std::strcmp(key, "--iq") == 0) {
+      cfg.iq_entries = std::atoi(val);
+    } else if (std::strcmp(key, "--rob") == 0) {
+      cfg.rob_entries = std::atoi(val);
+    } else if (std::strcmp(key, "--phys") == 0) {
+      cfg.phys_regs = std::atoi(val);
+    } else if (std::strcmp(key, "--reps") == 0) {
+      reps = std::atoi(val);
+    } else {
+      std::fprintf(stderr,
+                   "usage: kernel_probe [--kernel issue-window|delay-queue] "
+                   "[--iq N] [--rob N] [--phys N] [--reps R]\n");
+      return 2;
+    }
+  }
+  try {
+    cpu::validate_core_config(cfg);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
   const auto prof = workload::spec2006_profile("sjeng");
   workload::TraceGenerator gen(prof);
   std::vector<isa::DynInst> buf(400'000);
@@ -59,12 +100,13 @@ int main() {
 
   double best_ff = 0.0;
   double best_abs = 0.0;
-  for (int r = 0; r < 3; ++r) {
-    const double ff = measure_mips(buf, false);
-    const double ab = measure_mips(buf, true);
+  for (int r = 0; r < reps; ++r) {
+    const double ff = measure_mips(buf, cfg, false);
+    const double ab = measure_mips(buf, cfg, true);
     if (ff > best_ff) best_ff = ff;
     if (ab > best_abs) best_abs = ab;
   }
+  std::printf("kernel %s iq %d\n", cpu::to_string(cfg.sched_kernel), cfg.iq_entries);
   std::printf("kernel_mips_fault_free %.0f\nkernel_mips_abs %.0f\n", best_ff, best_abs);
   return 0;
 }

@@ -51,9 +51,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "src/common/table.hpp"
+#include "src/cpu/config.hpp"
 #include "src/core/runner.hpp"
 #include "src/core/shard.hpp"
 #include "src/core/snapshot.hpp"
@@ -112,12 +114,14 @@ int usage() {
             << "  vasim run --bench <name> --scheme "
                "fault-free|razor|ep|abs|ffs|cds [--vdd V]\n"
             << "            [--instr N] [--warmup N] [--predictor tep|mre|tvp]\n"
+            << "            [--kernel issue-window|delay-queue] [--iq N] [--rob N] [--phys N]\n"
             << "            [--kanata FILE] [--trace FILE] [--timeline FILE]\n"
             << "            [--timeline-interval K] [--stats] [--csv] [--cpi]\n"
             << "            [--progress] [--profile]\n"
             << "  vasim run --from-snapshot FILE [--instr N] [--timeline FILE]\n"
             << "            [--stats] [--csv] [--cpi] [--progress] [--profile]\n"
             << "  vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]\n"
+            << "              [--kernel issue-window|delay-queue] [--iq N] [--rob N] [--phys N]\n"
             << "              [--batch B] [--shard i/N] [--json FILE] [--trace FILE]\n"
             << "              [--timeline-interval K] [--cpi] [--progress]\n"
             << "              [--reuse-warmup] [--profile]\n"
@@ -151,6 +155,17 @@ core::RunnerConfig runner_config(const Args& args) {
     rc.predictor = core::PredictorKind::kTvp;
   }
   rc.timeline_interval = std::strtoull(args.get("timeline-interval", "0").c_str(), nullptr, 10);
+  if (args.has("kernel")) {
+    const std::string kname = args.get("kernel", "");
+    if (!cpu::sched_kernel_from_string(kname.c_str(), rc.core.sched_kernel)) {
+      throw std::invalid_argument("unknown scheduler kernel '" + kname +
+                                  "' (expected issue-window or delay-queue)");
+    }
+  }
+  if (args.has("iq")) rc.core.iq_entries = std::atoi(args.get("iq", "").c_str());
+  if (args.has("rob")) rc.core.rob_entries = std::atoi(args.get("rob", "").c_str());
+  if (args.has("phys")) rc.core.phys_regs = std::atoi(args.get("phys", "").c_str());
+  cpu::validate_core_config(rc.core);  // fail fast with the named reason
   return rc;
 }
 
@@ -804,14 +819,21 @@ int cmd_snap(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "snap") == 0) return cmd_snap(argc, argv);
-  if (argc >= 2 && std::strcmp(argv[1], "sweep-merge") == 0) return cmd_sweep_merge(argc, argv);
-  const auto args = parse(argc, argv);
-  if (!args) return usage();
-  if (args->command == "list") return cmd_list();
-  if (args->command == "run") return cmd_run(*args);
-  if (args->command == "sweep") return cmd_sweep(*args);
-  if (args->command == "record") return cmd_record(*args);
-  if (args->command == "replay") return cmd_replay(*args);
-  return usage();
+  try {
+    if (argc >= 2 && std::strcmp(argv[1], "snap") == 0) return cmd_snap(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "sweep-merge") == 0) return cmd_sweep_merge(argc, argv);
+    const auto args = parse(argc, argv);
+    if (!args) return usage();
+    if (args->command == "list") return cmd_list();
+    if (args->command == "run") return cmd_run(*args);
+    if (args->command == "sweep") return cmd_sweep(*args);
+    if (args->command == "record") return cmd_record(*args);
+    if (args->command == "replay") return cmd_replay(*args);
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    // Config validation (validate_core_config, --kernel parsing) reports the
+    // named constraint; anything else is a real bug and may terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }
