@@ -177,6 +177,9 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
   }
 
   const auto capture_group = [&](Group& g) {
+    // A fired token also skips warmup captures: every member will report
+    // cancelled before it could touch the (absent) snapshot.
+    if (cancel_ != nullptr && cancel_->cancelled()) return;
     const SweepJob& job = jobs[g.members.front()];
     const RunnerConfig& cfg = job.config ? *job.config : cfg_;
     try {
@@ -190,6 +193,13 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
   };
 
   const auto run_one = [&](std::size_t index, SweepOutcome& out) {
+    // Cooperative cancel boundary: jobs are never interrupted mid-run, so
+    // the only check is here, before the simulation starts.
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      out.cancelled = true;
+      note_progress();
+      return;
+    }
     const SweepJob& job = jobs[index];
     const auto j0 = Clock::now();
     out.start_ms = ms_between(t0, j0);
@@ -216,6 +226,15 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
   // member's error exactly like run_one would have rethrown them.
   const BatchRunner batch_runner(cfg_, batch_);
   const auto run_chunk = [&](std::size_t c0, std::size_t c1) {
+    // Batch mode cancels between chunks: a chunk that has not started when
+    // the token fires reports every member cancelled.
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      for (std::size_t i = c0; i < c1; ++i) {
+        report.jobs[i].cancelled = true;
+        note_progress();
+      }
+      return;
+    }
     const auto k0 = Clock::now();
     std::vector<BatchRunner::Cell> cells;
     std::vector<std::size_t> index_of;  // chunk-local -> global job index
@@ -308,6 +327,9 @@ SweepReport SweepRunner::run(const std::vector<SweepJob>& jobs) const {
     pool.wait_idle();
   }
   report.wall_ms = ms_between(t0, Clock::now());
+  for (const SweepOutcome& j : report.jobs) {
+    if (j.cancelled) ++report.cancelled_jobs;
+  }
 
   for (const auto& [key, g] : groups) {
     if (!g.snap) continue;
@@ -342,6 +364,12 @@ u64 sweep_checksum(const SweepReport& report) {
   u64 h = kFnvOffset;
   fnv_u64(h, report.jobs.size());
   for (const SweepOutcome& j : report.jobs) fnv_result(h, j.result);
+  return h;
+}
+
+u64 result_checksum(const RunResult& result) {
+  u64 h = kFnvOffset;
+  fnv_result(h, result);
   return h;
 }
 

@@ -1,0 +1,271 @@
+#include "src/serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vasim::serve {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view s, std::size_t max_depth) : s_(s), max_depth_(max_depth) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    ws();
+    if (i_ != s_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& reason) const { throw JsonError(reason, i_); }
+
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r' || s_[i_] == '\n')) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (i_ >= s_.size() || s_[i_] != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  JsonValue value() {
+    ws();
+    if (depth_ > max_depth_) fail("nesting too deep");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", [](JsonValue& v) { v.kind = JsonValue::Kind::kBool; v.boolean = true; });
+      case 'f': return literal("false", [](JsonValue& v) { v.kind = JsonValue::Kind::kBool; v.boolean = false; });
+      case 'n': return literal("null", [](JsonValue& v) { v.kind = JsonValue::Kind::kNull; });
+      default: return number();
+    }
+  }
+
+  template <typename Fill>
+  JsonValue literal(std::string_view word, Fill fill) {
+    if (s_.compare(i_, word.size(), word) != 0) fail("invalid literal");
+    i_ += word.size();
+    JsonValue v;
+    fill(v);
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.str = string_raw();
+    return v;
+  }
+
+  std::string string_raw() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are rejected
+          // (the protocol is ASCII in practice -- reject rather than mangle).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape unsupported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    if (i_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[i_]))) fail("invalid number");
+    // Integer part: "0" or nonzero-led digits (strict JSON, no leading zeros).
+    if (s_[i_] == '0') {
+      ++i_;
+    } else {
+      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+    }
+    if (i_ < s_.size() && s_[i_] == '.') {
+      ++i_;
+      if (i_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[i_]))) fail("invalid fraction");
+      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+    }
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
+      if (i_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[i_]))) fail("invalid exponent");
+      while (i_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_]))) ++i_;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::string text(s_.substr(start, i_ - start));
+    v.number = std::strtod(text.c_str(), nullptr);
+    if (!std::isfinite(v.number)) fail("number out of range");
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    ++depth_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    ws();
+    if (i_ < s_.size() && s_[i_] == ']') {
+      ++i_;
+      --depth_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      ws();
+      if (i_ < s_.size() && s_[i_] == ',') {
+        ++i_;
+        continue;
+      }
+      expect(']');
+      --depth_;
+      return v;
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    ++depth_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    ws();
+    if (i_ < s_.size() && s_[i_] == '}') {
+      ++i_;
+      --depth_;
+      return v;
+    }
+    while (true) {
+      ws();
+      std::string key = string_raw();
+      for (const auto& [existing, unused] : v.object) {
+        if (existing == key) fail("duplicate object key '" + key + "'");
+      }
+      ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      ws();
+      if (i_ < s_.size() && s_[i_] == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      --depth_;
+      return v;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t max_depth_;
+  std::size_t i_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+u64 JsonValue::as_u64() const {
+  if (kind != Kind::kNumber || number < 0.0 || number != std::floor(number) ||
+      number > 9007199254740992.0) {
+    throw JsonError("expected a non-negative integer", 0);
+  }
+  return static_cast<u64>(number);
+}
+
+JsonValue parse_json(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).parse();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace vasim::serve

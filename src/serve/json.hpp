@@ -1,0 +1,81 @@
+// Minimal JSON value model for the serve protocol.
+//
+// The toolchain ships no JSON library, and the line-delimited protocol needs
+// a real parser on the *request* side (replies are formatted directly): a
+// frame must be accepted or rejected with a named reason, never guessed at.
+// This is a strict recursive-descent parser over the full JSON grammar with
+// a depth limit; objects preserve key order and reject duplicate keys so the
+// protocol layer can enforce "unknown field" errors deterministically.
+//
+// Deliberately small: no DOM mutation helpers, no serialization of JsonValue
+// (replies are built with the json_* formatting helpers below), doubles only
+// for numbers (the protocol's integers all fit in 2^53).
+#ifndef VASIM_SERVE_JSON_HPP
+#define VASIM_SERVE_JSON_HPP
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace vasim::serve {
+
+/// Parse failure: `what()` names the reason and the byte offset.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& reason, std::size_t offset)
+      : std::runtime_error(reason + " at byte " + std::to_string(offset)), offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value.  A tagged aggregate rather than std::variant so
+/// accessors can return references without visit noise.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered; parse_json rejects duplicate keys.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Number as u64; throws JsonError(0) when not a non-negative integer.
+  [[nodiscard]] u64 as_u64() const;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).  `max_depth` bounds nesting; exceeding it throws.
+[[nodiscard]] JsonValue parse_json(std::string_view text, std::size_t max_depth = 32);
+
+// ---- reply formatting helpers ----------------------------------------------
+// Replies are append-formatted into a std::string; these keep escaping and
+// float formatting consistent with the sweep JSON sink.
+
+/// JSON string escaping (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Shortest round-trip double formatting; non-finite values become null.
+[[nodiscard]] std::string json_double(double v);
+
+}  // namespace vasim::serve
+
+#endif  // VASIM_SERVE_JSON_HPP

@@ -1,0 +1,323 @@
+#include "src/serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/serve/json.hpp"
+#include "src/serve/socket.hpp"
+
+namespace vasim::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Exact percentile over a sorted sample (nearest-rank).
+double pct(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+std::string reply_summary(const JsonValue& reply);
+
+struct PendingJob {
+  u64 id = 0;
+  double submitted_at_ms = 0.0;  ///< offset from the client's t0
+  std::size_t results_seen = 0;
+  bool cancelled_by_us = false;
+};
+
+/// Everything one client thread learns; merged by run_loadgen afterwards.
+struct ClientOutcome {
+  std::vector<double> submit_lat_ms;
+  std::vector<double> job_lat_ms;
+  std::size_t submitted = 0;
+  std::size_t done = 0;
+  std::size_t cancelled = 0;
+  std::size_t failed = 0;
+  std::size_t rejections = 0;
+  std::size_t cells = 0;
+  std::size_t warm_hits = 0;
+  bool timed_out = false;
+  /// (bench|scheme|vdd) -> checksum hex; cross-job disagreement is the bug
+  /// the daemon promises can never happen.
+  std::map<std::string, std::string> checksums;
+  bool mismatch = false;
+  std::string error;  ///< first fatal transport/protocol failure, if any
+};
+
+std::string cell_key(const std::string& bench, const std::string& scheme, double vdd) {
+  return bench + "|" + scheme + "|" + json_double(vdd);
+}
+
+void record_results(ClientOutcome& out, PendingJob& job, const JsonValue& reply) {
+  const JsonValue* results = reply.find("results");
+  if (results == nullptr || !results->is_array()) return;
+  for (const JsonValue& r : results->array) {
+    if (!r.is_object()) continue;
+    ++job.results_seen;
+    const JsonValue* cancelled = r.find("cancelled");
+    if (cancelled != nullptr && cancelled->is_bool() && cancelled->boolean) continue;
+    ++out.cells;
+    const JsonValue* warm = r.find("warm_hit");
+    if (warm != nullptr && warm->is_bool() && warm->boolean) ++out.warm_hits;
+    const JsonValue* bench = r.find("benchmark");
+    const JsonValue* scheme = r.find("scheme");
+    const JsonValue* vdd = r.find("vdd");
+    const JsonValue* checksum = r.find("checksum");
+    if (bench == nullptr || scheme == nullptr || vdd == nullptr || checksum == nullptr) continue;
+    const std::string key = cell_key(bench->str, scheme->str, vdd->number);
+    const auto [it, inserted] = out.checksums.emplace(key, checksum->str);
+    if (!inserted && it->second != checksum->str) out.mismatch = true;
+  }
+}
+
+/// Polls one job once; returns true when it reached a terminal state.
+bool poll_job(Client& client, ClientOutcome& out, PendingJob& job, Clock::time_point t0) {
+  const std::string reply_text =
+      client.request("{\"op\":\"poll\",\"job\":" + std::to_string(job.id) +
+                     ",\"since\":" + std::to_string(job.results_seen) + "}");
+  const JsonValue reply = parse_json(reply_text);
+  record_results(out, job, reply);
+  const JsonValue* state = reply.find("state");
+  if (state == nullptr || !state->is_string()) return false;
+  if (state->str == "done") {
+    ++out.done;
+    out.job_lat_ms.push_back(ms_since(t0) - job.submitted_at_ms);
+    return true;
+  }
+  if (state->str == "cancelled") {
+    ++out.cancelled;
+    return true;
+  }
+  if (state->str == "failed") {
+    ++out.failed;
+    return true;
+  }
+  return false;
+}
+
+void client_mix(const LoadgenConfig& cfg, std::size_t client_index, ClientOutcome& out) {
+  std::mt19937_64 rng(cfg.seed * 1000003ULL + client_index);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Client client(parse_endpoint(cfg.endpoint));
+  const Clock::time_point t0 = Clock::now();
+  std::vector<PendingJob> pending;
+
+  for (std::size_t j = 0; j < cfg.jobs_per_client; ++j) {
+    // Open-loop: submit number j at its scheduled offset regardless of how
+    // many earlier jobs are still in flight.
+    const double due_ms = static_cast<double>(j) * cfg.submit_interval_ms;
+    while (ms_since(t0) < due_ms) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+
+    std::string frame = "{\"op\":\"submit\",\"cells\":[";
+    for (std::size_t c = 0; c < cfg.cells_per_job; ++c) {
+      const std::string& bench = cfg.benches[rng() % cfg.benches.size()];
+      const std::string& scheme = cfg.schemes[rng() % cfg.schemes.size()];
+      const double vdd = cfg.vdds[rng() % cfg.vdds.size()];
+      if (c != 0) frame += ",";
+      frame += "{\"bench\":\"" + json_escape(bench) + "\",\"scheme\":\"" +
+               json_escape(scheme) + "\",\"vdd\":" + json_double(vdd) + "}";
+    }
+    frame += "]";
+    if (cfg.instructions > 0) frame += ",\"instr\":" + std::to_string(cfg.instructions);
+    if (cfg.warmup > 0) frame += ",\"warmup\":" + std::to_string(cfg.warmup);
+    frame += ",\"tag\":\"loadgen-" + std::to_string(client_index) + "\"}";
+
+    // Submit with backpressure: a queue_full reply names its own retry
+    // delay; the client owns the wait.
+    bool accepted = false;
+    while (!accepted) {
+      const Clock::time_point s0 = Clock::now();
+      const JsonValue reply = parse_json(client.request(frame));
+      const double rtt = ms_since(s0);
+      const JsonValue* ok = reply.find("ok");
+      if (ok != nullptr && ok->is_bool() && ok->boolean) {
+        out.submit_lat_ms.push_back(rtt);
+        ++out.submitted;
+        PendingJob pj;
+        pj.id = reply.find("job")->as_u64();
+        pj.submitted_at_ms = ms_since(t0);
+        if (coin(rng) < cfg.cancel_fraction) {
+          (void)client.request("{\"op\":\"cancel\",\"job\":" + std::to_string(pj.id) + "}");
+          pj.cancelled_by_us = true;
+        }
+        pending.push_back(pj);
+        accepted = true;
+      } else {
+        const JsonValue* err = reply.find("error");
+        if (err != nullptr && err->is_string() && err->str == "queue_full") {
+          ++out.rejections;
+          u64 delay = 1;
+          if (const JsonValue* retry = reply.find("retry_after_ms"); retry != nullptr) {
+            delay = std::min<u64>(retry->as_u64(), 250);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        } else {
+          out.error = "submit rejected: " + reply_summary(reply);
+          return;
+        }
+      }
+    }
+
+    // One poll round between submits keeps the streaming cursor exercised
+    // while the mix is still arriving.
+    for (auto it = pending.begin(); it != pending.end();) {
+      it = poll_job(client, out, *it, t0) ? pending.erase(it) : it + 1;
+    }
+  }
+
+  // Drain: poll the leftovers until terminal or the give-up bound.
+  while (!pending.empty()) {
+    if (ms_since(t0) > static_cast<double>(cfg.timeout_ms)) {
+      out.timed_out = true;
+      return;
+    }
+    for (auto it = pending.begin(); it != pending.end();) {
+      it = poll_job(client, out, *it, t0) ? pending.erase(it) : it + 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.poll_interval_ms));
+  }
+}
+
+std::string reply_summary(const JsonValue& reply) {
+  const JsonValue* err = reply.find("error");
+  const JsonValue* msg = reply.find("message");
+  std::string s = err != nullptr && err->is_string() ? err->str : "?";
+  if (msg != nullptr && msg->is_string()) s += " (" + msg->str + ")";
+  return s;
+}
+
+}  // namespace
+
+LoadgenReport run_loadgen(const LoadgenConfig& cfg) {
+  const Clock::time_point t0 = Clock::now();
+  std::vector<ClientOutcome> outcomes(std::max<std::size_t>(cfg.clients, 1));
+  std::vector<std::thread> threads;
+  threads.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    threads.emplace_back([&cfg, i, &outcomes] { client_mix(cfg, i, outcomes[i]); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadgenReport rep;
+  std::vector<double> submit_lat;
+  std::vector<double> job_lat;
+  std::map<std::string, std::string> checksums;
+  std::string first_error;
+  for (const ClientOutcome& o : outcomes) {
+    rep.jobs_submitted += o.submitted;
+    rep.jobs_done += o.done;
+    rep.jobs_cancelled += o.cancelled;
+    rep.jobs_failed += o.failed;
+    rep.queue_full_rejections += o.rejections;
+    rep.cells_completed += o.cells;
+    rep.warm_hits += o.warm_hits;
+    rep.timed_out = rep.timed_out || o.timed_out;
+    if (o.mismatch) rep.checksums_consistent = false;
+    if (first_error.empty() && !o.error.empty()) first_error = o.error;
+    submit_lat.insert(submit_lat.end(), o.submit_lat_ms.begin(), o.submit_lat_ms.end());
+    job_lat.insert(job_lat.end(), o.job_lat_ms.begin(), o.job_lat_ms.end());
+    // Cross-CLIENT consistency too: any client seeing a different checksum
+    // for the same cell than any other client is the same bug.
+    for (const auto& [key, sum] : o.checksums) {
+      const auto [it, inserted] = checksums.emplace(key, sum);
+      if (!inserted && it->second != sum) rep.checksums_consistent = false;
+    }
+  }
+  rep.distinct_cells = checksums.size();
+  std::sort(submit_lat.begin(), submit_lat.end());
+  std::sort(job_lat.begin(), job_lat.end());
+  rep.submit_p50_ms = pct(submit_lat, 0.50);
+  rep.submit_p95_ms = pct(submit_lat, 0.95);
+  rep.submit_p99_ms = pct(submit_lat, 0.99);
+  rep.submit_max_ms = submit_lat.empty() ? 0.0 : submit_lat.back();
+  rep.job_p50_ms = pct(job_lat, 0.50);
+  rep.job_p95_ms = pct(job_lat, 0.95);
+  rep.job_p99_ms = pct(job_lat, 0.99);
+  rep.job_max_ms = job_lat.empty() ? 0.0 : job_lat.back();
+  rep.wall_ms = ms_since(t0);
+
+  if (!first_error.empty()) throw SocketError(first_error);
+
+  // One last connection pulls the daemon-side cache hit rate for the report.
+  try {
+    Client stats_client(parse_endpoint(cfg.endpoint));
+    const JsonValue reply = parse_json(stats_client.request("{\"op\":\"stats\"}"));
+    if (const JsonValue* cache = reply.find("cache"); cache != nullptr && cache->is_object()) {
+      if (const JsonValue* rate = cache->find("hit_rate"); rate != nullptr) {
+        rep.cache_hit_rate = rate->number;
+      }
+    }
+  } catch (const std::exception&) {
+    // Daemon may have been shut down between the drain and the stats pull;
+    // the latency numbers above are still valid.
+  }
+  return rep;
+}
+
+bool write_loadgen_json(const std::string& path, const LoadgenConfig& cfg,
+                        const LoadgenReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"serve\",\n";
+  out << "  \"config\": {\"endpoint\": \"" << json_escape(cfg.endpoint)
+      << "\", \"clients\": " << cfg.clients << ", \"jobs_per_client\": " << cfg.jobs_per_client
+      << ", \"cells_per_job\": " << cfg.cells_per_job
+      << ", \"submit_interval_ms\": " << json_double(cfg.submit_interval_ms)
+      << ", \"cancel_fraction\": " << json_double(cfg.cancel_fraction)
+      << ", \"seed\": " << cfg.seed << ", \"instructions\": " << cfg.instructions
+      << ", \"warmup\": " << cfg.warmup << "},\n";
+  out << "  \"jobs\": {\"submitted\": " << report.jobs_submitted
+      << ", \"done\": " << report.jobs_done << ", \"cancelled\": " << report.jobs_cancelled
+      << ", \"failed\": " << report.jobs_failed
+      << ", \"queue_full_rejections\": " << report.queue_full_rejections << "},\n";
+  out << "  \"cells\": {\"completed\": " << report.cells_completed
+      << ", \"warm_hits\": " << report.warm_hits << ", \"distinct\": " << report.distinct_cells
+      << "},\n";
+  out << "  \"submit_latency_ms\": {\"p50\": " << json_double(report.submit_p50_ms)
+      << ", \"p95\": " << json_double(report.submit_p95_ms)
+      << ", \"p99\": " << json_double(report.submit_p99_ms)
+      << ", \"max\": " << json_double(report.submit_max_ms) << "},\n";
+  out << "  \"job_latency_ms\": {\"p50\": " << json_double(report.job_p50_ms)
+      << ", \"p95\": " << json_double(report.job_p95_ms)
+      << ", \"p99\": " << json_double(report.job_p99_ms)
+      << ", \"max\": " << json_double(report.job_max_ms) << "},\n";
+  out << "  \"cache_hit_rate\": " << json_double(report.cache_hit_rate) << ",\n";
+  out << "  \"checksums_consistent\": " << (report.checksums_consistent ? "true" : "false")
+      << ",\n";
+  out << "  \"timed_out\": " << (report.timed_out ? "true" : "false") << ",\n";
+  out << "  \"wall_ms\": " << json_double(report.wall_ms) << "\n}\n";
+  return static_cast<bool>(out);
+}
+
+std::string loadgen_summary(const LoadgenReport& r) {
+  std::ostringstream os;
+  os << "loadgen: " << r.jobs_submitted << " jobs submitted, " << r.jobs_done << " done, "
+     << r.jobs_cancelled << " cancelled, " << r.jobs_failed << " failed, "
+     << r.queue_full_rejections << " queue-full rejections\n";
+  os << "  cells: " << r.cells_completed << " completed, " << r.warm_hits << " warm hits, "
+     << r.distinct_cells << " distinct grid points\n";
+  os << "  submit latency ms: p50 " << r.submit_p50_ms << "  p95 " << r.submit_p95_ms
+     << "  p99 " << r.submit_p99_ms << "  max " << r.submit_max_ms << "\n";
+  os << "  job latency ms:    p50 " << r.job_p50_ms << "  p95 " << r.job_p95_ms << "  p99 "
+     << r.job_p99_ms << "  max " << r.job_max_ms << "\n";
+  os << "  cache hit rate: " << r.cache_hit_rate
+     << "  checksums consistent: " << (r.checksums_consistent ? "yes" : "NO") << "  wall ms: "
+     << r.wall_ms << (r.timed_out ? "  [TIMED OUT]" : "") << "\n";
+  return os.str();
+}
+
+}  // namespace vasim::serve

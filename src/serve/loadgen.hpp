@@ -1,0 +1,86 @@
+// Open-loop load generator for the serve daemon (`vasim loadgen`).
+//
+// N client threads replay a seed-deterministic request mix against a running
+// daemon: each client submits jobs on a fixed inter-arrival schedule
+// (open-loop: the next submit is NOT gated on the previous job finishing),
+// polls its outstanding jobs between submits, optionally cancels a fraction
+// of them, and honours queue_full backpressure by sleeping the advisory
+// retry_after_ms and retrying.  The run records
+//
+//   * submit round-trip latency percentiles (p50/p95/p99/max),
+//   * job completion latency percentiles (submit -> observed terminal),
+//   * queue_full rejection counts and cache hit/warm-start rates,
+//   * a checksum-consistency flag: every (bench, scheme, vdd) cell that
+//     appears in more than one job must report the identical checksum --
+//     the daemon-side determinism oracle, evaluated client-side,
+//
+// and writes them to BENCH_serve.json in the same shape as the other
+// BENCH_*.json artifacts (schema-checked by the CI serve smoke job).
+#ifndef VASIM_SERVE_LOADGEN_HPP
+#define VASIM_SERVE_LOADGEN_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace vasim::serve {
+
+struct LoadgenConfig {
+  std::string endpoint = "unix:/tmp/vasim-serve.sock";
+  std::size_t clients = 4;          ///< concurrent client connections
+  std::size_t jobs_per_client = 8;  ///< submits per client
+  std::size_t cells_per_job = 2;
+  double submit_interval_ms = 5.0;  ///< open-loop inter-arrival spacing
+  double cancel_fraction = 0.0;     ///< fraction of jobs cancelled after submit
+  u64 poll_interval_ms = 2;
+  u64 timeout_ms = 120000;  ///< give-up bound for the final drain
+  u64 seed = 1;
+  /// Grid the mix draws cells from.  Defaults overlap deliberately so
+  /// cross-request cache sharing is exercised.
+  std::vector<std::string> benches = {"bzip2", "gcc"};
+  std::vector<std::string> schemes = {"fault-free", "abs", "razor"};
+  std::vector<double> vdds = {1.04, 0.97};
+  /// Per-job overrides forwarded in the submit frame; 0 = daemon default.
+  u64 instructions = 0;
+  u64 warmup = 0;
+  std::string out_json = "BENCH_serve.json";  ///< "" = don't write
+};
+
+struct LoadgenReport {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_done = 0;
+  std::size_t jobs_cancelled = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t queue_full_rejections = 0;
+  std::size_t cells_completed = 0;
+  std::size_t warm_hits = 0;
+  double submit_p50_ms = 0.0;
+  double submit_p95_ms = 0.0;
+  double submit_p99_ms = 0.0;
+  double submit_max_ms = 0.0;
+  double job_p50_ms = 0.0;
+  double job_p95_ms = 0.0;
+  double job_p99_ms = 0.0;
+  double job_max_ms = 0.0;
+  double wall_ms = 0.0;
+  double cache_hit_rate = 0.0;  ///< from the daemon's final stats reply
+  bool checksums_consistent = true;
+  std::size_t distinct_cells = 0;  ///< distinct (bench,scheme,vdd) observed
+  bool timed_out = false;          ///< drain hit timeout_ms with jobs pending
+};
+
+/// Runs the mix; throws SocketError when the daemon is unreachable.
+[[nodiscard]] LoadgenReport run_loadgen(const LoadgenConfig& cfg);
+
+/// Writes the BENCH_serve.json artifact; returns false on I/O failure.
+bool write_loadgen_json(const std::string& path, const LoadgenConfig& cfg,
+                        const LoadgenReport& report);
+
+/// Human-readable one-screen summary for the CLI.
+[[nodiscard]] std::string loadgen_summary(const LoadgenReport& report);
+
+}  // namespace vasim::serve
+
+#endif  // VASIM_SERVE_LOADGEN_HPP

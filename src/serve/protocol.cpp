@@ -1,0 +1,227 @@
+#include "src/serve/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/serve/json.hpp"
+
+namespace vasim::serve {
+namespace {
+
+/// Thrown by the request decoders; handle_frame turns it into a reply.
+struct ProtocolReject {
+  std::string name;
+  std::string message;
+};
+
+[[noreturn]] void reject(const std::string& name, const std::string& message) {
+  throw ProtocolReject{name, message};
+}
+
+/// Enforces the closed field set of an object: any member not in `allowed`
+/// rejects the frame with the offending name.
+void check_fields(const JsonValue& obj, std::initializer_list<std::string_view> allowed,
+                  const char* where) {
+  for (const auto& [key, value] : obj.object) {
+    bool ok = false;
+    for (const std::string_view a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      reject("unknown_field",
+             std::string("unknown field \"") + key + "\" in " + where);
+    }
+  }
+}
+
+u64 require_u64(const JsonValue& obj, std::string_view key, const char* where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    reject("bad_field", std::string("missing \"") + std::string(key) + "\" in " + where);
+  }
+  try {
+    return v->as_u64();
+  } catch (const JsonError&) {
+    reject("bad_field",
+           std::string("\"") + std::string(key) + "\" must be a non-negative integer");
+  }
+}
+
+std::string hex_u64(u64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, static_cast<std::uint64_t>(v));
+  return buf;
+}
+
+void append_cell_result(std::string& out, const CellResult& c) {
+  out += "{\"index\":" + std::to_string(c.index);
+  out += ",\"benchmark\":\"" + json_escape(c.benchmark) + "\"";
+  out += ",\"scheme\":\"" + json_escape(c.scheme) + "\"";
+  out += ",\"vdd\":" + json_double(c.vdd);
+  out += ",\"cancelled\":";
+  out += c.cancelled ? "true" : "false";
+  if (!c.cancelled) {
+    out += ",\"committed\":" + std::to_string(c.committed);
+    out += ",\"cycles\":" + std::to_string(c.cycles);
+    out += ",\"ipc\":" + json_double(c.ipc);
+    out += ",\"fault_rate_pct\":" + json_double(c.fault_rate_pct);
+    out += ",\"checksum\":\"" + hex_u64(c.checksum) + "\"";
+    out += ",\"warm_hit\":";
+    out += c.warm_hit ? "true" : "false";
+    out += ",\"wall_ms\":" + json_double(c.wall_ms);
+    if (!c.timeline_json.empty()) out += ",\"timeline\":" + c.timeline_json;
+  }
+  out += "}";
+}
+
+std::string handle_submit(Server& server, const JsonValue& req) {
+  check_fields(req, {"op", "cells", "instr", "warmup", "timeline_interval", "tag"},
+               "submit request");
+  JobSpec spec;
+  const JsonValue* cells = req.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    reject("bad_field", "submit needs a \"cells\" array");
+  }
+  for (const JsonValue& cell : cells->array) {
+    if (!cell.is_object()) reject("bad_field", "each cell must be an object");
+    check_fields(cell, {"bench", "scheme", "vdd"}, "cell");
+    CellSpec cs;
+    const JsonValue* bench = cell.find("bench");
+    if (bench == nullptr || !bench->is_string()) {
+      reject("bad_field", "cell needs a string \"bench\"");
+    }
+    cs.bench = bench->str;
+    if (const JsonValue* scheme = cell.find("scheme"); scheme != nullptr) {
+      if (!scheme->is_string()) reject("bad_field", "cell \"scheme\" must be a string");
+      cs.scheme = scheme->str;
+    }
+    if (const JsonValue* vdd = cell.find("vdd"); vdd != nullptr) {
+      if (!vdd->is_number()) reject("bad_field", "cell \"vdd\" must be a number");
+      cs.vdd = vdd->number;
+    }
+    spec.cells.push_back(std::move(cs));
+  }
+  if (req.find("instr") != nullptr) spec.instructions = require_u64(req, "instr", "submit");
+  if (req.find("warmup") != nullptr) spec.warmup = require_u64(req, "warmup", "submit");
+  if (req.find("timeline_interval") != nullptr) {
+    spec.timeline_interval = require_u64(req, "timeline_interval", "submit");
+  }
+  if (const JsonValue* tag = req.find("tag"); tag != nullptr) {
+    if (!tag->is_string()) reject("bad_field", "\"tag\" must be a string");
+    spec.tag = tag->str;
+  }
+  const u64 id = server.submit(spec);
+  return "{\"ok\":true,\"job\":" + std::to_string(id) +
+         ",\"cells\":" + std::to_string(spec.cells.size()) +
+         ",\"queued\":" + std::to_string(server.queue_depth()) + "}";
+}
+
+std::string handle_poll(Server& server, const JsonValue& req) {
+  check_fields(req, {"op", "job", "since"}, "poll request");
+  const u64 id = require_u64(req, "job", "poll");
+  const u64 since = req.find("since") != nullptr ? require_u64(req, "since", "poll") : 0;
+  const JobStatus st = server.status(id);
+  const std::vector<CellResult> res = server.results(id, since);
+  std::string out = "{\"ok\":true,\"job\":" + std::to_string(id) + ",\"state\":\"" +
+                    to_string(st.state) + "\",\"cells\":" + std::to_string(st.cells) +
+                    ",\"done\":" + std::to_string(st.done);
+  if (!st.error.empty()) out += ",\"job_error\":\"" + json_escape(st.error) + "\"";
+  if (!st.tag.empty()) out += ",\"tag\":\"" + json_escape(st.tag) + "\"";
+  out += ",\"results\":[";
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    if (i != 0) out += ",";
+    append_cell_result(out, res[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string handle_cancel(Server& server, const JsonValue& req) {
+  check_fields(req, {"op", "job"}, "cancel request");
+  const u64 id = require_u64(req, "job", "cancel");
+  const JobState state = server.cancel(id);
+  return "{\"ok\":true,\"job\":" + std::to_string(id) + ",\"state\":\"" +
+         to_string(state) + "\"}";
+}
+
+std::string handle_stats(Server& server, const JsonValue& req) {
+  check_fields(req, {"op"}, "stats request");
+  const StatSet s = server.stats();
+  const SnapshotCache::Stats cs = server.cache_stats();
+  std::string out = "{\"ok\":true,\"stats\":{";
+  bool first = true;
+  for (const auto& [name, count] : s.counters()) {
+    if (!first) out += ",";
+    out += "\"" + json_escape(name) + "\":" + std::to_string(count);
+    first = false;
+  }
+  for (const auto& [name, value] : s.scalars()) {
+    if (!first) out += ",";
+    out += "\"" + json_escape(name) + "\":" + json_double(value);
+    first = false;
+  }
+  const u64 lookups = cs.hits + cs.misses;
+  out += "},\"cache\":{\"hits\":" + std::to_string(cs.hits) +
+         ",\"misses\":" + std::to_string(cs.misses) +
+         ",\"insertions\":" + std::to_string(cs.insertions) +
+         ",\"evictions\":" + std::to_string(cs.evictions) +
+         ",\"size\":" + std::to_string(cs.size) +
+         ",\"capacity\":" + std::to_string(cs.capacity) + ",\"hit_rate\":" +
+         json_double(lookups == 0 ? 0.0
+                                  : static_cast<double>(cs.hits) / static_cast<double>(lookups)) +
+         "}";
+  out += ",\"queue\":{\"depth\":" + std::to_string(server.queue_depth()) +
+         ",\"limit\":" + std::to_string(server.config().queue_limit) + "}";
+  out += ",\"workers\":" + std::to_string(server.config().workers) + "}";
+  return out;
+}
+
+}  // namespace
+
+std::string error_reply(const std::string& name, const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + json_escape(name) + "\",\"message\":\"" +
+         json_escape(message) + "\"}";
+}
+
+std::string handle_frame(Server& server, std::string_view line, bool* shutdown_requested) {
+  try {
+    JsonValue req;
+    try {
+      req = parse_json(line);
+    } catch (const JsonError& e) {
+      return error_reply("parse_error", e.what());
+    }
+    if (!req.is_object()) return error_reply("not_object", "request frame must be a JSON object");
+    const JsonValue* op = req.find("op");
+    if (op == nullptr || !op->is_string()) {
+      return error_reply("bad_field", "request needs a string \"op\"");
+    }
+    if (op->str == "submit") return handle_submit(server, req);
+    if (op->str == "poll") return handle_poll(server, req);
+    if (op->str == "cancel") return handle_cancel(server, req);
+    if (op->str == "stats") return handle_stats(server, req);
+    if (op->str == "shutdown") {
+      check_fields(req, {"op"}, "shutdown request");
+      if (shutdown_requested != nullptr) *shutdown_requested = true;
+      return "{\"ok\":true,\"shutdown\":true}";
+    }
+    return error_reply("unknown_op", "unknown op \"" + op->str + "\"");
+  } catch (const ProtocolReject& r) {
+    return error_reply(r.name, r.message);
+  } catch (const QueueFullError& e) {
+    return "{\"ok\":false,\"error\":\"queue_full\",\"message\":\"" + json_escape(e.what()) +
+           "\",\"retry_after_ms\":" + std::to_string(e.retry_after_ms()) + "}";
+  } catch (const ServeError& e) {
+    return error_reply(e.name(), e.what());
+  } catch (const std::exception& e) {
+    // A simulator-level failure surfaced synchronously (submit-time capture
+    // does not exist; keep the catch-all so one bad frame never kills the
+    // connection thread).
+    return error_reply("internal_error", e.what());
+  }
+}
+
+}  // namespace vasim::serve

@@ -1,0 +1,58 @@
+// Line-delimited JSON protocol for the serve daemon.
+//
+// One request line in, one reply line out (the transport appends '\n').
+// Requests are JSON objects with an "op" discriminator:
+//
+//   {"op":"submit","cells":[{"bench":"bzip2","scheme":"abs","vdd":0.97}],
+//    "instr":3000,"warmup":1000,"timeline_interval":500,"tag":"c1"}
+//       -> {"ok":true,"job":7,"cells":1,"queued":2}
+//   {"op":"poll","job":7,"since":0}
+//       -> {"ok":true,"job":7,"state":"running","cells":1,"done":0,
+//           "results":[...]}   (results from index `since` on)
+//   {"op":"cancel","job":7}    -> {"ok":true,"job":7,"state":"cancelled"}
+//   {"op":"stats"}             -> {"ok":true,"stats":{...},"cache":{...},...}
+//   {"op":"shutdown"}          -> {"ok":true,"shutdown":true}
+//
+// Every failure is a *named* error reply, mirroring the snapshot
+// container's rejection style -- a frame is never silently accepted or
+// partially applied:
+//
+//   {"ok":false,"error":"parse_error|not_object|unknown_op|unknown_field|
+//                        bad_field|bad_grid|queue_full|unknown_job|
+//                        shutting_down|oversized_frame","message":"..."}
+//
+// "queue_full" replies additionally carry "retry_after_ms" (explicit
+// backpressure: the client owns the retry).  Unknown *fields* are rejected,
+// not skipped: a typo like "warmpu" must not silently run with the default.
+// The full reference lives in docs/serve.md.
+#ifndef VASIM_SERVE_PROTOCOL_HPP
+#define VASIM_SERVE_PROTOCOL_HPP
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/serve/server.hpp"
+
+namespace vasim::serve {
+
+/// Transport-level framing limits (enforced by the socket layer; exposed so
+/// tests and docs agree on the number).
+struct FrameLimits {
+  std::size_t max_frame_bytes = 1 << 20;  ///< request line cap, newline excluded
+};
+
+/// Handles one request frame against `server` and returns the reply line
+/// (no trailing newline).  Never throws: every failure becomes a named
+/// error reply.  Sets `*shutdown_requested` when the frame was a granted
+/// shutdown op -- the transport replies first, then stops the server.
+[[nodiscard]] std::string handle_frame(Server& server, std::string_view line,
+                                       bool* shutdown_requested);
+
+/// Formats the named error reply (shared with the socket layer's
+/// oversized-frame rejection).
+[[nodiscard]] std::string error_reply(const std::string& name, const std::string& message);
+
+}  // namespace vasim::serve
+
+#endif  // VASIM_SERVE_PROTOCOL_HPP

@@ -1,0 +1,362 @@
+#include "src/serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "src/obs/timeline.hpp"
+#include "src/workload/profiles.hpp"
+
+namespace vasim::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Server::Server(const ServeConfig& cfg)
+    : cfg_(cfg), cache_(cfg.cache_capacity) {
+  jobs_submitted_ = reg_.counter("serve.jobs.submitted");
+  jobs_rejected_ = reg_.counter("serve.jobs.rejected");
+  jobs_completed_ = reg_.counter("serve.jobs.completed");
+  jobs_cancelled_ = reg_.counter("serve.jobs.cancelled");
+  jobs_failed_ = reg_.counter("serve.jobs.failed");
+  cells_completed_ = reg_.counter("serve.cells.completed");
+  cells_cancelled_ = reg_.counter("serve.cells.cancelled");
+  cache_hits_ = reg_.counter("serve.cache.hit");
+  cache_misses_ = reg_.counter("serve.cache.miss");
+  cache_insertions_ = reg_.counter("serve.cache.insert");
+  cache_evictions_ = reg_.counter("serve.cache.evict");
+  queue_depth_gauge_ = reg_.gauge("serve.queue.depth");
+  queue_peak_gauge_ = reg_.gauge("serve.queue.peak");
+  const std::size_t n = std::max<std::size_t>(1, cfg_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+u64 Server::submit(const JobSpec& spec) {
+  // Validate and resolve outside the lock: profile/scheme lookup touches
+  // only immutable tables, and a rejected frame must never block workers.
+  if (spec.cells.empty()) throw ServeError("bad_grid", "a job needs at least one cell");
+  if (spec.cells.size() > cfg_.max_cells_per_job) {
+    throw ServeError("bad_grid", "job has " + std::to_string(spec.cells.size()) +
+                                     " cells, limit is " +
+                                     std::to_string(cfg_.max_cells_per_job));
+  }
+  auto job = std::make_unique<Job>();
+  job->spec = spec;
+  job->cfg = cfg_.runner;
+  if (spec.instructions) job->cfg.instructions = *spec.instructions;
+  if (spec.warmup) job->cfg.warmup = *spec.warmup;
+  if (spec.timeline_interval) job->cfg.timeline_interval = *spec.timeline_interval;
+  job->cfg.profiler_hub = cfg_.profiler_hub;
+  job->cfg.progress = false;
+  if (job->cfg.instructions == 0) throw ServeError("bad_grid", "instructions must be > 0");
+  job->cells.reserve(spec.cells.size());
+  for (const CellSpec& c : spec.cells) {
+    ResolvedCell rc;
+    try {
+      rc.profile = workload::spec2006_profile(c.bench);
+    } catch (const std::out_of_range&) {
+      throw ServeError("bad_grid", "unknown benchmark '" + c.bench + "'");
+    }
+    const std::optional<cpu::SchemeConfig> scheme = core::scheme_by_name(c.scheme);
+    if (!scheme) throw ServeError("bad_grid", "unknown scheme '" + c.scheme + "'");
+    // "fault-free" selects the baseline wiring, exactly like SweepJob's
+    // nullopt scheme and the CLI.
+    if (scheme->name != "fault-free") rc.scheme = *scheme;
+    if (!std::isfinite(c.vdd) || c.vdd <= 0.0) {
+      throw ServeError("bad_grid", "vdd must be a positive finite voltage");
+    }
+    rc.vdd = c.vdd;
+    job->cells.push_back(std::move(rc));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) throw ServeError("shutting_down", "server is shutting down");
+  if (queue_.size() >= cfg_.queue_limit) {
+    jobs_rejected_.inc();
+    throw QueueFullError(cfg_.queue_limit, retry_after_ms_locked());
+  }
+  job->id = next_id_++;
+  const u64 id = job->id;
+  queue_.push_back(job.get());
+  queue_peak_ = std::max(queue_peak_, queue_.size());
+  jobs_submitted_.inc();
+  jobs_.emplace(id, std::move(job));
+  work_cv_.notify_one();
+  return id;
+}
+
+u64 Server::retry_after_ms_locked() const {
+  // Advisory: the backlog ahead of a would-be submitter, paced by the
+  // measured per-job service time, spread over the workers.
+  const double backlog = static_cast<double>(queue_.size() + running_ + 1);
+  const double ms = service_ewma_ms_ * backlog / static_cast<double>(workers_.size());
+  return static_cast<u64>(std::max(1.0, ms));
+}
+
+JobStatus Server::status(u64 id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw ServeError("unknown_job", "no job " + std::to_string(id));
+  const Job& j = *it->second;
+  JobStatus s;
+  s.id = j.id;
+  s.state = j.state;
+  s.cells = j.cells.size();
+  s.done = j.results.size();
+  s.error = j.error;
+  s.tag = j.spec.tag;
+  return s;
+}
+
+std::vector<CellResult> Server::results(u64 id, std::size_t since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw ServeError("unknown_job", "no job " + std::to_string(id));
+  const Job& j = *it->second;
+  if (since >= j.results.size()) return {};
+  return {j.results.begin() + static_cast<std::ptrdiff_t>(since), j.results.end()};
+}
+
+JobState Server::cancel(u64 id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw ServeError("unknown_job", "no job " + std::to_string(id));
+  Job& j = *it->second;
+  switch (j.state) {
+    case JobState::kQueued: {
+      // Still in the admission queue: remove and cancel every cell now.
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), &j), queue_.end());
+      j.cancel.cancel();
+      cancel_remaining_cells_locked(j);
+      finish_job_locked(j, JobState::kCancelled);
+      break;
+    }
+    case JobState::kRunning:
+      // Cooperative: the worker finishes the current cell, then reports the
+      // rest cancelled (run_job checks the token between cells).
+      j.cancel.cancel();
+      break;
+    case JobState::kDone:
+    case JobState::kCancelled:
+    case JobState::kFailed:
+      break;  // terminal states are immutable
+  }
+  return j.state;
+}
+
+bool Server::wait(u64 id, u64 timeout_ms) const {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw ServeError("unknown_job", "no job " + std::to_string(id));
+  const Job& j = *it->second;
+  const auto terminal = [&j] {
+    return j.state == JobState::kDone || j.state == JobState::kCancelled ||
+           j.state == JobState::kFailed;
+  };
+  return done_cv_.wait_until(lock, deadline, terminal);
+}
+
+void Server::drain() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    for (const auto& [id, j] : jobs_) {
+      if (j->state == JobState::kQueued || j->state == JobState::kRunning) return false;
+    }
+    return true;
+  });
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Queued jobs cancel immediately; running jobs get their token fired and
+    // finish the cell in flight (the cooperative contract).
+    for (Job* j : queue_) {
+      j->cancel.cancel();
+      cancel_remaining_cells_locked(*j);
+      finish_job_locked(*j, JobState::kCancelled);
+    }
+    queue_.clear();
+    for (auto& [id, j] : jobs_) {
+      if (j->state == JobState::kRunning) j->cancel.cancel();
+    }
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    Job* job = queue_.front();
+    queue_.pop_front();
+    job->state = JobState::kRunning;
+    ++running_;
+    lock.unlock();
+    run_job(*job);
+    lock.lock();
+    --running_;
+  }
+}
+
+void Server::run_job(Job& job) {
+  const auto t0 = Clock::now();
+  const std::size_t n = job.cells.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (job.cancel.cancelled()) break;
+    CellResult cell;
+    try {
+      cell = run_cell(job, i);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      job.error = e.what();
+      finish_job_locked(job, JobState::kFailed);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    job.results.push_back(std::move(cell));
+    cells_completed_.inc();
+    // Streaming polls see each cell as it lands, not only at job end.
+    done_cv_.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const double wall = ms_between(t0, Clock::now());
+  service_ewma_ms_ = 0.8 * service_ewma_ms_ + 0.2 * wall;
+  if (job.results.size() < n) {
+    cancel_remaining_cells_locked(job);
+    finish_job_locked(job, JobState::kCancelled);
+  } else {
+    finish_job_locked(job, JobState::kDone);
+  }
+}
+
+CellResult Server::run_cell(Job& job, std::size_t index) {
+  const ResolvedCell& cell = job.cells[index];
+  const auto c0 = Clock::now();
+  const core::ExperimentRunner runner(job.cfg);
+  core::RunResult r;
+  bool warm_hit = false;
+  if (cache_.enabled() && job.cfg.warmup > 0) {
+    // Cross-request warm-start sharing: the cache key is the same
+    // conservative warmup identity the sweep engine groups by, so a hit is
+    // exactly a --reuse-warmup group membership that happens to span
+    // requests (and, for fault-free cells, supplies).
+    const std::string key =
+        core::warmup_key_bytes(job.cfg, cell.profile, cell.scheme, cell.vdd);
+    std::shared_ptr<const core::RunSnapshot> snap = cache_.lookup(key);
+    if (snap != nullptr) {
+      warm_hit = true;
+    } else {
+      snap = std::make_shared<const core::RunSnapshot>(
+          runner.capture(cell.profile, cell.scheme, cell.vdd, job.cfg.warmup));
+      cache_.insert(key, snap);
+    }
+    r = runner.run_from(*snap, cell.vdd);
+  } else {
+    r = cell.scheme ? runner.run(cell.profile, *cell.scheme, cell.vdd)
+                    : runner.run_fault_free(cell.profile, cell.vdd);
+  }
+  CellResult out;
+  out.index = index;
+  out.benchmark = r.benchmark;
+  out.scheme = r.scheme;
+  out.vdd = r.vdd;
+  out.committed = r.committed;
+  out.cycles = r.cycles;
+  out.ipc = r.ipc;
+  out.fault_rate_pct = r.fault_rate_pct;
+  out.checksum = core::result_checksum(r);
+  out.warm_hit = warm_hit;
+  out.wall_ms = ms_between(c0, Clock::now());
+  if (job.cfg.timeline_interval > 0 && r.timeline != nullptr) {
+    std::ostringstream os;
+    r.timeline->write_json(os, /*include_counters=*/false);
+    out.timeline_json = os.str();
+  }
+  return out;
+}
+
+void Server::cancel_remaining_cells_locked(Job& job) {
+  for (std::size_t i = job.results.size(); i < job.cells.size(); ++i) {
+    CellResult c;
+    c.index = i;
+    c.benchmark = job.cells[i].profile.name;
+    c.scheme = job.cells[i].scheme ? job.cells[i].scheme->name : "fault-free";
+    c.vdd = job.cells[i].vdd;
+    c.cancelled = true;
+    job.results.push_back(std::move(c));
+    cells_cancelled_.inc();
+  }
+}
+
+void Server::finish_job_locked(Job& job, JobState state) {
+  job.state = state;
+  switch (state) {
+    case JobState::kDone: jobs_completed_.inc(); break;
+    case JobState::kCancelled: jobs_cancelled_.inc(); break;
+    case JobState::kFailed: jobs_failed_.inc(); break;
+    case JobState::kQueued:
+    case JobState::kRunning: break;  // not terminal; never passed here
+  }
+  done_cv_.notify_all();
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+StatSet Server::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Counters only move forward, so syncing the cache's atomically-read
+  // totals into the registry handles is a non-negative delta bump.
+  const SnapshotCache::Stats cs = cache_.stats();
+  cache_hits_.inc(cs.hits - cache_hits_.value());
+  cache_misses_.inc(cs.misses - cache_misses_.value());
+  cache_insertions_.inc(cs.insertions - cache_insertions_.value());
+  cache_evictions_.inc(cs.evictions - cache_evictions_.value());
+  queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+  queue_peak_gauge_.set(static_cast<double>(queue_peak_));
+  StatSet s;
+  reg_.export_to(s);
+  s.set("serve.cache.size", static_cast<double>(cs.size));
+  s.set("serve.cache.capacity", static_cast<double>(cs.capacity));
+  s.set("serve.queue.limit", static_cast<double>(cfg_.queue_limit));
+  s.set("serve.workers", static_cast<double>(workers_.size()));
+  s.set("serve.service_ewma_ms", service_ewma_ms_);
+  return s;
+}
+
+}  // namespace vasim::serve

@@ -1,0 +1,233 @@
+// Sweep-as-a-service core: a long-lived job server over ExperimentRunner.
+//
+// Layering (bottom up):
+//   SnapshotCache  cross-request warm-start sharing (src/serve/snap_cache.hpp)
+//   Server         THIS FILE -- job table, bounded admission queue with
+//                  explicit backpressure, worker threads, cooperative cancel
+//   protocol.hpp   line-delimited JSON frames -> Server calls -> reply lines
+//   socket.hpp     Unix-domain / loopback-TCP transport + blocking client
+//   loadgen.hpp    open-loop load generator recording BENCH_serve.json
+//
+// A *job* is one client request: an ordered list of (benchmark, scheme, vdd)
+// cells sharing one runner configuration.  Workers pull whole jobs FIFO and
+// run their cells sequentially; concurrency comes from jobs overlapping
+// across workers.  Every cell is executed exactly like a standalone
+// ExperimentRunner invocation -- own TraceGenerator/FaultModel/Pipeline,
+// no shared mutable state -- except that warmup may be forked from the
+// shared snapshot cache, which is bitwise-equivalent by the PR-5 guarantee
+// (restore-then-run == straight-through).  The headline contract, enforced
+// by tests/test_serve.cpp rather than claimed: any interleaving of
+// concurrent clients yields per-cell result_checksum()s identical to the
+// same cells run standalone, cache hit or cold.
+//
+// Backpressure: submit() on a full queue throws QueueFullError carrying an
+// advisory retry_after_ms (EWMA of recent job service time scaled by the
+// backlog); nothing is ever silently dropped or queued unboundedly.
+//
+// Shutdown: stops admission, cancels every queued job, fires the cancel
+// token of running jobs (they finish their current cell, remaining cells
+// report cancelled), and joins the workers.  No job is ever left in a
+// non-terminal state -- the soak suite pins this with jobs in flight.
+#ifndef VASIM_SERVE_SERVER_HPP
+#define VASIM_SERVE_SERVER_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/snapshot.hpp"
+#include "src/core/sweep.hpp"
+#include "src/obs/registry.hpp"
+#include "src/serve/snap_cache.hpp"
+
+namespace vasim::serve {
+
+/// Server-side rejection with a protocol-stable error name ("bad_grid",
+/// "unknown_job", "shutting_down", ...).  The protocol layer maps `name()`
+/// straight into the reply's "error" field -- never a silent accept.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(std::string name, const std::string& message)
+      : std::runtime_error(message), name_(std::move(name)) {}
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Bounded-queue backpressure: the job was rejected, try again after the
+/// advisory delay (derived from the measured service rate and the backlog).
+class QueueFullError : public ServeError {
+ public:
+  QueueFullError(std::size_t limit, u64 retry_after_ms)
+      : ServeError("queue_full",
+                   "admission queue full (" + std::to_string(limit) +
+                       " jobs); retry after " + std::to_string(retry_after_ms) + " ms"),
+        retry_after_ms_(retry_after_ms) {}
+  [[nodiscard]] u64 retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  u64 retry_after_ms_;
+};
+
+/// One grid cell of a job; scheme "fault-free" selects the baseline wiring
+/// exactly like the CLI and SweepJob's nullopt.
+struct CellSpec {
+  std::string bench;
+  std::string scheme = "fault-free";
+  double vdd = timing::SupplyPoints::kHighFault;
+};
+
+/// One client request.  Unset optionals inherit the server's RunnerConfig.
+struct JobSpec {
+  std::vector<CellSpec> cells;
+  std::optional<u64> instructions;
+  std::optional<u64> warmup;
+  std::optional<u64> timeline_interval;
+  std::string tag;  ///< free-form client label, echoed in status replies
+};
+
+enum class JobState { kQueued, kRunning, kDone, kCancelled, kFailed };
+[[nodiscard]] const char* to_string(JobState s);
+
+/// One finished (or cancelled) cell, the unit streamed back to clients.
+struct CellResult {
+  std::size_t index = 0;  ///< cell position within the job
+  std::string benchmark;
+  std::string scheme;
+  double vdd = 0.0;
+  u64 committed = 0;
+  u64 cycles = 0;
+  double ipc = 0.0;
+  double fault_rate_pct = 0.0;
+  u64 checksum = 0;      ///< core::result_checksum of the full RunResult
+  bool cancelled = false;
+  bool warm_hit = false;  ///< warmup forked from the cross-request cache
+  double wall_ms = 0.0;
+  std::string timeline_json;  ///< set when the job requested a timeline
+};
+
+struct JobStatus {
+  u64 id = 0;
+  JobState state = JobState::kQueued;
+  std::size_t cells = 0;
+  std::size_t done = 0;  ///< terminal cells (completed or cancelled)
+  std::string error;     ///< failure reason when state == kFailed
+  std::string tag;
+};
+
+struct ServeConfig {
+  std::size_t workers = 2;
+  std::size_t queue_limit = 8;      ///< max *queued* (not running) jobs
+  std::size_t cache_capacity = 32;  ///< snapshots; 0 disables warm sharing
+  std::size_t max_cells_per_job = 1024;
+  core::RunnerConfig runner;        ///< per-cell defaults (instr/warmup/...)
+  obs::ProfilerHub* profiler_hub = nullptr;  ///< non-owning; --profile path
+};
+
+class Server {
+ public:
+  explicit Server(const ServeConfig& cfg);
+  ~Server();  // implies shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Validates and enqueues a job; returns its id (monotonic from 1).
+  /// Throws ServeError("bad_grid") on an invalid spec, QueueFullError when
+  /// the admission queue is full, ServeError("shutting_down") after
+  /// shutdown() began.
+  u64 submit(const JobSpec& spec);
+
+  /// Throws ServeError("unknown_job") for an id never issued.
+  [[nodiscard]] JobStatus status(u64 id) const;
+
+  /// Completed cells from index `since` on (streaming poll cursor).
+  [[nodiscard]] std::vector<CellResult> results(u64 id, std::size_t since) const;
+
+  /// Cooperative cancel.  A queued job cancels entirely (every cell reports
+  /// cancelled); a running job finishes its current cell and cancels the
+  /// rest; a terminal job is left untouched.  Returns the post-cancel state.
+  JobState cancel(u64 id);
+
+  /// Blocks until the job reaches a terminal state or `timeout_ms` elapses;
+  /// returns true when terminal.
+  bool wait(u64 id, u64 timeout_ms) const;
+
+  /// Blocks until every submitted job is terminal (test/CLI convenience).
+  void drain() const;
+
+  /// Stops admission, cancels queued + running jobs cooperatively, joins
+  /// the workers.  Idempotent.
+  void shutdown();
+
+  /// Snapshot of the serve.* metrics (jobs, queue, cache), exported through
+  /// the obs::Registry so the names match every other telemetry surface.
+  /// Non-const: the export syncs the cache counters into the registry.
+  [[nodiscard]] StatSet stats();
+
+  [[nodiscard]] SnapshotCache::Stats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+
+ private:
+  struct ResolvedCell {
+    workload::BenchmarkProfile profile;
+    std::optional<cpu::SchemeConfig> scheme;  ///< nullopt = fault-free wiring
+    double vdd = 0.0;
+  };
+
+  struct Job {
+    u64 id = 0;
+    JobSpec spec;
+    std::vector<ResolvedCell> cells;
+    core::RunnerConfig cfg;
+    JobState state = JobState::kQueued;
+    std::vector<CellResult> results;
+    std::string error;
+    core::CancelToken cancel;
+  };
+
+  void worker_loop();
+  void run_job(Job& job);
+  CellResult run_cell(Job& job, std::size_t index);
+  void finish_job_locked(Job& job, JobState state);
+  void cancel_remaining_cells_locked(Job& job);
+  [[nodiscard]] u64 retry_after_ms_locked() const;
+
+  const ServeConfig cfg_;
+  SnapshotCache cache_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable work_cv_;   ///< queue became non-empty / stop
+  mutable std::condition_variable done_cv_;   ///< a job reached a terminal state
+  std::deque<Job*> queue_;
+  std::map<u64, std::unique_ptr<Job>> jobs_;
+  u64 next_id_ = 1;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  double service_ewma_ms_ = 50.0;  ///< per-job service time estimate
+
+  // serve.* metrics; the Registry is not thread-safe, so every touch is
+  // under mu_ (cache counters are synced in from SnapshotCache at export).
+  obs::Registry reg_;
+  obs::Counter jobs_submitted_, jobs_rejected_, jobs_completed_, jobs_cancelled_,
+      jobs_failed_, cells_completed_, cells_cancelled_, cache_hits_, cache_misses_,
+      cache_insertions_, cache_evictions_;
+  obs::Gauge queue_depth_gauge_, queue_peak_gauge_;
+  std::size_t queue_peak_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vasim::serve
+
+#endif  // VASIM_SERVE_SERVER_HPP

@@ -1,0 +1,46 @@
+#include "src/serve/snap_cache.hpp"
+
+namespace vasim::serve {
+
+std::shared_ptr<const core::RunSnapshot> SnapshotCache::lookup(const std::string& key) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counts_.misses;
+    return nullptr;
+  }
+  ++counts_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void SnapshotCache::insert(const std::string& key,
+                           std::shared_ptr<const core::RunSnapshot> snap) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++counts_.duplicate_drops;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++counts_.evictions;
+  }
+  lru_.emplace_front(key, std::move(snap));
+  index_.emplace(key, lru_.begin());
+  ++counts_.insertions;
+}
+
+SnapshotCache::Stats SnapshotCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counts_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace vasim::serve

@@ -1,0 +1,81 @@
+// Cross-request LRU snapshot cache.
+//
+// The sweep engine shares warm-starts only *within* one --reuse-warmup sweep
+// (src/core/sweep.cpp groups by warmup key, captures once, forks members).
+// The serve daemon generalizes that across requests and across clients: the
+// cache maps the exact same key -- warmup_key_bytes(), conservatively every
+// knob that can influence machine state at the warmup boundary -- to a
+// shared immutable RunSnapshot.  A cell whose key hits forks from the cached
+// snapshot instead of re-simulating its warmup; a miss captures once and
+// publishes for everyone after it.
+//
+// Correctness story: snapshots are immutable once inserted (shared_ptr to
+// const), capture is deterministic, and restore-then-run is bitwise
+// identical to straight-through (pinned since PR 5), so a hit, a miss, and
+// no cache at all produce bitwise-identical per-job results.  The
+// concurrency-oracle suite (tests/test_serve.cpp) re-proves this under
+// eviction churn with the capacity forced to 1.
+//
+// Concurrency: one mutex around the map + LRU list; lookups copy a
+// shared_ptr out under the lock.  Two threads missing the same key both
+// capture (duplicate work, identical bytes) and the second insert is
+// dropped -- blocking the second client on the first capture would serialize
+// exactly the requests the daemon exists to overlap.
+#ifndef VASIM_SERVE_SNAP_CACHE_HPP
+#define VASIM_SERVE_SNAP_CACHE_HPP
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/core/snapshot.hpp"
+
+namespace vasim::serve {
+
+class SnapshotCache {
+ public:
+  /// `capacity` = max resident snapshots; 0 disables the cache entirely
+  /// (every lookup misses, inserts are dropped, nothing is counted).
+  explicit SnapshotCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Hit: bumps the entry to most-recently-used and returns it.
+  /// Miss: returns nullptr.  Both are counted.
+  [[nodiscard]] std::shared_ptr<const core::RunSnapshot> lookup(const std::string& key);
+
+  /// Publishes a snapshot under `key`, evicting the least-recently-used
+  /// entry when at capacity.  A concurrent duplicate (same key already
+  /// present) is dropped: both captures produced identical bytes, and
+  /// replacing would churn the LRU order for nothing.
+  void insert(const std::string& key, std::shared_ptr<const core::RunSnapshot> snap);
+
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 insertions = 0;
+    u64 evictions = 0;
+    u64 duplicate_drops = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const core::RunSnapshot>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  Stats counts_;
+};
+
+}  // namespace vasim::serve
+
+#endif  // VASIM_SERVE_SNAP_CACHE_HPP

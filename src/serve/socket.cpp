@@ -1,0 +1,318 @@
+#include "src/serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vasim::serve {
+namespace {
+
+[[noreturn]] void fail(const std::string& op) {
+  throw SocketError(op + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+int connect_endpoint(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      throw SocketError("unix socket path too long: " + ep.path);
+    }
+    std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      const int err = errno;
+      ::close(fd);
+      errno = err;
+      fail("connect " + ep.path);
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail("connect 127.0.0.1:" + std::to_string(ep.port));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) throw SocketError("empty unix socket path in '" + spec + "'");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    const std::string port = spec.substr(4);
+    if (port.empty() || port.find_first_not_of("0123456789") != std::string::npos) {
+      throw SocketError("bad tcp port in '" + spec + "'");
+    }
+    const long p = std::strtol(port.c_str(), nullptr, 10);
+    if (p < 0 || p > 65535) throw SocketError("tcp port out of range in '" + spec + "'");
+    ep.port = static_cast<int>(p);
+    return ep;
+  }
+  throw SocketError("endpoint must be unix:PATH or tcp:PORT, got '" + spec + "'");
+}
+
+struct SocketServer::Impl {
+  Server& server;
+  Endpoint endpoint;
+  FrameLimits limits;
+  int listen_fd = -1;
+  int port = 0;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> shutdown_req{false};
+  std::mutex mu;
+  std::condition_variable shutdown_cv;
+  std::thread accept_thread;
+  std::vector<std::thread> conn_threads;
+  std::vector<int> conn_fds;
+  bool stopped = false;
+
+  Impl(Server& s, const Endpoint& ep, FrameLimits lim) : server(s), endpoint(ep), limits(lim) {}
+
+  void pump_connection(int fd) {
+    std::string buffer;
+    char chunk[4096];
+    bool close_now = false;
+    while (!close_now && !stop.load(std::memory_order_acquire)) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // transport error: nothing sensible left to reply
+      }
+      if (n == 0) break;  // EOF; any partial frame in `buffer` is dropped
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+           nl = buffer.find('\n', start)) {
+        std::string_view line(buffer.data() + start, nl - start);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        start = nl + 1;
+        if (line.size() > limits.max_frame_bytes) {
+          try {
+            send_all(fd, frame_too_big_reply(line.size()));
+          } catch (const SocketError&) {
+          }
+          close_now = true;
+          break;
+        }
+        bool want_shutdown = false;
+        const std::string reply = handle_frame(server, line, &want_shutdown);
+        try {
+          send_all(fd, reply + "\n");
+        } catch (const SocketError&) {
+          close_now = true;
+          break;
+        }
+        if (want_shutdown) {
+          shutdown_req.store(true, std::memory_order_release);
+          shutdown_cv.notify_all();
+          close_now = true;
+          break;
+        }
+      }
+      buffer.erase(0, start);
+      // A frame that exceeds the cap cannot be resynchronized: reject and
+      // close instead of buffering unboundedly while hunting the newline.
+      if (!close_now && buffer.size() > limits.max_frame_bytes) {
+        try {
+          send_all(fd, frame_too_big_reply(buffer.size()));
+        } catch (const SocketError&) {
+        }
+        close_now = true;
+      }
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+
+  [[nodiscard]] std::string frame_too_big_reply(std::size_t size) const {
+    return error_reply("oversized_frame",
+                       "frame of " + std::to_string(size) + " bytes exceeds the " +
+                           std::to_string(limits.max_frame_bytes) + "-byte limit") +
+           "\n";
+  }
+
+  void accept_loop() {
+    while (!stop.load(std::memory_order_acquire)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (r <= 0) continue;  // timeout or EINTR: re-check the stop flag
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::lock_guard<std::mutex> lock(mu);
+      if (stop.load(std::memory_order_acquire)) {
+        ::close(fd);
+        return;
+      }
+      conn_fds.push_back(fd);
+      conn_threads.emplace_back([this, fd] { pump_connection(fd); });
+    }
+  }
+};
+
+SocketServer::SocketServer(Server& server, const Endpoint& endpoint, FrameLimits limits)
+    : impl_(std::make_unique<Impl>(server, endpoint, limits)) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) fail("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof addr.sun_path) {
+      throw SocketError("unix socket path too long: " + endpoint.path);
+    }
+    std::memcpy(addr.sun_path, endpoint.path.c_str(), endpoint.path.size() + 1);
+    ::unlink(endpoint.path.c_str());  // a stale socket file would fail the bind
+    if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      fail("bind " + endpoint.path);
+    }
+  } else {
+    impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) fail("socket");
+    const int one = 1;
+    ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
+    if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      fail("bind 127.0.0.1:" + std::to_string(endpoint.port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      impl_->port = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(impl_->listen_fd, 64) != 0) fail("listen");
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  if (impl_->endpoint.kind == Endpoint::Kind::kUnix) ::unlink(impl_->endpoint.path.c_str());
+}
+
+void SocketServer::start() {
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+}
+
+void SocketServer::serve_until_shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->shutdown_cv.wait(
+        lock, [this] { return impl_->shutdown_req.load(std::memory_order_acquire); });
+  }
+  impl_->server.shutdown();
+  stop();
+}
+
+void SocketServer::stop() {
+  impl_->stop.store(true, std::memory_order_release);
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const int fd : impl_->conn_fds) ::shutdown(fd, SHUT_RDWR);
+    impl_->conn_fds.clear();
+    threads.swap(impl_->conn_threads);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+int SocketServer::resolved_port() const { return impl_->port; }
+
+bool SocketServer::shutdown_requested() const {
+  return impl_->shutdown_req.load(std::memory_order_acquire);
+}
+
+Client::Client(const Endpoint& endpoint) : fd_(connect_endpoint(endpoint)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::string Client::request(const std::string& line) {
+  send_all(fd_, line + "\n");
+  return read_line();
+}
+
+void Client::send_raw(const std::string& bytes) { send_all(fd_, bytes); }
+
+std::string Client::read_line() {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (n == 0) throw SocketError("connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace vasim::serve

@@ -1,0 +1,107 @@
+// Socket transport for the serve protocol: a Unix-domain or loopback-TCP
+// listener that frames the line protocol onto a Server, plus the blocking
+// client used by `vasim loadgen`, the CLI and the tests.
+//
+// Endpoint syntax (shared by `vasim serve --listen` and `loadgen --connect`):
+//   unix:/path/to.sock   Unix-domain stream socket (path unlinked on bind)
+//   tcp:PORT             TCP on 127.0.0.1 only; PORT 0 picks an ephemeral
+//                        port (resolved_port() reports the real one)
+//
+// One thread per connection, blocking reads; stop() shuts every open fd
+// down so connection threads unblock and join deterministically.  Frames
+// beyond FrameLimits::max_frame_bytes get one named "oversized_frame" error
+// reply and the connection is closed (a client that overflows the framing
+// cannot be resynchronized safely).  Bytes at EOF without a newline are
+// dropped -- a truncated trailing frame is unanswerable by construction.
+#ifndef VASIM_SERVE_SOCKET_HPP
+#define VASIM_SERVE_SOCKET_HPP
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/serve/protocol.hpp"
+
+namespace vasim::serve {
+
+/// Transport-level failure (bind/connect/short write/...); `what()` names
+/// the operation and errno text.
+class SocketError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix: filesystem path
+  int port = 0;      ///< kTcp: port (0 = ephemeral)
+};
+
+/// Parses "unix:PATH" / "tcp:PORT"; throws SocketError on anything else.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+/// Accept loop + per-connection protocol pumps over one Server.
+class SocketServer {
+ public:
+  /// Binds and listens immediately (throws SocketError on failure); call
+  /// start() to begin accepting.
+  SocketServer(Server& server, const Endpoint& endpoint, FrameLimits limits = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Spawns the accept thread.
+  void start();
+
+  /// Blocks until a client's shutdown op is granted, then stops the
+  /// transport and shuts the Server down (the `vasim serve` main loop).
+  void serve_until_shutdown();
+
+  /// Stops accepting, unblocks and joins every connection thread.  Does NOT
+  /// shut the Server down (tests drive that separately).  Idempotent.
+  void stop();
+
+  /// The bound TCP port (resolves tcp:0), or 0 for Unix endpoints.
+  [[nodiscard]] int resolved_port() const;
+
+  /// True once a shutdown frame has been granted.
+  [[nodiscard]] bool shutdown_requested() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Blocking line-protocol client: one request line out, one reply line in.
+class Client {
+ public:
+  /// Connects (throws SocketError on refusal/timeout at the OS's default).
+  explicit Client(const Endpoint& endpoint);
+  ~Client();
+
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `line` (newline appended) and returns the reply line (newline
+  /// stripped).  Throws SocketError on EOF / transport failure.
+  [[nodiscard]] std::string request(const std::string& line);
+
+  /// Sends raw bytes without framing (negative-path tests: oversized and
+  /// truncated frames).
+  void send_raw(const std::string& bytes);
+
+  /// Reads one reply line; throws SocketError on EOF.
+  [[nodiscard]] std::string read_line();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace vasim::serve
+
+#endif  // VASIM_SERVE_SOCKET_HPP

@@ -1,0 +1,654 @@
+// Serve daemon correctness: the strict protocol JSON parser, the LRU
+// snapshot cache, cooperative cancellation, bounded-queue backpressure,
+// protocol negative paths, the socket transport -- and the headline
+// concurrency oracle: any interleaving of concurrent clients yields per-cell
+// checksums bitwise identical to standalone SweepRunner runs, with the
+// cross-request cache disabled, enabled, and thrashing at capacity 1.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/runner.hpp"
+#include "src/core/snapshot.hpp"
+#include "src/core/sweep.hpp"
+#include "src/serve/json.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/snap_cache.hpp"
+#include "src/serve/socket.hpp"
+#include "src/workload/profiles.hpp"
+
+namespace vasim {
+namespace {
+
+core::RunnerConfig tiny_rc() {
+  core::RunnerConfig rc;
+  rc.instructions = 2'000;
+  rc.warmup = 1'000;
+  return rc;
+}
+
+serve::ServeConfig tiny_serve(std::size_t workers, std::size_t queue_limit,
+                              std::size_t cache_capacity) {
+  serve::ServeConfig sc;
+  sc.workers = workers;
+  sc.queue_limit = queue_limit;
+  sc.cache_capacity = cache_capacity;
+  sc.runner = tiny_rc();
+  return sc;
+}
+
+// ---- JSON parser -----------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsArraysAndObjects) {
+  const serve::JsonValue v =
+      serve::parse_json(R"({"a":1,"b":[true,null,"x\u0041"],"c":{"d":-2.5e2},"e":false})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->as_u64(), 1u);
+  const serve::JsonValue* b = v.find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].is_bool() && b->array[0].boolean);
+  EXPECT_TRUE(b->array[1].is_null());
+  EXPECT_EQ(b->array[2].str, "xA");
+  ASSERT_NE(v.find("c"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("c")->find("d")->number, -250.0);
+  EXPECT_FALSE(v.find("e")->boolean);
+  EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(ServeJson, PreservesKeyOrderForClosedFieldChecks) {
+  const serve::JsonValue v = serve::parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(ServeJson, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                      // empty
+      "{",                     // unterminated object
+      "[1,]",                  // trailing comma
+      R"({"a":1,"a":2})",      // duplicate key
+      "01",                    // leading zero
+      "1.",                    // bare decimal point
+      "+1",                    // explicit plus
+      "nul",                   // truncated keyword
+      "tru",                   // truncated keyword
+      "{} x",                  // trailing garbage
+      "\"\\ud800\"",           // lone surrogate escape
+      "\"raw\x01control\"",    // raw control char in string
+      R"({"a":})",             // missing value
+      "[1 2]",                 // missing comma
+  };
+  for (const char* doc : bad) {
+    EXPECT_THROW((void)serve::parse_json(doc), serve::JsonError) << "accepted: " << doc;
+  }
+}
+
+TEST(ServeJson, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 40; ++i) deep += "[";
+  for (int i = 0; i < 40; ++i) deep += "]";
+  EXPECT_THROW((void)serve::parse_json(deep, 32), serve::JsonError);
+  EXPECT_NO_THROW((void)serve::parse_json(deep, 64));
+}
+
+TEST(ServeJson, U64AccessorRejectsNonIntegers) {
+  EXPECT_THROW((void)serve::parse_json("1.5").as_u64(), serve::JsonError);
+  EXPECT_THROW((void)serve::parse_json("-1").as_u64(), serve::JsonError);
+  EXPECT_THROW((void)serve::parse_json("\"7\"").as_u64(), serve::JsonError);
+  EXPECT_EQ(serve::parse_json("9007199254740992").as_u64(), 9007199254740992ull);
+}
+
+// ---- LRU snapshot cache ----------------------------------------------------
+
+std::shared_ptr<const core::RunSnapshot> any_snapshot() {
+  // One cheap real capture, shared across cache unit tests: the cache only
+  // cares about pointer identity, never the contents.
+  static const std::shared_ptr<const core::RunSnapshot> snap = [] {
+    const core::ExperimentRunner runner(tiny_rc());
+    return std::make_shared<const core::RunSnapshot>(
+        runner.capture(workload::spec2006_profile("bzip2"), std::nullopt, 0.97, 500));
+  }();
+  return snap;
+}
+
+TEST(SnapshotCache, CapacityZeroDisablesEverything) {
+  serve::SnapshotCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert("k", any_snapshot());
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+  const serve::SnapshotCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.insertions, 0u);
+  EXPECT_EQ(s.size, 0u);
+}
+
+TEST(SnapshotCache, EvictsLeastRecentlyUsed) {
+  serve::SnapshotCache cache(2);
+  cache.insert("k1", any_snapshot());
+  cache.insert("k2", any_snapshot());
+  EXPECT_NE(cache.lookup("k1"), nullptr);  // k1 becomes MRU; k2 is now LRU
+  cache.insert("k3", any_snapshot());      // evicts k2
+  EXPECT_EQ(cache.lookup("k2"), nullptr);
+  EXPECT_NE(cache.lookup("k1"), nullptr);
+  EXPECT_NE(cache.lookup("k3"), nullptr);
+  const serve::SnapshotCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(SnapshotCache, DuplicateInsertIsDroppedNotReplaced) {
+  serve::SnapshotCache cache(4);
+  const auto first = any_snapshot();
+  cache.insert("k", first);
+  const auto second = std::make_shared<const core::RunSnapshot>(*first);
+  cache.insert("k", second);  // concurrent double-capture: keep the first
+  EXPECT_EQ(cache.lookup("k").get(), first.get());
+  const serve::SnapshotCache::Stats s = cache.stats();
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.duplicate_drops, 1u);
+  EXPECT_EQ(s.size, 1u);
+}
+
+// ---- Server admission / cancellation / shutdown ----------------------------
+
+serve::JobSpec one_cell_job(const std::string& bench, const std::string& scheme, double vdd) {
+  serve::JobSpec spec;
+  spec.cells.push_back({bench, scheme, vdd});
+  return spec;
+}
+
+TEST(ServeServer, RejectsBadGridsByName) {
+  serve::Server server(tiny_serve(1, 4, 0));
+  const auto name_of = [&server](const serve::JobSpec& spec) -> std::string {
+    try {
+      (void)server.submit(spec);
+    } catch (const serve::ServeError& e) {
+      return e.name();
+    }
+    return "accepted";
+  };
+  EXPECT_EQ(name_of(serve::JobSpec{}), "bad_grid");  // no cells
+  EXPECT_EQ(name_of(one_cell_job("no-such-bench", "abs", 0.97)), "bad_grid");
+  EXPECT_EQ(name_of(one_cell_job("bzip2", "no-such-scheme", 0.97)), "bad_grid");
+  EXPECT_EQ(name_of(one_cell_job("bzip2", "abs", -1.0)), "bad_grid");
+  serve::JobSpec zero_instr = one_cell_job("bzip2", "abs", 0.97);
+  zero_instr.instructions = 0;
+  EXPECT_EQ(name_of(zero_instr), "bad_grid");
+  serve::ServeConfig small = tiny_serve(1, 4, 0);
+  small.max_cells_per_job = 2;
+  serve::Server limited(small);
+  serve::JobSpec big;
+  for (int i = 0; i < 3; ++i) big.cells.push_back({"bzip2", "fault-free", 0.97});
+  try {
+    (void)limited.submit(big);
+    FAIL() << "oversized job accepted";
+  } catch (const serve::ServeError& e) {
+    EXPECT_EQ(e.name(), "bad_grid");
+  }
+}
+
+TEST(ServeServer, UnknownJobIdsThrowByName) {
+  serve::Server server(tiny_serve(1, 4, 0));
+  EXPECT_THROW((void)server.status(999), serve::ServeError);
+  EXPECT_THROW((void)server.results(999, 0), serve::ServeError);
+  EXPECT_THROW((void)server.cancel(999), serve::ServeError);
+}
+
+TEST(ServeServer, BoundedQueueRejectsWithRetryAfter) {
+  // One worker, queue of one: the third concurrent job must be rejected
+  // with explicit backpressure, never silently queued.
+  serve::Server server(tiny_serve(1, 1, 0));
+  serve::JobSpec busy;
+  for (int i = 0; i < 4; ++i) busy.cells.push_back({"bzip2", "fault-free", 0.97});
+  // The worker may not have popped the previous job yet, so even the setup
+  // submits can legitimately bounce; absorb that.
+  const auto submit_retry = [&server](const serve::JobSpec& s) {
+    for (;;) {
+      try {
+        return server.submit(s);
+      } catch (const serve::QueueFullError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  const u64 running = submit_retry(busy);
+  const u64 queued = submit_retry(busy);
+  bool rejected = false;
+  u64 retry_ms = 0;
+  // The worker may drain the queue between our submits; keep refilling
+  // until one submission bounces (bounded by the grid being slower than
+  // the submit loop).
+  for (int i = 0; i < 64 && !rejected; ++i) {
+    try {
+      (void)server.submit(busy);
+    } catch (const serve::QueueFullError& e) {
+      rejected = true;
+      retry_ms = e.retry_after_ms();
+    }
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_GE(retry_ms, 1u);
+  server.drain();
+  EXPECT_TRUE(server.wait(running, 1));
+  EXPECT_TRUE(server.wait(queued, 1));
+}
+
+TEST(ServeServer, CancelQueuedJobCancelsEveryCell) {
+  serve::Server server(tiny_serve(1, 4, 0));
+  serve::JobSpec busy;
+  for (int i = 0; i < 4; ++i) busy.cells.push_back({"bzip2", "fault-free", 0.97});
+  (void)server.submit(busy);  // occupies the single worker
+  serve::JobSpec victim;
+  victim.cells.push_back({"gcc", "abs", 0.97});
+  victim.cells.push_back({"gcc", "abs", 1.04});
+  const u64 id = server.submit(victim);
+  const serve::JobState st = server.cancel(id);
+  EXPECT_TRUE(st == serve::JobState::kCancelled || st == serve::JobState::kRunning);
+  ASSERT_TRUE(server.wait(id, 60'000));
+  const serve::JobStatus status = server.status(id);
+  EXPECT_EQ(status.done, status.cells);  // every cell reported, none lost
+  if (st == serve::JobState::kCancelled) {
+    for (const serve::CellResult& c : server.results(id, 0)) {
+      EXPECT_TRUE(c.cancelled);
+    }
+  }
+  server.drain();
+}
+
+TEST(ServeServer, CancelRunningJobKeepsFinishedCellsBitwiseIntact) {
+  serve::Server server(tiny_serve(1, 4, 0));
+  serve::JobSpec long_job;
+  for (int i = 0; i < 8; ++i) long_job.cells.push_back({"bzip2", "fault-free", 0.97});
+  const u64 id = server.submit(long_job);
+  // Wait until at least one cell landed, then cancel mid-job.
+  while (server.status(id).done == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (void)server.cancel(id);
+  ASSERT_TRUE(server.wait(id, 60'000));
+  const serve::JobStatus st = server.status(id);
+  EXPECT_EQ(st.done, st.cells);
+  // Survivors must be bitwise identical to a standalone run of the same cell.
+  const core::ExperimentRunner runner(tiny_rc());
+  const core::RunResult expect =
+      runner.run_fault_free(workload::spec2006_profile("bzip2"), 0.97);
+  const u64 expect_sum = core::result_checksum(expect);
+  std::size_t finished = 0;
+  for (const serve::CellResult& c : server.results(id, 0)) {
+    if (c.cancelled) continue;
+    ++finished;
+    EXPECT_EQ(c.checksum, expect_sum);
+  }
+  EXPECT_GE(finished, 1u);
+}
+
+TEST(ServeServer, ShutdownWithJobsInFlightLeavesNoNonTerminalJob) {
+  auto server = std::make_unique<serve::Server>(tiny_serve(2, 8, 4));
+  std::vector<u64> ids;
+  serve::JobSpec spec;
+  spec.cells.push_back({"bzip2", "fault-free", 0.97});
+  spec.cells.push_back({"gcc", "abs", 0.97});
+  for (int i = 0; i < 6; ++i) ids.push_back(server->submit(spec));
+  server->shutdown();
+  for (const u64 id : ids) {
+    const serve::JobStatus st = server->status(id);
+    EXPECT_TRUE(st.state == serve::JobState::kDone || st.state == serve::JobState::kCancelled ||
+                st.state == serve::JobState::kFailed)
+        << "job " << id << " left in state " << serve::to_string(st.state);
+    EXPECT_EQ(st.done, st.cells);
+  }
+  EXPECT_THROW((void)server->submit(spec), serve::ServeError);  // shutting_down
+}
+
+// ---- The concurrency oracle ------------------------------------------------
+
+struct OracleCell {
+  std::string bench;
+  std::string scheme;
+  double vdd;
+};
+
+std::vector<OracleCell> oracle_grid() {
+  std::vector<OracleCell> cells;
+  for (const char* bench : {"bzip2", "gcc"}) {
+    for (const char* scheme : {"fault-free", "abs", "razor"}) {
+      for (const double vdd : {0.97, 1.04}) {
+        cells.push_back({bench, scheme, vdd});
+      }
+    }
+  }
+  return cells;  // 12 overlapping cells shared by every client
+}
+
+/// Standalone ground truth: each grid cell through SweepRunner, single
+/// worker, no sharing -- the checksum every concurrent interleaving must hit.
+std::map<std::string, u64> oracle_expected(const std::vector<OracleCell>& cells) {
+  std::vector<core::SweepJob> jobs;
+  for (const OracleCell& c : cells) {
+    const auto scheme = core::scheme_by_name(c.scheme);
+    jobs.push_back({workload::spec2006_profile(c.bench),
+                    scheme->name == "fault-free" ? std::nullopt
+                                                 : std::optional<cpu::SchemeConfig>(*scheme),
+                    c.vdd, std::nullopt});
+  }
+  const core::SweepRunner runner(tiny_rc(), 1);
+  const std::vector<core::RunResult> results = runner.run_results(jobs);
+  std::map<std::string, u64> expected;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expected[cells[i].bench + "|" + cells[i].scheme + "|" + std::to_string(cells[i].vdd)] =
+        core::result_checksum(results[i]);
+  }
+  return expected;
+}
+
+void run_oracle(std::size_t cache_capacity) {
+  const std::vector<OracleCell> grid = oracle_grid();
+  const std::map<std::string, u64> expected = oracle_expected(grid);
+
+  serve::Server server(tiny_serve(/*workers=*/4, /*queue_limit=*/64, cache_capacity));
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kJobsPerClient = 3;
+  std::mutex mu;
+  std::vector<std::string> failures;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([t, &grid, &expected, &server, &mu, &failures] {
+      for (std::size_t j = 0; j < kJobsPerClient; ++j) {
+        // Overlapping 4-cell windows, offset per client and per job, so the
+        // same cells hit the cache from many interleavings.
+        serve::JobSpec spec;
+        std::vector<std::string> keys;
+        for (std::size_t c = 0; c < 4; ++c) {
+          const OracleCell& cell = grid[(t * 5 + j * 3 + c) % grid.size()];
+          spec.cells.push_back({cell.bench, cell.scheme, cell.vdd});
+          keys.push_back(cell.bench + "|" + cell.scheme + "|" + std::to_string(cell.vdd));
+        }
+        u64 id = 0;
+        for (;;) {
+          try {
+            id = server.submit(spec);
+            break;
+          } catch (const serve::QueueFullError&) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        }
+        if (!server.wait(id, 120'000)) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.push_back("job timed out");
+          return;
+        }
+        const std::vector<serve::CellResult> results = server.results(id, 0);
+        std::lock_guard<std::mutex> lock(mu);
+        if (results.size() != keys.size()) {
+          failures.push_back("short result set");
+          continue;
+        }
+        for (std::size_t c = 0; c < results.size(); ++c) {
+          if (results[c].cancelled) {
+            failures.push_back("unexpected cancelled cell");
+            continue;
+          }
+          const u64 want = expected.at(keys[c]);
+          if (results[c].checksum != want) {
+            failures.push_back("checksum mismatch for " + keys[c] + " (cache capacity " +
+                               std::to_string(server.config().cache_capacity) + ")");
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+  if (cache_capacity >= oracle_grid().size()) {
+    // With room for the whole grid, the overlap must actually share: a zero
+    // hit count would mean the cache is wired up wrong, not just cold.
+    EXPECT_GT(server.cache_stats().hits, 0u);
+  }
+}
+
+TEST(ServeOracle, ConcurrentClientsMatchStandaloneWithCacheDisabled) { run_oracle(0); }
+
+TEST(ServeOracle, ConcurrentClientsMatchStandaloneWithCacheEnabled) { run_oracle(32); }
+
+TEST(ServeOracle, ConcurrentClientsMatchStandaloneWithCacheCapacityOne) { run_oracle(1); }
+
+// ---- Protocol frames -------------------------------------------------------
+
+std::string frame_error(serve::Server& server, const std::string& line) {
+  bool shutdown = false;
+  const serve::JsonValue reply = serve::parse_json(serve::handle_frame(server, line, &shutdown));
+  EXPECT_FALSE(shutdown);
+  const serve::JsonValue* ok = reply.find("ok");
+  EXPECT_TRUE(ok != nullptr && ok->is_bool());
+  if (ok != nullptr && ok->boolean) return "";  // accepted
+  const serve::JsonValue* err = reply.find("error");
+  return err != nullptr && err->is_string() ? err->str : "<unnamed>";
+}
+
+TEST(ServeProtocol, NamedErrorsNeverSilentAccept) {
+  serve::Server server(tiny_serve(1, 2, 0));
+  EXPECT_EQ(frame_error(server, "this is not json"), "parse_error");
+  EXPECT_EQ(frame_error(server, "[1,2,3]"), "not_object");
+  EXPECT_EQ(frame_error(server, "{}"), "bad_field");             // missing op
+  EXPECT_EQ(frame_error(server, R"({"op":5})"), "bad_field");    // op not a string
+  EXPECT_EQ(frame_error(server, R"({"op":"frobnicate"})"), "unknown_op");
+  EXPECT_EQ(frame_error(server, R"({"op":"poll","job":42})"), "unknown_job");
+  EXPECT_EQ(frame_error(server, R"({"op":"cancel","job":42})"), "unknown_job");
+  EXPECT_EQ(frame_error(server, R"({"op":"submit","cells":5})"), "bad_field");
+  EXPECT_EQ(frame_error(server, R"({"op":"submit","cells":[]})"), "bad_grid");
+  EXPECT_EQ(frame_error(server,
+                        R"({"op":"submit","cells":[{"bench":"nope","vdd":0.97}]})"),
+            "bad_grid");
+}
+
+TEST(ServeProtocol, UnknownFieldsAreRejectedWithTheirName) {
+  serve::Server server(tiny_serve(1, 2, 0));
+  bool shutdown = false;
+  const std::string reply = serve::handle_frame(
+      server, R"({"op":"submit","cells":[{"bench":"bzip2"}],"warmpu":5})", &shutdown);
+  const serve::JsonValue v = serve::parse_json(reply);
+  EXPECT_EQ(v.find("error")->str, "unknown_field");
+  EXPECT_NE(v.find("message")->str.find("warmpu"), std::string::npos);
+  // Same closed-set rule inside a cell object.
+  const std::string reply2 = serve::handle_frame(
+      server, R"({"op":"submit","cells":[{"bench":"bzip2","vddd":0.97}]})", &shutdown);
+  EXPECT_EQ(serve::parse_json(reply2).find("error")->str, "unknown_field");
+}
+
+TEST(ServeProtocol, SubmitPollCancelRoundTrip) {
+  serve::Server server(tiny_serve(2, 8, 4));
+  bool shutdown = false;
+  const serve::JsonValue sub = serve::parse_json(serve::handle_frame(
+      server,
+      R"({"op":"submit","cells":[{"bench":"bzip2","scheme":"abs","vdd":0.97}],"tag":"t1"})",
+      &shutdown));
+  ASSERT_TRUE(sub.find("ok")->boolean);
+  const u64 id = sub.find("job")->as_u64();
+  EXPECT_EQ(sub.find("cells")->as_u64(), 1u);
+  server.drain();
+  const serve::JsonValue poll = serve::parse_json(serve::handle_frame(
+      server, R"({"op":"poll","job":)" + std::to_string(id) + "}", &shutdown));
+  ASSERT_TRUE(poll.find("ok")->boolean);
+  EXPECT_EQ(poll.find("state")->str, "done");
+  EXPECT_EQ(poll.find("tag")->str, "t1");
+  ASSERT_EQ(poll.find("results")->array.size(), 1u);
+  const serve::JsonValue& cell = poll.find("results")->array[0];
+  EXPECT_EQ(cell.find("benchmark")->str, "bzip2");
+  EXPECT_EQ(cell.find("scheme")->str, "abs");
+  EXPECT_EQ(cell.find("checksum")->str.size(), 16u);  // %016x hex
+  EXPECT_GT(cell.find("committed")->as_u64(), 0u);
+  // Cancelling a terminal job is a no-op that reports the final state.
+  const serve::JsonValue cancel = serve::parse_json(serve::handle_frame(
+      server, R"({"op":"cancel","job":)" + std::to_string(id) + "}", &shutdown));
+  EXPECT_EQ(cancel.find("state")->str, "done");
+  // The streaming cursor: since == done yields an empty result set.
+  const serve::JsonValue tail = serve::parse_json(serve::handle_frame(
+      server, R"({"op":"poll","job":)" + std::to_string(id) + R"(,"since":1})", &shutdown));
+  EXPECT_EQ(tail.find("results")->array.size(), 0u);
+}
+
+TEST(ServeProtocol, QueueFullReplyCarriesRetryAfter) {
+  serve::ServeConfig sc = tiny_serve(1, 0, 0);  // queue of zero: reject all
+  serve::Server server(sc);
+  bool shutdown = false;
+  const serve::JsonValue reply = serve::parse_json(serve::handle_frame(
+      server, R"({"op":"submit","cells":[{"bench":"bzip2"}]})", &shutdown));
+  EXPECT_FALSE(reply.find("ok")->boolean);
+  EXPECT_EQ(reply.find("error")->str, "queue_full");
+  ASSERT_NE(reply.find("retry_after_ms"), nullptr);
+  EXPECT_GE(reply.find("retry_after_ms")->as_u64(), 1u);
+}
+
+TEST(ServeProtocol, StatsReportQueueCacheAndCounters) {
+  serve::Server server(tiny_serve(2, 8, 4));
+  bool shutdown = false;
+  (void)serve::handle_frame(
+      server, R"({"op":"submit","cells":[{"bench":"bzip2","vdd":0.97}]})", &shutdown);
+  server.drain();
+  const serve::JsonValue reply =
+      serve::parse_json(serve::handle_frame(server, R"({"op":"stats"})", &shutdown));
+  ASSERT_TRUE(reply.find("ok")->boolean);
+  EXPECT_EQ(reply.find("stats")->find("serve.jobs.submitted")->as_u64(), 1u);
+  EXPECT_EQ(reply.find("stats")->find("serve.jobs.completed")->as_u64(), 1u);
+  ASSERT_NE(reply.find("cache"), nullptr);
+  EXPECT_EQ(reply.find("cache")->find("capacity")->as_u64(), 4u);
+  EXPECT_EQ(reply.find("queue")->find("limit")->as_u64(), 8u);
+  EXPECT_EQ(reply.find("workers")->as_u64(), 2u);
+}
+
+TEST(ServeProtocol, ShutdownFrameSetsTheFlagAfterReply) {
+  serve::Server server(tiny_serve(1, 2, 0));
+  bool shutdown = false;
+  const serve::JsonValue reply = serve::parse_json(
+      serve::handle_frame(server, R"({"op":"shutdown"})", &shutdown));
+  EXPECT_TRUE(reply.find("ok")->boolean);
+  EXPECT_TRUE(shutdown);
+  // Extra fields on shutdown are rejected like everywhere else.
+  shutdown = false;
+  EXPECT_EQ(frame_error(server, R"({"op":"shutdown","force":true})"), "unknown_field");
+  EXPECT_FALSE(shutdown);
+}
+
+// ---- Socket transport ------------------------------------------------------
+
+TEST(ServeSocket, ParsesEndpoints) {
+  const serve::Endpoint u = serve::parse_endpoint("unix:/tmp/x.sock");
+  EXPECT_EQ(u.kind, serve::Endpoint::Kind::kUnix);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  const serve::Endpoint t = serve::parse_endpoint("tcp:0");
+  EXPECT_EQ(t.kind, serve::Endpoint::Kind::kTcp);
+  EXPECT_EQ(t.port, 0);
+  EXPECT_THROW((void)serve::parse_endpoint("unix:"), serve::SocketError);
+  EXPECT_THROW((void)serve::parse_endpoint("tcp:notaport"), serve::SocketError);
+  EXPECT_THROW((void)serve::parse_endpoint("tcp:70000"), serve::SocketError);
+  EXPECT_THROW((void)serve::parse_endpoint("http://x"), serve::SocketError);
+}
+
+TEST(ServeSocket, TcpRoundTripSubmitPollOverEphemeralPort) {
+  serve::Server server(tiny_serve(2, 8, 4));
+  serve::Endpoint ep;
+  ep.kind = serve::Endpoint::Kind::kTcp;
+  ep.port = 0;
+  serve::SocketServer transport(server, ep);
+  transport.start();
+  ASSERT_GT(transport.resolved_port(), 0);
+  serve::Endpoint client_ep = ep;
+  client_ep.port = transport.resolved_port();
+  serve::Client client(client_ep);
+  const serve::JsonValue sub = serve::parse_json(client.request(
+      R"({"op":"submit","cells":[{"bench":"bzip2","scheme":"abs","vdd":0.97}]})"));
+  ASSERT_TRUE(sub.find("ok")->boolean);
+  const u64 id = sub.find("job")->as_u64();
+  for (;;) {
+    const serve::JsonValue poll =
+        serve::parse_json(client.request(R"({"op":"poll","job":)" + std::to_string(id) + "}"));
+    ASSERT_TRUE(poll.find("ok")->boolean);
+    if (poll.find("state")->str == "done") {
+      EXPECT_EQ(poll.find("results")->array.size(), 1u);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  transport.stop();
+  server.shutdown();
+}
+
+TEST(ServeSocket, UnixSocketServesMultipleSequentialClients) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vasim_test_serve.sock").string();
+  serve::Server server(tiny_serve(2, 8, 4));
+  const serve::Endpoint ep = serve::parse_endpoint("unix:" + path);
+  {
+    serve::SocketServer transport(server, ep);
+    transport.start();
+    for (int i = 0; i < 3; ++i) {
+      serve::Client client(ep);
+      const serve::JsonValue stats = serve::parse_json(client.request(R"({"op":"stats"})"));
+      EXPECT_TRUE(stats.find("ok")->boolean);
+    }
+    transport.stop();
+  }
+  server.shutdown();
+  // The destructor unlinks the socket path (stale files would fail rebinds).
+  EXPECT_FALSE(std::filesystem::exists(path)) << "socket file not unlinked";
+}
+
+TEST(ServeSocket, OversizedFrameGetsOneNamedErrorThenClose) {
+  serve::Server server(tiny_serve(1, 2, 0));
+  serve::Endpoint ep;
+  ep.kind = serve::Endpoint::Kind::kTcp;
+  ep.port = 0;
+  serve::FrameLimits limits;
+  limits.max_frame_bytes = 256;
+  serve::SocketServer transport(server, ep, limits);
+  transport.start();
+  serve::Endpoint client_ep = ep;
+  client_ep.port = transport.resolved_port();
+  serve::Client client(client_ep);
+  client.send_raw(std::string(512, 'a') + "\n");
+  const serve::JsonValue reply = serve::parse_json(client.read_line());
+  EXPECT_FALSE(reply.find("ok")->boolean);
+  EXPECT_EQ(reply.find("error")->str, "oversized_frame");
+  // The connection is closed after the reject: the next read hits EOF.
+  EXPECT_THROW((void)client.read_line(), serve::SocketError);
+  transport.stop();
+  server.shutdown();
+}
+
+TEST(ServeSocket, TruncatedTrailingFrameIsDroppedAndServerSurvives) {
+  serve::Server server(tiny_serve(1, 2, 0));
+  serve::Endpoint ep;
+  ep.kind = serve::Endpoint::Kind::kTcp;
+  ep.port = 0;
+  serve::SocketServer transport(server, ep);
+  transport.start();
+  serve::Endpoint client_ep = ep;
+  client_ep.port = transport.resolved_port();
+  {
+    serve::Client half(client_ep);
+    half.send_raw(R"({"op":"stats")");  // no newline, then EOF on destruct
+  }
+  serve::Client whole(client_ep);
+  const serve::JsonValue stats = serve::parse_json(whole.request(R"({"op":"stats"})"));
+  EXPECT_TRUE(stats.find("ok")->boolean);
+  transport.stop();
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace vasim

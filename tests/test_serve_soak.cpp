@@ -1,0 +1,269 @@
+// Serve daemon soak: a seed-deterministic randomized client mix hammering
+// the full socket stack -- submit, poll, cancel, stats, and malformed frames
+// interleaved from several threads -- for a configurable duration.
+//
+//   VASIM_SOAK_MS    mix duration per soak case (default 1500 ms: a smoke
+//                    pass for the default CI job; nightly runs minutes)
+//   VASIM_SOAK_SEED  base RNG seed (default 1; nightly rotates it)
+//
+// What must hold at the end, no matter the interleaving:
+//   * no stuck jobs -- every submitted job reaches a terminal state,
+//   * no queue-accounting drift -- submitted == done + cancelled + failed
+//     and the queue is empty,
+//   * per-cell checksums are consistent across the entire run (same grid
+//     cell, same checksum, every client, cached or cold),
+//   * malformed frames always get a named error reply,
+//   * shutdown with jobs still in flight leaves nothing non-terminal.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/env.hpp"
+#include "src/serve/json.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/socket.hpp"
+
+namespace vasim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SharedLedger {
+  std::mutex mu;
+  std::map<std::string, std::string> checksums;  // cell key -> hex checksum
+  std::vector<std::string> failures;
+  std::size_t malformed_sent = 0;
+  std::size_t malformed_named = 0;
+
+  void fail(const std::string& why) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (failures.size() < 32) failures.push_back(why);
+  }
+};
+
+const char* const kBenches[] = {"bzip2", "gcc", "mcf"};
+const char* const kSchemes[] = {"fault-free", "abs", "razor"};
+const double kVdds[] = {0.97, 1.04};
+
+const char* const kMalformed[] = {
+    "garbage",
+    "{\"op\":\"submit\"}",
+    "{\"op\":\"submit\",\"cells\":[]}",
+    "{\"op\":\"submit\",\"cells\":[{\"bench\":\"nope\"}]}",
+    "{\"op\":\"poll\"}",
+    "{\"op\":\"poll\",\"job\":99999999}",
+    "{\"op\":\"nothing\"}",
+    "{\"op\":\"stats\",\"extra\":1}",
+    "[]",
+    "{\"op\":\"submit\",\"cells\":[{\"bench\":\"bzip2\",\"surprise\":1}]}",
+};
+
+void soak_client(const serve::Endpoint& ep, u64 seed, std::size_t index, u64 duration_ms,
+                 SharedLedger& ledger) {
+  std::mt19937_64 rng(seed * 7919 + index);
+  serve::Client client(ep);
+  const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(duration_ms);
+  struct Outstanding {
+    u64 id;
+    std::size_t seen;
+  };
+  std::vector<Outstanding> outstanding;
+
+  const auto poll_once = [&](Outstanding& o) -> bool {
+    const serve::JsonValue reply = serve::parse_json(
+        client.request("{\"op\":\"poll\",\"job\":" + std::to_string(o.id) +
+                       ",\"since\":" + std::to_string(o.seen) + "}"));
+    const serve::JsonValue* ok = reply.find("ok");
+    if (ok == nullptr || !ok->boolean) {
+      ledger.fail("poll rejected for a known job");
+      return true;
+    }
+    if (const serve::JsonValue* results = reply.find("results");
+        results != nullptr && results->is_array()) {
+      for (const serve::JsonValue& cell : results->array) {
+        ++o.seen;
+        const serve::JsonValue* cancelled = cell.find("cancelled");
+        if (cancelled != nullptr && cancelled->boolean) continue;
+        const std::string key = cell.find("benchmark")->str + "|" + cell.find("scheme")->str +
+                                "|" + serve::json_double(cell.find("vdd")->number);
+        const std::string sum = cell.find("checksum")->str;
+        std::lock_guard<std::mutex> lock(ledger.mu);
+        const auto [it, inserted] = ledger.checksums.emplace(key, sum);
+        if (!inserted && it->second != sum) {
+          ledger.failures.push_back("checksum drift for " + key);
+        }
+      }
+    }
+    const std::string state = reply.find("state")->str;
+    return state == "done" || state == "cancelled" || state == "failed";
+  };
+
+  while (Clock::now() < deadline) {
+    const u64 dice = rng() % 100;
+    if (dice < 40) {
+      // Submit a small random grid.
+      const std::size_t cells = 1 + rng() % 3;
+      std::string frame = "{\"op\":\"submit\",\"cells\":[";
+      for (std::size_t c = 0; c < cells; ++c) {
+        if (c != 0) frame += ",";
+        frame += "{\"bench\":\"" + std::string(kBenches[rng() % 3]) + "\",\"scheme\":\"" +
+                 kSchemes[rng() % 3] + "\",\"vdd\":" + serve::json_double(kVdds[rng() % 2]) +
+                 "}";
+      }
+      frame += "]}";
+      const serve::JsonValue reply = serve::parse_json(client.request(frame));
+      const serve::JsonValue* ok = reply.find("ok");
+      if (ok != nullptr && ok->boolean) {
+        outstanding.push_back({reply.find("job")->as_u64(), 0});
+      } else if (const serve::JsonValue* err = reply.find("error");
+                 err == nullptr || err->str != "queue_full") {
+        ledger.fail("well-formed submit rejected with " +
+                    (err != nullptr ? err->str : std::string("<no name>")));
+      }
+    } else if (dice < 60 && !outstanding.empty()) {
+      // Poll a random outstanding job.
+      const std::size_t i = rng() % outstanding.size();
+      if (poll_once(outstanding[i])) {
+        outstanding.erase(outstanding.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    } else if (dice < 70 && !outstanding.empty()) {
+      // Cancel a random outstanding job (it still has to reach terminal).
+      const std::size_t i = rng() % outstanding.size();
+      const serve::JsonValue reply = serve::parse_json(client.request(
+          "{\"op\":\"cancel\",\"job\":" + std::to_string(outstanding[i].id) + "}"));
+      if (reply.find("ok") == nullptr || !reply.find("ok")->boolean) {
+        ledger.fail("cancel rejected for a known job");
+      }
+    } else if (dice < 80) {
+      // Fire a malformed frame; the reply must be a named error, never an
+      // accept, and the connection must survive.
+      const std::string reply_text = client.request(kMalformed[rng() % 10]);
+      const serve::JsonValue reply = serve::parse_json(reply_text);
+      std::lock_guard<std::mutex> lock(ledger.mu);
+      ++ledger.malformed_sent;
+      const serve::JsonValue* ok = reply.find("ok");
+      const serve::JsonValue* err = reply.find("error");
+      if (ok != nullptr && !ok->boolean && err != nullptr && err->is_string() &&
+          !err->str.empty()) {
+        ++ledger.malformed_named;
+      }
+    } else if (dice < 85) {
+      const serve::JsonValue reply = serve::parse_json(client.request("{\"op\":\"stats\"}"));
+      if (reply.find("ok") == nullptr || !reply.find("ok")->boolean) {
+        ledger.fail("stats rejected");
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // Drain everything this client still has in flight: "no stuck jobs".
+  const Clock::time_point drain_deadline = Clock::now() + std::chrono::minutes(3);
+  while (!outstanding.empty()) {
+    if (Clock::now() > drain_deadline) {
+      ledger.fail(std::to_string(outstanding.size()) + " jobs stuck after drain window");
+      return;
+    }
+    for (auto it = outstanding.begin(); it != outstanding.end();) {
+      it = poll_once(*it) ? outstanding.erase(it) : it + 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(ServeSoak, RandomizedClientMixLeavesNoDriftNoStuckJobs) {
+  const u64 duration_ms = env_u64("VASIM_SOAK_MS", 1500);
+  const u64 seed = env_u64("VASIM_SOAK_SEED", 1);
+
+  serve::ServeConfig sc;
+  sc.workers = 3;
+  sc.queue_limit = 4;       // small on purpose: backpressure fires constantly
+  sc.cache_capacity = 4;    // smaller than the 18-cell grid: eviction churn
+  sc.runner.instructions = 2'000;
+  sc.runner.warmup = 1'000;
+  serve::Server server(sc);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("vasim_soak_" + std::to_string(seed) + ".sock"))
+          .string();
+  const serve::Endpoint ep = serve::parse_endpoint("unix:" + path);
+  serve::SocketServer transport(server, ep);
+  transport.start();
+
+  SharedLedger ledger;
+  std::vector<std::thread> clients;
+  constexpr std::size_t kClients = 4;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back(
+        [&ep, seed, i, duration_ms, &ledger] { soak_client(ep, seed, i, duration_ms, ledger); });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (const std::string& f : ledger.failures) ADD_FAILURE() << f;
+  EXPECT_GT(ledger.malformed_sent, 0u);
+  EXPECT_EQ(ledger.malformed_named, ledger.malformed_sent)
+      << "a malformed frame was accepted or answered without a named error";
+
+  // Queue accounting must balance exactly: everything submitted is terminal
+  // and nothing is left queued or running.
+  StatSet stats = server.stats();
+  const u64 submitted = stats.count("serve.jobs.submitted");
+  const u64 terminal = stats.count("serve.jobs.completed") +
+                       stats.count("serve.jobs.cancelled") + stats.count("serve.jobs.failed");
+  EXPECT_GT(submitted, 0u);
+  EXPECT_EQ(submitted, terminal) << "queue accounting drift";
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_EQ(stats.count("serve.jobs.failed"), 0u);
+  // The overlapping mix over a 4-entry cache must share at least once.
+  EXPECT_GT(server.cache_stats().hits, 0u);
+
+  transport.stop();
+  server.shutdown();
+}
+
+TEST(ServeSoak, ShutdownWithJobsInFlightIsCleanUnderLoad) {
+  // Repeatedly bring a server up, flood it, and tear it down mid-flight;
+  // every pass must leave all jobs terminal with full per-cell accounting.
+  const u64 seed = env_u64("VASIM_SOAK_SEED", 1);
+  const u64 passes = std::max<u64>(2, env_u64("VASIM_SOAK_MS", 1500) / 750);
+  std::mt19937_64 rng(seed * 31 + 7);
+  for (u64 pass = 0; pass < passes; ++pass) {
+    serve::ServeConfig sc;
+    sc.workers = 2;
+    sc.queue_limit = 16;
+    sc.cache_capacity = 4;
+    sc.runner.instructions = 2'000;
+    sc.runner.warmup = 1'000;
+    serve::Server server(sc);
+    std::vector<u64> ids;
+    for (int j = 0; j < 10; ++j) {
+      serve::JobSpec spec;
+      const std::size_t cells = 1 + rng() % 3;
+      for (std::size_t c = 0; c < cells; ++c) {
+        spec.cells.push_back({kBenches[rng() % 3], kSchemes[rng() % 3], kVdds[rng() % 2]});
+      }
+      ids.push_back(server.submit(spec));
+    }
+    // Let a random amount of work land before pulling the plug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(rng() % 40));
+    server.shutdown();
+    for (const u64 id : ids) {
+      const serve::JobStatus st = server.status(id);
+      EXPECT_TRUE(st.state == serve::JobState::kDone ||
+                  st.state == serve::JobState::kCancelled ||
+                  st.state == serve::JobState::kFailed)
+          << "pass " << pass << ": job " << id << " stuck in " << serve::to_string(st.state);
+      EXPECT_EQ(st.done, st.cells) << "pass " << pass << ": cell accounting hole in job " << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vasim

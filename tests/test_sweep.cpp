@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "src/common/thread_pool.hpp"
 #include "src/core/sweep.hpp"
@@ -195,6 +197,78 @@ TEST(ThreadPool, ThrowingTaskDoesNotKillWorkers) {
   }
   pool.wait_idle();
   EXPECT_EQ(done.load(), 13);  // 20 minus the 7 throwers (i = 0,3,...,18)
+}
+
+TEST(SweepCancel, PreFiredTokenCancelsEveryJob) {
+  const std::vector<core::SweepJob> jobs = small_grid();
+  core::CancelToken token;
+  token.cancel();  // fired before run(): nothing may start
+  core::SweepRunner runner(small_config(), 2);
+  runner.set_cancel_token(&token);
+  const core::SweepReport report = runner.run(jobs);
+  ASSERT_EQ(report.jobs.size(), jobs.size());
+  EXPECT_EQ(report.cancelled_jobs, jobs.size());
+  for (const core::SweepOutcome& j : report.jobs) {
+    EXPECT_TRUE(j.cancelled);
+    EXPECT_EQ(j.result.committed, 0u);  // never simulated
+  }
+}
+
+TEST(SweepCancel, UnfiredTokenChangesNothing) {
+  const std::vector<core::SweepJob> jobs = small_grid();
+  const core::SweepRunner plain(small_config(), 2);
+  const u64 expected = core::sweep_checksum(plain.run_results(jobs));
+  core::CancelToken token;  // present but never fired
+  core::SweepRunner runner(small_config(), 2);
+  runner.set_cancel_token(&token);
+  const core::SweepReport report = runner.run(jobs);
+  EXPECT_EQ(report.cancelled_jobs, 0u);
+  std::vector<core::RunResult> results;
+  results.reserve(report.jobs.size());
+  for (const core::SweepOutcome& j : report.jobs) results.push_back(j.result);
+  EXPECT_EQ(core::sweep_checksum(results), expected);
+}
+
+TEST(SweepCancel, MidFlightCancelKeepsSurvivorsBitwiseIdentical) {
+  // The cooperative contract: unstarted jobs report cancelled, jobs already
+  // running finish normally, and every survivor is bitwise identical to the
+  // uncancelled sweep's result at the same index.
+  const std::vector<core::SweepJob> jobs = small_grid();
+  const core::SweepRunner ref(small_config(), 1);
+  const std::vector<core::RunResult> expect = ref.run_results(jobs);
+
+  core::CancelToken token;
+  core::SweepRunner runner(small_config(), 2);
+  runner.set_cancel_token(&token);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.cancel();
+  });
+  const core::SweepReport report = runner.run(jobs);
+  canceller.join();
+  ASSERT_EQ(report.jobs.size(), jobs.size());
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (report.jobs[i].cancelled) {
+      ++cancelled;
+    } else {
+      EXPECT_EQ(core::result_checksum(report.jobs[i].result), core::result_checksum(expect[i]))
+          << "survivor " << i << " diverged from the uncancelled sweep";
+    }
+  }
+  EXPECT_EQ(report.cancelled_jobs, cancelled);
+}
+
+TEST(SweepCancel, BatchModeCancelsWholeUnstartedChunks) {
+  const std::vector<core::SweepJob> jobs = small_grid();
+  core::CancelToken token;
+  token.cancel();
+  core::SweepRunner runner(small_config(), 2);
+  runner.set_batch(4);
+  runner.set_cancel_token(&token);
+  const core::SweepReport report = runner.run(jobs);
+  ASSERT_EQ(report.jobs.size(), jobs.size());
+  EXPECT_EQ(report.cancelled_jobs, jobs.size());
 }
 
 TEST(ThreadPool, DefaultWorkerCountHonorsEnv) {

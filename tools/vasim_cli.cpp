@@ -43,6 +43,20 @@
 //       a checksummed snapshot; resume with `vasim run --from-snapshot`.
 //   vasim snap info FILE
 //       Pretty-print a snapshot's header, chunk table, CRC status and META.
+//   vasim serve --listen unix:PATH|tcp:PORT [--workers N] [--queue N]
+//               [--cache N] [--max-cells N] [--instr N] [--warmup N]
+//               [--timeline-interval K] [--profile]
+//       Run the sweep-as-a-service daemon (docs/serve.md): a line-delimited
+//       JSON protocol over a local socket with a bounded admission queue and
+//       a cross-request warm-start snapshot cache.  Runs until a client
+//       sends {"op":"shutdown"}.
+//   vasim loadgen --connect ENDPOINT [--clients N] [--jobs N] [--cells N]
+//                 [--interval MS] [--cancel-frac F] [--seed S] [--instr N]
+//                 [--warmup N] [--benches a,b] [--schemes x,y] [--vdds v,w]
+//                 [--json FILE] [--shutdown]
+//       Replay a seed-deterministic open-loop request mix against a running
+//       daemon and record latency percentiles, backpressure counts and the
+//       cross-client checksum-consistency verdict to BENCH_serve.json.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,6 +79,9 @@
 #include "src/obs/profiler.hpp"
 #include "src/obs/timeline.hpp"
 #include "src/obs/trace.hpp"
+#include "src/serve/loadgen.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/socket.hpp"
 #include "src/snap/format.hpp"
 #include "src/workload/trace_file.hpp"
 #include "src/workload/trace_generator.hpp"
@@ -90,7 +107,7 @@ bool parse_options(int start, int argc, char** argv, Args& a) {
     if (key.rfind("--", 0) != 0) return false;
     key = key.substr(2);
     if (key == "stats" || key == "csv" || key == "cpi" || key == "progress" ||
-        key == "reuse-warmup" || key == "profile") {
+        key == "reuse-warmup" || key == "profile" || key == "shutdown") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return false;
@@ -128,7 +145,14 @@ int usage() {
             << "  vasim sweep-merge FRAGMENT... --out FILE\n"
             << "  vasim snap save --bench <name> --scheme <name> --out FILE [--vdd V]\n"
             << "                  [--instr N] [--warmup N] [--at N] [--predictor tep|mre|tvp]\n"
-            << "  vasim snap info FILE\n";
+            << "  vasim snap info FILE\n"
+            << "  vasim serve --listen unix:PATH|tcp:PORT [--workers N] [--queue N]\n"
+            << "              [--cache N] [--max-cells N] [--instr N] [--warmup N]\n"
+            << "              [--timeline-interval K] [--profile]\n"
+            << "  vasim loadgen --connect ENDPOINT [--clients N] [--jobs N] [--cells N]\n"
+            << "                [--interval MS] [--cancel-frac F] [--seed S] [--instr N]\n"
+            << "                [--warmup N] [--benches a,b] [--schemes x,y] [--vdds v,w]\n"
+            << "                [--json FILE] [--shutdown]\n";
   return 2;
 }
 
@@ -800,6 +824,108 @@ int cmd_sweep_merge(int argc, char** argv) {
   }
 }
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int cmd_serve(const Args& args) {
+  if (!args.has("listen")) return usage();
+  try {
+    serve::ServeConfig sc;
+    sc.workers = std::strtoull(args.get("workers", "2").c_str(), nullptr, 10);
+    sc.queue_limit = std::strtoull(args.get("queue", "8").c_str(), nullptr, 10);
+    sc.cache_capacity = std::strtoull(args.get("cache", "32").c_str(), nullptr, 10);
+    sc.max_cells_per_job = std::strtoull(args.get("max-cells", "1024").c_str(), nullptr, 10);
+    sc.runner = runner_config(args);
+    obs::ProfilerHub hub;
+    if (args.has("profile")) sc.profiler_hub = &hub;
+    serve::Server server(sc);
+    const serve::Endpoint ep = serve::parse_endpoint(args.get("listen", ""));
+    serve::SocketServer transport(server, ep);
+    transport.start();
+    // One parseable "ready" line (flushed) so scripts can wait on it.
+    if (ep.kind == serve::Endpoint::Kind::kTcp) {
+      std::cout << "vasim serve: listening on tcp:127.0.0.1:" << transport.resolved_port();
+    } else {
+      std::cout << "vasim serve: listening on unix:" << ep.path;
+    }
+    std::cout << " (" << sc.workers << " workers, queue " << sc.queue_limit << ", cache "
+              << sc.cache_capacity << ")" << std::endl;
+    transport.serve_until_shutdown();
+    const StatSet s = server.stats();
+    std::cout << "vasim serve: shut down after " << s.count("serve.jobs.submitted")
+              << " jobs (" << s.count("serve.jobs.completed") << " done, "
+              << s.count("serve.jobs.cancelled") << " cancelled, "
+              << s.count("serve.jobs.failed") << " failed, "
+              << s.count("serve.jobs.rejected") << " rejected); cache "
+              << s.count("serve.cache.hit") << " hits / " << s.count("serve.cache.miss")
+              << " misses, queue peak " << s.scalar("serve.queue.peak") << "\n";
+    if (args.has("profile")) print_profile_tables(hub);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_loadgen(const Args& args) {
+  if (!args.has("connect")) return usage();
+  serve::LoadgenConfig lc;
+  lc.endpoint = args.get("connect", "");
+  lc.clients = std::strtoull(args.get("clients", "4").c_str(), nullptr, 10);
+  lc.jobs_per_client = std::strtoull(args.get("jobs", "8").c_str(), nullptr, 10);
+  lc.cells_per_job = std::strtoull(args.get("cells", "2").c_str(), nullptr, 10);
+  lc.submit_interval_ms = std::strtod(args.get("interval", "5").c_str(), nullptr);
+  lc.cancel_fraction = std::strtod(args.get("cancel-frac", "0").c_str(), nullptr);
+  lc.seed = std::strtoull(args.get("seed", "1").c_str(), nullptr, 10);
+  lc.instructions = std::strtoull(args.get("instr", "0").c_str(), nullptr, 10);
+  lc.warmup = std::strtoull(args.get("warmup", "0").c_str(), nullptr, 10);
+  if (args.has("benches")) lc.benches = split_csv(args.get("benches", ""));
+  if (args.has("schemes")) lc.schemes = split_csv(args.get("schemes", ""));
+  if (args.has("vdds")) {
+    lc.vdds.clear();
+    for (const std::string& v : split_csv(args.get("vdds", ""))) {
+      lc.vdds.push_back(std::strtod(v.c_str(), nullptr));
+    }
+  }
+  if (lc.benches.empty() || lc.schemes.empty() || lc.vdds.empty()) {
+    std::cerr << "loadgen needs non-empty --benches/--schemes/--vdds\n";
+    return 2;
+  }
+  lc.out_json = args.get("json", "BENCH_serve.json");
+  try {
+    const serve::LoadgenReport rep = serve::run_loadgen(lc);
+    std::cout << serve::loadgen_summary(rep);
+    if (!lc.out_json.empty()) {
+      if (!serve::write_loadgen_json(lc.out_json, lc, rep)) {
+        std::cerr << "cannot write " << lc.out_json << "\n";
+        return 2;
+      }
+      std::cout << "loadgen report written to " << lc.out_json << "\n";
+    }
+    if (args.has("shutdown")) {
+      serve::Client c(serve::parse_endpoint(lc.endpoint));
+      const std::string reply = c.request("{\"op\":\"shutdown\"}");
+      std::cout << "shutdown requested: " << reply << "\n";
+    }
+    // The mix itself is the check: inconsistent checksums, failed jobs or a
+    // drain timeout make the exit status visible to CI.
+    return rep.checksums_consistent && !rep.timed_out && rep.jobs_failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
+
 int cmd_snap(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string sub = argv[2];
@@ -829,6 +955,8 @@ int main(int argc, char** argv) {
     if (args->command == "sweep") return cmd_sweep(*args);
     if (args->command == "record") return cmd_record(*args);
     if (args->command == "replay") return cmd_replay(*args);
+    if (args->command == "serve") return cmd_serve(*args);
+    if (args->command == "loadgen") return cmd_loadgen(*args);
     return usage();
   } catch (const std::invalid_argument& e) {
     // Config validation (validate_core_config, --kernel parsing) reports the
