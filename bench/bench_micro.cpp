@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "src/adapt/dvfs.hpp"
 #include "src/circuit/builders.hpp"
 #include "src/circuit/gatesim.hpp"
 #include "src/circuit/sta.hpp"
@@ -728,6 +729,146 @@ void emit_batch_json() {
               jobs.size(), mips_b1, mips_b8, mips_b1 > 0.0 ? mips_b8 / mips_b1 : 0.0, cores);
 }
 
+// ---- adaptive-clocking frontier record ---------------------------------------
+
+/// Writes BENCH_dvfs.json: the throughput-vs-violation-rate frontier of the
+/// closed-loop DVFS policies (docs/adaptive.md) against every static supply
+/// point, per benchmark and scheme.  "Throughput" is committed instructions
+/// per *nominal* cycle of wall time (equals IPC when the period never
+/// moves), so static and adaptive points share one axis.  The headline
+/// check: at the controller's violation budget, at least one adaptive
+/// policy must beat every static supply point on at least one cell --
+/// otherwise the subsystem earns its complexity nowhere and the bench
+/// fails loudly.  VASIM_DVFSBENCH_INSTR / _WARMUP shrink the grid for CI.
+void emit_dvfs_json() {
+  if (env_u64("VASIM_JSON", 1) == 0) return;
+  core::RunnerConfig rc;
+  rc.instructions = env_u64("VASIM_DVFSBENCH_INSTR", 30'000);
+  rc.warmup = env_u64("VASIM_DVFSBENCH_WARMUP", 10'000);
+
+  struct Point {
+    std::string benchmark, scheme, policy;
+    double vdd = 0.0;
+    double ipc = 0.0;
+    double throughput = 0.0;      ///< instr per nominal cycle
+    double violation_pct = 0.0;   ///< committed-faulty %, shared axis
+    double avg_period_permille = 1000.0;
+    u64 epochs = 0;
+  };
+  const double vdds[] = {1.10, 1.04, 0.97};
+  const char* policies[] = {"static", "reactive", "predictive"};
+  std::vector<Point> grid;
+  const double budget_pct = core::RunnerConfig{}.dvfs.target_violation_pct;
+
+  for (const auto& bname : {"bzip2", "sjeng"}) {
+    const auto prof = workload::spec2006_profile(bname);
+    for (const auto& sname : {"abs", "ep"}) {
+      const auto scheme = core::scheme_by_name(sname);
+      for (const char* pname : policies) {
+        core::RunnerConfig prc = rc;
+        prc.dvfs.policy = adapt::dvfs_policy_from_string(pname);
+        const core::ExperimentRunner runner(prc);
+        for (const double vdd : vdds) {
+          const core::RunResult r = runner.run(prof, *scheme, vdd);
+          Point p;
+          p.benchmark = bname;
+          p.scheme = sname;
+          p.policy = pname;
+          p.vdd = vdd;
+          p.ipc = r.ipc;
+          p.violation_pct = r.fault_rate_pct;
+          if (r.dvfs) {
+            p.throughput = r.dvfs->throughput;
+            p.avg_period_permille = r.dvfs->avg_period_permille;
+            p.epochs = r.dvfs->epochs;
+          } else {
+            p.throughput = r.ipc;  // period pinned at nominal
+          }
+          grid.push_back(std::move(p));
+        }
+      }
+    }
+  }
+
+  // Per (benchmark, scheme) cell: the best in-budget throughput of each
+  // policy; "dominated" when an adaptive policy beats every static point.
+  struct Cell {
+    std::string benchmark, scheme;
+    double best[3] = {0.0, 0.0, 0.0};  ///< per policy, in-budget best
+    std::string dominated_by;
+  };
+  std::vector<Cell> cells;
+  bool any_dominated = false;
+  for (const Point& p : grid) {
+    Cell* cell = nullptr;
+    for (Cell& c : cells) {
+      if (c.benchmark == p.benchmark && c.scheme == p.scheme) cell = &c;
+    }
+    if (cell == nullptr) {
+      cells.push_back({p.benchmark, p.scheme, {0.0, 0.0, 0.0}, ""});
+      cell = &cells.back();
+    }
+    if (p.violation_pct > budget_pct) continue;  // over budget: off the frontier
+    for (int i = 0; i < 3; ++i) {
+      if (p.policy == policies[i]) cell->best[i] = std::max(cell->best[i], p.throughput);
+    }
+  }
+  for (Cell& c : cells) {
+    const int winner = c.best[2] >= c.best[1] ? 2 : 1;
+    if (c.best[winner] > c.best[0]) {
+      c.dominated_by = policies[winner];
+      any_dominated = true;
+    }
+  }
+  if (!any_dominated) {
+    std::fprintf(stderr,
+                 "BENCH_dvfs: no adaptive policy beat the static frontier on any cell\n");
+    std::exit(1);
+  }
+
+  std::ofstream out("BENCH_dvfs.json");
+  if (!out) return;
+  char buf[512];
+  out << "{\n"
+      << "  \"bench\": \"dvfs\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"instr\": " << rc.instructions << ",\n"
+      << "  \"warmup\": " << rc.warmup << ",\n";
+  std::snprintf(buf, sizeof buf, "  \"violation_budget_pct\": %.3f,\n", budget_pct);
+  out << buf << "  \"grid\": [";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Point& p = grid[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"benchmark\": \"%s\", \"scheme\": \"%s\", \"policy\": \"%s\", "
+                  "\"vdd\": %.2f, \"ipc\": %.4f, \"throughput\": %.4f, "
+                  "\"violation_pct\": %.4f, \"avg_period_permille\": %.1f, \"epochs\": %llu}",
+                  i == 0 ? "" : ",", p.benchmark.c_str(), p.scheme.c_str(), p.policy.c_str(),
+                  p.vdd, p.ipc, p.throughput, p.violation_pct, p.avg_period_permille,
+                  static_cast<unsigned long long>(p.epochs));
+    out << buf;
+  }
+  out << "\n  ],\n  \"frontier\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"benchmark\": \"%s\", \"scheme\": \"%s\", "
+                  "\"best_static\": %.4f, \"best_reactive\": %.4f, "
+                  "\"best_predictive\": %.4f, \"dominated_by\": %s%s%s}",
+                  i == 0 ? "" : ",", c.benchmark.c_str(), c.scheme.c_str(), c.best[0],
+                  c.best[1], c.best[2], c.dominated_by.empty() ? "null" : "\"",
+                  c.dominated_by.c_str(), c.dominated_by.empty() ? "" : "\"");
+    out << buf;
+  }
+  out << "\n  ],\n  \"frontier_dominated\": true\n}\n";
+  out.close();
+  copy_to_results("BENCH_dvfs.json");
+  std::size_t dominated = 0;
+  for (const Cell& c : cells) dominated += c.dominated_by.empty() ? 0 : 1;
+  std::printf("[BENCH_dvfs.json: %zu grid points, adaptive beats the static frontier on "
+              "%zu/%zu cells at %.1f%% violation budget]\n",
+              grid.size(), dominated, cells.size(), budget_pct);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -741,5 +882,6 @@ int main(int argc, char** argv) {
   emit_timeline_json();
   emit_snapshot_json();
   emit_batch_json();
+  emit_dvfs_json();
   return 0;
 }

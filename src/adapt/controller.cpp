@@ -1,0 +1,168 @@
+#include "src/adapt/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vasim::adapt {
+
+// ---- reactive ---------------------------------------------------------------
+
+u32 ReactiveController::next_period(const EpochStats& e, u32 current) {
+  if (e.violation_pct > cfg_.target_violation_pct) {
+    quiet_ = 0;
+    // Proportional raise: the further over budget, the bigger the step.
+    const double over = e.violation_pct / std::max(cfg_.target_violation_pct, 1e-9);
+    const u32 mult = over > 8.0 ? 4u : over > 4.0 ? 3u : over > 2.0 ? 2u : 1u;
+    return current + cfg_.step_permille * mult;
+  }
+  if (e.hot || e.droopy) return current;  // sensor gate: adverse conditions
+  if (++quiet_ >= cfg_.quiet_epochs) {
+    quiet_ = 0;
+    return current >= cfg_.step_permille ? current - cfg_.step_permille : current;
+  }
+  return current;
+}
+
+void ReactiveController::save_state(snap::Writer& w) const { w.put_u32(quiet_); }
+
+void ReactiveController::restore_state(snap::Reader& r) { quiet_ = r.get_u32(); }
+
+// ---- predictive -------------------------------------------------------------
+
+PredictiveController::PredictiveController(const DvfsConfig& cfg) : cfg_(cfg) {
+  const std::size_t n =
+      static_cast<std::size_t>(cfg.period_max_permille - cfg.period_min_permille) /
+          cfg.step_permille +
+      1;
+  viol_.assign(n, 0.0);
+  cpi_.assign(n, 0.0);
+  visits_.assign(n, 0);
+  w_ = {1.0, 0.0, 0.0, 0.0};
+}
+
+std::size_t PredictiveController::bucket_of(u32 period) const {
+  const u32 p = std::clamp(period, cfg_.period_min_permille, cfg_.period_max_permille);
+  return static_cast<std::size_t>(p - cfg_.period_min_permille) / cfg_.step_permille;
+}
+
+u32 PredictiveController::period_of(std::size_t b) const {
+  return cfg_.period_min_permille + static_cast<u32>(b) * cfg_.step_permille;
+}
+
+double PredictiveController::predicted_viol(std::size_t b) const {
+  if (visits_[b] > 0) return viol_[b];
+  // Nearest visited bucket on each side; violation rate falls with period,
+  // so extrapolate upward optimistically and downward pessimistically --
+  // except that the immediate neighbor of a visited bucket inherits its
+  // value, which is the optimism that drives stepwise exploration.
+  constexpr double kSlope = 0.4;  // pct per bucket of distance
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t v = 0; v < visits_.size(); ++v) {
+    if (visits_[v] == 0) continue;
+    const double dist =
+        static_cast<double>(v > b ? v - b : b - v);
+    double est;
+    if (v > b) {
+      // b is below a visited bucket: expect more violations than there.
+      est = viol_[v] + kSlope * (dist - 1.0);
+    } else {
+      // b is above: expect fewer.
+      est = std::max(0.0, viol_[v] - kSlope * dist);
+    }
+    best = std::min(best, std::max(0.0, est));
+  }
+  return std::isfinite(best) ? best : 0.0;
+}
+
+u32 PredictiveController::next_period(const EpochStats& e, u32 current) {
+  const std::size_t b = bucket_of(current);
+  const double cpi_obs =
+      e.committed > 0 ? static_cast<double>(e.cycles) / static_cast<double>(e.committed) : 1.0;
+
+  // Table update for the bucket just measured.
+  constexpr double kAlpha = 0.3;
+  if (visits_[b] == 0) {
+    viol_[b] = e.violation_pct;
+    cpi_[b] = cpi_obs;
+  } else {
+    viol_[b] = (1.0 - kAlpha) * viol_[b] + kAlpha * e.violation_pct;
+    cpi_[b] = (1.0 - kAlpha) * cpi_[b] + kAlpha * cpi_obs;
+  }
+  ++visits_[b];
+  ++steps_;
+
+  // Online linear CPI model over epoch features (SGD, small fixed rate).
+  const std::array<double, 4> f = {1.0, e.ipc, e.mem_fraction, e.violation_pct / 100.0};
+  double cpi_hat = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) cpi_hat += w_[i] * f[i];
+  const double err = cpi_obs - cpi_hat;
+  constexpr double kLr = 0.02;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    w_[i] = std::clamp(w_[i] + kLr * err * f[i], -50.0, 50.0);
+  }
+
+  // Pick the bucket minimizing predicted wall per instruction within the
+  // violation budget; if nothing fits the budget, flee to the quietest
+  // prediction (ties break toward the longer period).
+  double best_cost = std::numeric_limits<double>::infinity();
+  double best_viol = std::numeric_limits<double>::infinity();
+  std::size_t best = b;
+  std::size_t calmest = b;
+  bool any_feasible = false;
+  for (std::size_t c = 0; c < visits_.size(); ++c) {
+    const double v = predicted_viol(c);
+    double cpi_pred;
+    if (visits_[c] > 0) {
+      cpi_pred = cpi_[c];
+    } else {
+      cpi_pred = w_[0] + w_[1] * e.ipc + w_[2] * e.mem_fraction + w_[3] * (v / 100.0);
+      cpi_pred = std::max(cpi_pred, 0.2);
+    }
+    const double cost = static_cast<double>(period_of(c)) * cpi_pred;
+    if (v < best_viol || (v == best_viol && c > calmest)) {
+      best_viol = v;
+      calmest = c;
+    }
+    if (v > cfg_.target_violation_pct) continue;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = c;
+      any_feasible = true;
+    }
+  }
+  return period_of(any_feasible ? best : calmest);
+}
+
+void PredictiveController::save_state(snap::Writer& w) const {
+  w.put_u32(static_cast<u32>(viol_.size()));
+  for (const double v : viol_) w.put_f64(v);
+  for (const double v : cpi_) w.put_f64(v);
+  for (const u64 v : visits_) w.put_u64(v);
+  for (const double v : w_) w.put_f64(v);
+  w.put_u64(steps_);
+}
+
+void PredictiveController::restore_state(snap::Reader& r) {
+  const u32 n = r.get_u32();
+  if (n != viol_.size()) {
+    throw snap::SnapshotError("predictive controller bucket count " + std::to_string(n) +
+                              " != configured " + std::to_string(viol_.size()));
+  }
+  for (double& v : viol_) v = r.get_f64();
+  for (double& v : cpi_) v = r.get_f64();
+  for (u64& v : visits_) v = r.get_u64();
+  for (double& v : w_) v = r.get_f64();
+  steps_ = r.get_u64();
+}
+
+std::unique_ptr<DvfsController> make_controller(const DvfsConfig& cfg) {
+  switch (cfg.policy) {
+    case DvfsPolicy::kStatic: return nullptr;
+    case DvfsPolicy::kReactive: return std::make_unique<ReactiveController>(cfg);
+    case DvfsPolicy::kPredictive: return std::make_unique<PredictiveController>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace vasim::adapt

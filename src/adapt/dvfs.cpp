@@ -1,0 +1,76 @@
+#include "src/adapt/dvfs.hpp"
+
+namespace vasim::adapt {
+
+std::string_view to_string(DvfsPolicy p) {
+  switch (p) {
+    case DvfsPolicy::kStatic: return "static";
+    case DvfsPolicy::kReactive: return "reactive";
+    case DvfsPolicy::kPredictive: return "predictive";
+  }
+  return "static";
+}
+
+DvfsPolicy dvfs_policy_from_string(std::string_view s) {
+  if (s == "static") return DvfsPolicy::kStatic;
+  if (s == "reactive") return DvfsPolicy::kReactive;
+  if (s == "predictive") return DvfsPolicy::kPredictive;
+  throw std::invalid_argument("dvfs: unknown policy '" + std::string(s) +
+                              "' (want static, reactive or predictive)");
+}
+
+void validate_dvfs_config(const DvfsConfig& cfg) {
+  if (cfg.epoch == 0) {
+    throw std::invalid_argument("dvfs.epoch: must be positive");
+  }
+  if (cfg.period_min_permille < 800 || cfg.period_min_permille > 1000) {
+    throw std::invalid_argument("dvfs.period_min_permille: " +
+                                std::to_string(cfg.period_min_permille) +
+                                " outside [800, 1000]");
+  }
+  if (cfg.period_max_permille < 1000 || cfg.period_max_permille > 1500) {
+    throw std::invalid_argument("dvfs.period_max_permille: " +
+                                std::to_string(cfg.period_max_permille) +
+                                " outside [1000, 1500]");
+  }
+  if (cfg.period_min_permille > cfg.period_max_permille) {
+    throw std::invalid_argument("dvfs.period_min_permille: exceeds period_max_permille");
+  }
+  if (cfg.target_violation_pct < 0.0 || cfg.target_violation_pct > 100.0) {
+    throw std::invalid_argument("dvfs.target_violation_pct: outside [0, 100]");
+  }
+  if (cfg.quiet_epochs == 0) {
+    throw std::invalid_argument("dvfs.quiet_epochs: must be positive");
+  }
+  if (cfg.step_permille == 0 || cfg.step_permille > 100) {
+    throw std::invalid_argument("dvfs.step_permille: outside [1, 100]");
+  }
+}
+
+void put_dvfs_config(snap::Writer& w, const DvfsConfig& cfg) {
+  w.put_u8(static_cast<u8>(cfg.policy));
+  w.put_u64(cfg.epoch);
+  w.put_u32(cfg.period_min_permille);
+  w.put_u32(cfg.period_max_permille);
+  w.put_f64(cfg.target_violation_pct);
+  w.put_u32(cfg.quiet_epochs);
+  w.put_u32(cfg.step_permille);
+}
+
+DvfsConfig get_dvfs_config(snap::Reader& r) {
+  DvfsConfig cfg;
+  const u8 p = r.get_u8();
+  if (p > static_cast<u8>(DvfsPolicy::kPredictive)) {
+    throw snap::SnapshotError("dvfs policy byte " + std::to_string(p));
+  }
+  cfg.policy = static_cast<DvfsPolicy>(p);
+  cfg.epoch = r.get_u64();
+  cfg.period_min_permille = r.get_u32();
+  cfg.period_max_permille = r.get_u32();
+  cfg.target_violation_pct = r.get_f64();
+  cfg.quiet_epochs = r.get_u32();
+  cfg.step_permille = r.get_u32();
+  return cfg;
+}
+
+}  // namespace vasim::adapt

@@ -29,6 +29,15 @@ JobContext::JobContext(const RunnerConfig& cfg, const workload::BenchmarkProfile
     path_cfg.p_faulty_high = profile.fr_high_pct / 100.0 * profile.fr_calib_high;
     path_cfg.p_faulty_low = profile.fr_low_pct / 100.0 * profile.fr_calib_low;
     fm.emplace(path_cfg, vdd);
+    if (cfg.dvfs.adaptive()) {
+      timing::StateDelayConfig sd;
+      sd.seed = profile.seed;
+      timing::ProcessConfig pc;
+      pc.seed = hash_combine(profile.seed, 0x9a7eULL);
+      state_delay.emplace(sd, timing::ProcessVariation(pc), vdd);
+      fm->set_state_model(&*state_delay);
+      clock.emplace(cfg.dvfs, vdd);
+    }
     tep.emplace(cfg.tep, &fm->environment());
     mre.emplace(cfg.tep.entries);
     tvp.emplace(cfg.tep.entries);
@@ -41,6 +50,9 @@ JobContext::JobContext(const RunnerConfig& cfg, const workload::BenchmarkProfile
     }
   }
   pipe.emplace(cfg.core, scheme, &gen, fault_free ? nullptr : &*fm, predictor);
+  // Attach before the timeline is built so its ctor freezes a column set
+  // that includes the dvfs counters.
+  if (clock) pipe->set_clock(&*clock);
   if (cfg.check_semantics) {
     checker.emplace(cfg.core, scheme);
     checker->attach(*pipe);
@@ -86,6 +98,7 @@ RunSnapshot make_snapshot(const RunnerConfig& cfg, const JobContext& ctx,
   m.predictor = cfg.predictor;
   m.check_semantics = cfg.check_semantics;
   m.commit_trail_stride = cfg.commit_trail_stride;
+  m.dvfs = cfg.dvfs;
   m.captured_committed = ctx.pipe->committed();
   m.captured_cycle = ctx.pipe->now();
   m.base_captured = base_captured;
@@ -100,7 +113,7 @@ RunSnapshot make_snapshot(const RunnerConfig& cfg, const JobContext& ctx,
 
   snap::Writer meta_w;
   put_run_meta(meta_w, m);
-  s.container().add(kChunkMeta, 1, std::move(meta_w));
+  s.container().add(kChunkMeta, kMetaChunkVersion, std::move(meta_w));
   snap::Writer pipe_w;
   ctx.pipe->save_state(pipe_w);
   s.container().add(kChunkPipe, 1, std::move(pipe_w));
@@ -125,6 +138,11 @@ RunSnapshot make_snapshot(const RunnerConfig& cfg, const JobContext& ctx,
     trail_w.put_u32(static_cast<u32>(ctx.trail.size()));
     for (const Cycle c : ctx.trail) trail_w.put_u64(c);
     s.container().add(kChunkTral, 1, std::move(trail_w));
+  }
+  if (ctx.clock) {
+    snap::Writer adpt_w;
+    ctx.clock->save_state(adpt_w);
+    s.container().add(kChunkAdpt, 1, std::move(adpt_w));
   }
   // Re-decode through the public path so meta() is populated and the
   // container is known-loadable before anyone relies on it.
@@ -164,6 +182,14 @@ void restore_into(JobContext& ctx, const RunSnapshot& s) {
     r.expect_done("TRAL chunk");
     ctx.trail_obs->set_commits(commits);
   }
+  if (ctx.clock) {
+    snap::Reader r(require_v1(s.container(), kChunkAdpt).payload);
+    ctx.clock->restore_state(r);
+    r.expect_done("ADPT chunk");
+    // Re-attach: re-arms the epoch threshold from the restored commit count
+    // and refreshes the cached period scale from the restored controller.
+    ctx.pipe->set_clock(&*ctx.clock);
+  }
   if (ctx.timeline) {
     // Warm-start fork: the timeline begins at the restored machine state.
     // Re-attaching re-arms the next K-commit threshold from the restored
@@ -201,6 +227,22 @@ RunResult assemble_result(const RunnerConfig& cfg, JobContext& ctx,
   if (ctx.timeline) {
     ctx.timeline->finalize(ctx.pipe->now(), ctx.pipe->committed());
     r.timeline = ctx.timeline;
+  }
+  if (ctx.clock) {
+    DvfsSummary d;
+    d.policy = std::string(adapt::to_string(ctx.clock->config().policy));
+    d.epochs = ctx.clock->epochs();
+    d.wall_units = r.stats.count("dvfs.wall_units");  // measured window (diffed)
+    d.period_final = ctx.clock->period_permille();
+    d.period_lo = ctx.clock->period_lo();
+    d.period_hi = ctx.clock->period_hi();
+    d.avg_period_permille =
+        r.cycles > 0 ? static_cast<double>(d.wall_units) / static_cast<double>(r.cycles) : 0.0;
+    d.throughput = d.wall_units > 0
+                       ? static_cast<double>(r.committed) * 1000.0 / static_cast<double>(d.wall_units)
+                       : 0.0;
+    d.trajectory = ctx.clock->trajectory();
+    r.dvfs = std::move(d);
   }
   if (cfg.profiler_hub != nullptr && ctx.profiler) {
     cfg.profiler_hub->merge(ctx.profiler->snapshot());

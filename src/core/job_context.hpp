@@ -59,6 +59,12 @@ class CommitTrailObserver final : public cpu::PipelineObserver {
 struct JobContext {
   workload::TraceGenerator gen;
   std::optional<timing::FaultModel> fm;
+  /// State-dependent delay model + adaptive clock domain; engaged only when
+  /// RunnerConfig::dvfs names an adaptive policy and the job has a scheme
+  /// (static jobs carry neither, keeping them bitwise-identical to pre-dvfs
+  /// builds).
+  std::optional<timing::StateDelayModel> state_delay;
+  std::optional<adapt::ClockDomain> clock;
   std::optional<TimingErrorPredictor> tep;
   std::optional<MostRecentEntryPredictor> mre;
   std::optional<TimingViolationPredictor> tvp;

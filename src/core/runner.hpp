@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/adapt/clock.hpp"
+#include "src/adapt/dvfs.hpp"
 #include "src/core/energy.hpp"
 #include "src/core/predictors.hpp"
 #include "src/core/tep.hpp"
@@ -16,6 +18,26 @@
 #include "src/workload/profiles.hpp"
 
 namespace vasim::core {
+
+/// Adaptive-clock outcome of one run (absent for static runs).  The scalar
+/// inputs (dvfs.wall_units and friends) ride RunResult::stats and therefore
+/// fold into sweep checksums; this block adds the derived summary and the
+/// controller trajectory for reports.
+struct DvfsSummary {
+  std::string policy;            ///< "reactive" / "predictive"
+  u64 epochs = 0;                ///< controller steps over the whole run
+  u64 wall_units = 0;            ///< measured-window permille-cycles
+  u32 period_final = 0;          ///< permille, at run end
+  u32 period_lo = 0;             ///< permille, run-wide extremes
+  u32 period_hi = 0;
+  double avg_period_permille = 0.0;  ///< measured-window wall_units / cycles
+  /// Measured-window committed * 1000 / wall_units: instructions per nominal
+  /// cycle of wall time.  Equals IPC when the period never moves.
+  double throughput = 0.0;
+  /// Whole-run controller trajectory (warmup included).  Not folded into
+  /// sweep_checksum (diagnostic series; the scalars above come from stats).
+  std::vector<adapt::TrajectoryPoint> trajectory;
+};
 
 /// One simulation's outcome.
 struct RunResult {
@@ -46,6 +68,9 @@ struct RunResult {
   /// their timeline at the fork point.  Not folded into sweep_checksum
   /// (diagnostic series, not an identity).
   std::shared_ptr<const obs::Timeline> timeline;
+  /// Controller summary + trajectory for adaptive-clock runs; nullopt for
+  /// static runs (whose results are bit-identical to pre-dvfs builds).
+  std::optional<DvfsSummary> dvfs;
 };
 
 /// (performance %, energy-delay %) overhead tuple, the format of Table 1.
@@ -94,6 +119,13 @@ struct RunnerConfig {
   /// When set, every run attaches a wall-time self-profiler and merges its
   /// snapshot here at result assembly.  Non-owning; must outlive the runs.
   obs::ProfilerHub* profiler_hub = nullptr;
+  /// Adaptive clocking (src/adapt/, docs/adaptive.md).  kStatic (default)
+  /// attaches nothing and is bitwise-identical to pre-dvfs behavior.
+  /// Adaptive policies apply only to scheme runs (a fault model must be
+  /// present to arbitrate violations); fault-free baselines stay static.
+  /// The whole struct folds into the warmup key, so snapshots and serve
+  /// cache entries never cross policies.
+  adapt::DvfsConfig dvfs;
 };
 
 // Defined in src/core/snapshot.hpp; callers of the snapshot API include it.

@@ -47,6 +47,26 @@ void put_run_result(snap::Writer& w, const RunResult& r) {
   // checksum, like everywhere else).
   w.put_bool(r.timeline != nullptr);
   if (r.timeline != nullptr) r.timeline->save(w);
+  // Fragment schema 3: optional adaptive-clock summary.  The scalars mirror
+  // checksummed dvfs.* stats; the trajectory is diagnostic.
+  w.put_bool(r.dvfs.has_value());
+  if (r.dvfs) {
+    const DvfsSummary& d = *r.dvfs;
+    w.put_str(d.policy);
+    w.put_u64(d.epochs);
+    w.put_u64(d.wall_units);
+    w.put_u32(d.period_final);
+    w.put_u32(d.period_lo);
+    w.put_u32(d.period_hi);
+    w.put_f64(d.avg_period_permille);
+    w.put_f64(d.throughput);
+    w.put_u32(static_cast<u32>(d.trajectory.size()));
+    for (const adapt::TrajectoryPoint& p : d.trajectory) {
+      w.put_u64(p.committed);
+      w.put_u32(p.period_permille);
+      w.put_u32(p.violations);
+    }
+  }
 }
 
 RunResult get_run_result(snap::Reader& r) {
@@ -71,6 +91,27 @@ RunResult get_run_result(snap::Reader& r) {
   out.checker_checks = r.get_u64();
   if (r.get_bool()) {
     out.timeline = std::make_shared<const obs::Timeline>(obs::Timeline::load(r));
+  }
+  if (r.get_bool()) {
+    DvfsSummary d;
+    d.policy = r.get_str();
+    d.epochs = r.get_u64();
+    d.wall_units = r.get_u64();
+    d.period_final = r.get_u32();
+    d.period_lo = r.get_u32();
+    d.period_hi = r.get_u32();
+    d.avg_period_permille = r.get_f64();
+    d.throughput = r.get_f64();
+    const u32 traj = r.get_u32();
+    d.trajectory.reserve(traj);
+    for (u32 i = 0; i < traj; ++i) {
+      adapt::TrajectoryPoint p;
+      p.committed = r.get_u64();
+      p.period_permille = r.get_u32();
+      p.violations = r.get_u32();
+      d.trajectory.push_back(p);
+    }
+    out.dvfs = std::move(d);
   }
   return out;
 }
@@ -307,7 +348,7 @@ void write_fragment_json(std::ostream& os, const SweepFragment& f) {
   os << "{\n"
      << "  \"bench\": \"" << json_escape(f.name) << "\",\n"
      << "  \"kind\": \"sweep_fragment\",\n"
-     << "  \"schema_version\": 2,\n"
+     << "  \"schema_version\": 3,\n"
      << "  \"shard_index\": " << f.shard_index << ",\n"
      << "  \"shard_count\": " << f.shard_count << ",\n"
      << "  \"total_jobs\": " << f.total_jobs << ",\n"
@@ -349,7 +390,7 @@ SweepFragment read_fragment_json(std::istream& is, const std::string& path) {
     throw std::runtime_error("fragment: not a sweep fragment (wrong \"kind\")");
   }
   sc.seek("schema_version");
-  constexpr u64 kFragmentSchema = 2;
+  constexpr u64 kFragmentSchema = 3;
   const u64 schema = sc.scan_u64();
   if (schema != kFragmentSchema) throw FragmentSchemaError(path, schema, kFragmentSchema);
   sc.seek("shard_index");

@@ -3,8 +3,6 @@
 namespace vasim::core {
 namespace {
 
-constexpr u32 kMetaVersion = 1;
-
 u64 fnv1a(const std::string& bytes) {
   u64 h = 1469598103934665603ULL;
   for (const char c : bytes) {
@@ -235,6 +233,7 @@ void put_run_meta(snap::Writer& w, const RunMeta& m) {
   w.put_u8(predictor_code(m.predictor));
   w.put_bool(m.check_semantics);
   w.put_u64(m.commit_trail_stride);
+  adapt::put_dvfs_config(w, m.dvfs);
   w.put_u64(m.captured_committed);
   w.put_u64(m.captured_cycle);
   w.put_bool(m.base_captured);
@@ -257,6 +256,7 @@ RunMeta get_run_meta(snap::Reader& r) {
   m.predictor = predictor_from_code(r.get_u8());
   m.check_semantics = r.get_bool();
   m.commit_trail_stride = r.get_u64();
+  m.dvfs = adapt::get_dvfs_config(r);
   m.captured_committed = r.get_u64();
   m.captured_cycle = r.get_u64();
   m.base_captured = r.get_bool();
@@ -271,9 +271,9 @@ RunSnapshot RunSnapshot::from_container(snap::Snapshot&& container) {
   RunSnapshot s;
   s.container_ = std::move(container);
   const snap::Chunk& meta = s.container_.require(kChunkMeta);
-  if (meta.version != kMetaVersion) {
+  if (meta.version != kMetaChunkVersion) {
     throw snap::SnapshotError("META chunk version " + std::to_string(meta.version) +
-                              " (this build reads " + std::to_string(kMetaVersion) + ")");
+                              " (this build reads " + std::to_string(kMetaChunkVersion) + ")");
   }
   snap::Reader r(meta.payload);
   s.meta_ = get_run_meta(r);
@@ -306,6 +306,9 @@ std::string warmup_key_bytes(const RunnerConfig& cfg, const workload::BenchmarkP
   if (scheme) {
     put_scheme(w, *scheme);
     w.put_f64(vdd);
+    // Adaptive clocking only engages on scheme runs; folding the config here
+    // keeps fault-free baselines sharing one warmup across dvfs settings.
+    adapt::put_dvfs_config(w, cfg.dvfs);
   }
   const std::vector<unsigned char> bytes = w.take();
   return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};

@@ -15,6 +15,7 @@
 //   PRED  TEP/MRE/TVP predictor tables (absent on fault-free captures)
 //   CHKR  check::SemanticsChecker shadow model (when check_semantics)
 //   TRAL  commit-trail samples recorded so far (when commit_trail_stride)
+//   ADPT  adapt::ClockDomain controller state (adaptive-dvfs captures only)
 //
 // Unknown chunks are skipped on restore (forward compatibility); missing
 // required chunks and any header/CRC/geometry mismatch throw
@@ -38,6 +39,12 @@ inline constexpr u32 kChunkTgen = snap::chunk_tag("TGEN");
 inline constexpr u32 kChunkPred = snap::chunk_tag("PRED");
 inline constexpr u32 kChunkChkr = snap::chunk_tag("CHKR");
 inline constexpr u32 kChunkTral = snap::chunk_tag("TRAL");
+inline constexpr u32 kChunkAdpt = snap::chunk_tag("ADPT");
+
+/// META chunk version this build writes and reads.  v2 appended the
+/// DvfsConfig; v1 snapshots predate adaptive clocking and are rejected
+/// rather than guessed at.
+inline constexpr u32 kMetaChunkVersion = 2;
 
 /// Decoded META chunk.
 struct RunMeta {
@@ -58,6 +65,10 @@ struct RunMeta {
   PredictorKind predictor = PredictorKind::kTep;
   bool check_semantics = false;
   u64 commit_trail_stride = 0;
+  /// Adaptive-clock configuration at capture (META v2+).  Warmup-relevant:
+  /// an adaptive controller steers the machine through warmup, so the key
+  /// folds the whole struct and cross-policy warm starts are rejected.
+  adapt::DvfsConfig dvfs;
 
   // Capture progress.
   u64 captured_committed = 0;  ///< committed instructions at the capture point

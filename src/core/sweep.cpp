@@ -374,12 +374,13 @@ u64 result_checksum(const RunResult& result) {
 }
 
 void write_sweep_json(std::ostream& os, const std::string& name, const SweepReport& report) {
-  // Schema 4: adds per-job "percentiles" (histogram p50/p95/p99 scalars,
-  // when any exist) and "timeline" (the interval-sampled series, when the
-  // sweep ran with a timeline interval).  Neither feeds the checksum.
+  // Schema 5: adds the per-job "dvfs" block (controller summary plus the
+  // period trajectory) on adaptive-clock jobs.  Schema 4 added per-job
+  // "percentiles" and "timeline".  None of these feed the checksum, but the
+  // dvfs scalars mirror checksummed dvfs.* stats.
   os << "{\n"
      << "  \"bench\": \"" << json_escape(name) << "\",\n"
-     << "  \"schema_version\": 4,\n"
+     << "  \"schema_version\": 5,\n"
      << "  \"workers\": " << report.workers << ",\n"
      << "  \"wall_ms\": " << json_f64(report.wall_ms) << ",\n"
      << "  \"warmup_groups\": " << report.warmup_groups << ",\n"
@@ -428,6 +429,24 @@ void write_sweep_json(std::ostream& os, const std::string& name, const SweepRepo
     if (r.timeline) {
       os << ", \"timeline\": ";
       r.timeline->write_json(os, /*include_counters=*/false);
+    }
+    if (r.dvfs) {
+      const DvfsSummary& d = *r.dvfs;
+      os << ", \"dvfs\": {\"policy\": \"" << json_escape(d.policy) << "\""
+         << ", \"epochs\": " << d.epochs
+         << ", \"wall_units\": " << d.wall_units
+         << ", \"period_final\": " << d.period_final
+         << ", \"period_lo\": " << d.period_lo
+         << ", \"period_hi\": " << d.period_hi
+         << ", \"avg_period_permille\": " << json_f64(d.avg_period_permille)
+         << ", \"throughput\": " << json_f64(d.throughput)
+         << ", \"trajectory\": [";
+      for (std::size_t t = 0; t < d.trajectory.size(); ++t) {
+        const adapt::TrajectoryPoint& p = d.trajectory[t];
+        os << (t == 0 ? "" : ", ") << "[" << p.committed << ", " << p.period_permille << ", "
+           << p.violations << "]";
+      }
+      os << "]}";
     }
     os << ", \"wall_ms\": " << json_f64(j.wall_ms) << "}";
   }

@@ -120,7 +120,22 @@ Pipeline::Pipeline(const CoreConfig& cfg, const SchemeConfig& scheme,
   }
 }
 
-bool Pipeline::faults_enabled() const { return fault_model_ != nullptr && fault_model_->enabled(); }
+bool Pipeline::faults_enabled() const {
+  // An attached adaptive clock can shorten the period below the safe point
+  // even at the nominal supply, so the oracle stays live whenever one is on.
+  return fault_model_ != nullptr && (fault_model_->enabled() || clock_ != nullptr);
+}
+
+namespace {
+/// Operand-toggle proxy for the state-dependent delay model: a hash of the
+/// register operands and effective address standing in for the toggled
+/// input vector of the sensitized cone.
+u64 operand_signature(const isa::DynInst& di) {
+  u64 h = hash_combine(static_cast<u64>(di.src1 + 1), static_cast<u64>(di.src2 + 1));
+  h = hash_combine(h, static_cast<u64>(di.dst + 1));
+  return hash_combine(h, di.mem_addr);
+}
+}  // namespace
 
 void Pipeline::schedule(Cycle cycle, EventKind kind, SeqNum seq) {
   // `cycle >= now_ >= event_shift_` always holds (the shift only grows by
@@ -715,10 +730,13 @@ bool Pipeline::issue_one(InstState& is, bool fwd) {
     // stage): how much wall-time the fault oracle costs.
     const obs::Profiler::Scope prof(
         obs::kProfHooksEnabled ? profiler_ : nullptr, obs::ProfPhase::kFaultCheck);
-    const timing::FaultDecision d = fault_model_->query(
-        is.di.pc, isa::is_mem(is.di.op) ? timing::FaultClass::kMemLike
-                                        : timing::FaultClass::kAluLike,
-        now_);
+    const timing::FaultClass cls = isa::is_mem(is.di.op) ? timing::FaultClass::kMemLike
+                                                         : timing::FaultClass::kAluLike;
+    const timing::FaultDecision d =
+        clock_ == nullptr
+            ? fault_model_->query(is.di.pc, cls, now_)
+            : fault_model_->query_adaptive(is.di.pc, cls, now_, clock_period_scale_,
+                                           operand_signature(is.di));
     is.actual_fault = d.faulty;
     is.actual_stage = d.stage;
   }
@@ -922,7 +940,11 @@ void Pipeline::fetch_stage() {
     // while its inputs recirculate); fetch/decode faults always replay.
     if (scheme_.inorder_fault_scale > 0.0 && faults_enabled()) {
       const timing::InOrderFaultDecision iod =
-          fault_model_->query_inorder(fi.di.pc, now_, scheme_.inorder_fault_scale);
+          clock_ == nullptr
+              ? fault_model_->query_inorder(fi.di.pc, now_, scheme_.inorder_fault_scale)
+              : fault_model_->query_inorder_adaptive(fi.di.pc, now_,
+                                                     scheme_.inorder_fault_scale,
+                                                     clock_period_scale_);
       if (iod.faulty) {
         switch (iod.stage) {
           case timing::InOrderStage::kFetch:
@@ -1002,6 +1024,7 @@ bool Pipeline::step() {
   if (stall_pending_ > 0) {
     apply_global_stall();
     ++now_;
+    note_clock();  // a stalled cycle still spends wall time at the current period
     return true;
   }
 
@@ -1045,6 +1068,7 @@ bool Pipeline::step() {
 
   ++now_;
   note_timeline();
+  note_clock();
   if (!window_.empty() && now_ - last_commit_cycle_ > cfg_.watchdog_cycles) {
     throw std::runtime_error("Pipeline deadlock: no commit in watchdog window");
   }
@@ -1058,6 +1082,42 @@ void Pipeline::set_timeline(obs::Timeline* timeline, u64 interval) {
   // after a warm-start restore continues the K-commit grid seamlessly.
   timeline_next_ =
       timeline_ != nullptr ? (committed_ / interval + 1) * interval : ~0ULL;
+}
+
+void Pipeline::set_clock(adapt::ClockDomain* clock) {
+  clock_ = clock;
+  if (clock_ == nullptr) {
+    clock_interval_ = 0;
+    clock_next_ = ~0ULL;
+    clock_period_scale_ = 1.0;
+    return;
+  }
+  clock_->bind(registry_);
+  clock_interval_ = clock_->epoch_interval();
+  clock_next_ = (committed_ / clock_interval_ + 1) * clock_interval_;
+  clock_period_scale_ = clock_->period_scale();
+}
+
+adapt::EpochSample Pipeline::epoch_sample() const {
+  adapt::EpochSample s;
+  s.committed = committed_;
+  s.cycles = now_;
+  s.violations = c_fault_actual_.value();
+  s.replays = c_replays_.value();
+  for (int i = 0; i < timing::kNumOooStages; ++i) {
+    s.stage_violations[static_cast<std::size_t>(i)] =
+        c_fault_stage_[static_cast<std::size_t>(i)].value();
+  }
+  s.mem_slots = c_cpi_[static_cast<std::size_t>(obs::CpiCause::kMemory)].value();
+  u64 total = 0;
+  for (const auto& c : c_cpi_) total += c.value();
+  s.total_slots = total;
+  if (fault_model_ != nullptr) {
+    const timing::Environment& env = fault_model_->environment();
+    s.hot = env.thermal_component(now_) > 0.0;
+    s.droopy = env.droop_component(now_) > 0.0;
+  }
+  return s;
 }
 
 u32 Pipeline::step_n(u32 max_cycles) {

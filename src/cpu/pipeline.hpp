@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/adapt/clock.hpp"
 #include "src/common/stats.hpp"
 #include "src/obs/cpi.hpp"
 #include "src/obs/profiler.hpp"
@@ -167,6 +168,17 @@ class Pipeline {
   void set_timeline(obs::Timeline* timeline, u64 interval);
   [[nodiscard]] obs::Timeline* timeline() const { return timeline_; }
 
+  /// Attaches an adaptive clock domain (null detaches).  Non-owning.  The
+  /// first attach registers the dvfs counters in registry() -- static runs
+  /// never attach one, so their registry geometry, checksums and snapshots
+  /// are bit-identical to builds without the subsystem.  The epoch stepper
+  /// follows the timeline discipline: one controller step at the first
+  /// cycle boundary at or past each epoch-commit threshold; re-attaching
+  /// after a state restore re-arms the threshold from the restored commit
+  /// count and refreshes the cached period scale.
+  void set_clock(adapt::ClockDomain* clock);
+  [[nodiscard]] adapt::ClockDomain* clock() const { return clock_; }
+
   /// Attaches the wall-time self-profiler (null detaches).  Non-owning; a
   /// no-op in builds with VASIM_PROF_HOOKS=0.
   void set_profiler(obs::Profiler* profiler) {
@@ -252,6 +264,22 @@ class Pipeline {
     }
   }
 
+  /// Advances the adaptive clock one cycle and steps the DVFS controller at
+  /// epoch-commit thresholds (same re-arm discipline as note_timeline, so
+  /// every driver -- run, batch, shard, serve -- steps it identically).
+  void note_clock() {
+    if (clock_ == nullptr) return;
+    clock_->tick();
+    if (committed_ >= clock_next_) {
+      clock_->step_epoch(epoch_sample());
+      clock_period_scale_ = clock_->period_scale();
+      clock_next_ = (committed_ / clock_interval_ + 1) * clock_interval_;
+    }
+  }
+
+  /// Cumulative totals for one controller step.
+  [[nodiscard]] adapt::EpochSample epoch_sample() const;
+
   // ---- configuration -------------------------------------------------------
   CoreConfig cfg_;
   SchemeConfig scheme_;
@@ -261,6 +289,10 @@ class Pipeline {
   obs::Timeline* timeline_ = nullptr;
   u64 timeline_interval_ = 0;
   u64 timeline_next_ = ~0ULL;  ///< next commit threshold; ~0 when detached
+  adapt::ClockDomain* clock_ = nullptr;
+  u64 clock_interval_ = 0;
+  u64 clock_next_ = ~0ULL;          ///< next epoch-commit threshold
+  double clock_period_scale_ = 1.0; ///< cached period for the fault oracle
   obs::Profiler* profiler_ = nullptr;
   isa::InstructionSource* source_;
   const timing::FaultModel* fault_model_;

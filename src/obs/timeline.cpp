@@ -38,6 +38,7 @@ Timeline::Timeline(const Config& cfg, const Registry* registry)
     const std::string& n = names_[c];
     if (n == "fault.actual") col_fault_actual_ = static_cast<int>(c);
     if (n == "fault.handled") col_fault_handled_ = static_cast<int>(c);
+    if (n == "dvfs.wall_units") col_wall_units_ = static_cast<int>(c);
     if (n.rfind("fault.stage.", 0) == 0) stage_cols_.push_back(c);
     for (int i = 0; i < kNumCpiCauses; ++i) {
       if (n == "cpi." + std::string(to_string(static_cast<CpiCause>(i)))) {
@@ -130,6 +131,13 @@ double Timeline::predictor_accuracy(std::size_t w) const {
          static_cast<double>(actual);
 }
 
+double Timeline::period_permille(std::size_t w) const {
+  const Cycle dc = cycle_delta(w);
+  if (col_wall_units_ < 0 || dc == 0) return 0.0;
+  return static_cast<double>(delta(w, static_cast<std::size_t>(col_wall_units_))) /
+         static_cast<double>(dc);
+}
+
 double Timeline::recovery_overhead(std::size_t w) const {
   const CpiStack st = cpi_window(w);
   const u64 total = st.total();
@@ -199,6 +207,7 @@ Timeline Timeline::load(snap::Reader& r) {
     const std::string& n = t.names_[c];
     if (n == "fault.actual") t.col_fault_actual_ = static_cast<int>(c);
     if (n == "fault.handled") t.col_fault_handled_ = static_cast<int>(c);
+    if (n == "dvfs.wall_units") t.col_wall_units_ = static_cast<int>(c);
     if (n.rfind("fault.stage.", 0) == 0) t.stage_cols_.push_back(c);
     for (int i = 0; i < kNumCpiCauses; ++i) {
       if (n == "cpi." + std::string(to_string(static_cast<CpiCause>(i)))) {
@@ -236,6 +245,12 @@ void Timeline::write_json(std::ostream& os, bool include_counters) const {
   series("predictor_accuracy", [&](std::size_t w) { return predictor_accuracy(w); });
   os << ", ";
   series("recovery_overhead", [&](std::size_t w) { return recovery_overhead(w); });
+  // Adaptive-clock runs only: the window-averaged period in permille of
+  // nominal.  Absent on static runs so their JSON stays byte-identical.
+  if (has_period_series()) {
+    os << ", ";
+    series("period_permille", [&](std::size_t w) { return period_permille(w); });
+  }
   os << ", \"cpi\": {";
   for (int i = 0; i < kNumCpiCauses; ++i) {
     if (i) os << ", ";
@@ -309,6 +324,10 @@ void Timeline::append_counter_tracks(ChromeTraceWriter& trace, u64 pid, u64 tid,
                         {{"accuracy", json_num(predictor_accuracy(w))}});
     trace.counter_event(prefix + "recovery_overhead", "timeline", pid, tid, ts,
                         {{"fraction", json_num(recovery_overhead(w))}});
+    if (has_period_series()) {
+      trace.counter_event(prefix + "period_permille", "timeline", pid, tid, ts,
+                          {{"permille", json_num(period_permille(w))}});
+    }
     const CpiStack st = cpi_window(w);
     const u64 di = committed_delta(w);
     const u64 total = st.total();

@@ -116,6 +116,11 @@ class Timeline {
   /// Column indices of the per-stage "fault.stage.*" counters (per-FU
   /// violation-rate series); empty when no registry was attached.
   [[nodiscard]] const std::vector<std::size_t>& stage_columns() const { return stage_cols_; }
+  /// True when the run carried an adaptive clock ("dvfs.wall_units" column).
+  [[nodiscard]] bool has_period_series() const { return col_wall_units_ >= 0; }
+  /// Average clock period over the window in permille of nominal
+  /// (Δwall_units / Δcycles); 0 when no adaptive clock was attached.
+  [[nodiscard]] double period_permille(std::size_t w) const;
 
   // ---- export ----------------------------------------------------------------
   /// Schema-versioned binary blob (schema in docs/observability.md).
@@ -168,6 +173,7 @@ class Timeline {
   // Column indices resolved once at construction; -1 when absent.
   int col_fault_actual_ = -1;
   int col_fault_handled_ = -1;
+  int col_wall_units_ = -1;
   std::vector<std::size_t> stage_cols_;
   std::array<int, kNumCpiCauses> col_cpi_{};
 };

@@ -2,7 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <stdexcept>
 
+#include "src/adapt/dvfs.hpp"
 #include "src/serve/json.hpp"
 
 namespace vasim::serve {
@@ -78,7 +80,8 @@ void append_cell_result(std::string& out, const CellResult& c) {
 }
 
 std::string handle_submit(Server& server, const JsonValue& req) {
-  check_fields(req, {"op", "cells", "instr", "warmup", "timeline_interval", "tag"},
+  check_fields(req,
+               {"op", "cells", "instr", "warmup", "timeline_interval", "dvfs", "epoch", "tag"},
                "submit request");
   JobSpec spec;
   const JsonValue* cells = req.find("cells");
@@ -108,6 +111,19 @@ std::string handle_submit(Server& server, const JsonValue& req) {
   if (req.find("warmup") != nullptr) spec.warmup = require_u64(req, "warmup", "submit");
   if (req.find("timeline_interval") != nullptr) {
     spec.timeline_interval = require_u64(req, "timeline_interval", "submit");
+  }
+  if (const JsonValue* dvfs = req.find("dvfs"); dvfs != nullptr) {
+    if (!dvfs->is_string()) reject("bad_field", "\"dvfs\" must be a policy name string");
+    try {
+      spec.dvfs = adapt::dvfs_policy_from_string(dvfs->str);
+    } catch (const std::invalid_argument& e) {
+      reject("bad_field", e.what());
+    }
+  }
+  if (req.find("epoch") != nullptr) {
+    const u64 epoch = require_u64(req, "epoch", "submit");
+    if (epoch == 0) reject("bad_field", "\"epoch\" must be positive");
+    spec.epoch = epoch;
   }
   if (const JsonValue* tag = req.find("tag"); tag != nullptr) {
     if (!tag->is_string()) reject("bad_field", "\"tag\" must be a string");

@@ -4,7 +4,8 @@
 // Requests are JSON objects with an "op" discriminator:
 //
 //   {"op":"submit","cells":[{"bench":"bzip2","scheme":"abs","vdd":0.97}],
-//    "instr":3000,"warmup":1000,"timeline_interval":500,"tag":"c1"}
+//    "instr":3000,"warmup":1000,"timeline_interval":500,
+//    "dvfs":"reactive","epoch":2000,"tag":"c1"}
 //       -> {"ok":true,"job":7,"cells":1,"queued":2}
 //   {"op":"poll","job":7,"since":0}
 //       -> {"ok":true,"job":7,"state":"running","cells":1,"done":0,

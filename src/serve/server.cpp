@@ -69,6 +69,13 @@ u64 Server::submit(const JobSpec& spec) {
   if (spec.instructions) job->cfg.instructions = *spec.instructions;
   if (spec.warmup) job->cfg.warmup = *spec.warmup;
   if (spec.timeline_interval) job->cfg.timeline_interval = *spec.timeline_interval;
+  if (spec.dvfs) job->cfg.dvfs.policy = *spec.dvfs;
+  if (spec.epoch) job->cfg.dvfs.epoch = *spec.epoch;
+  try {
+    adapt::validate_dvfs_config(job->cfg.dvfs);
+  } catch (const std::invalid_argument& e) {
+    throw ServeError("bad_field", e.what());
+  }
   job->cfg.profiler_hub = cfg_.profiler_hub;
   job->cfg.progress = false;
   if (job->cfg.instructions == 0) throw ServeError("bad_grid", "instructions must be > 0");

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/adapt/dvfs.hpp"
 #include "src/core/snapshot.hpp"
 #include "src/core/sweep.hpp"
 #include "src/obs/registry.hpp"
@@ -92,6 +93,10 @@ struct JobSpec {
   std::optional<u64> instructions;
   std::optional<u64> warmup;
   std::optional<u64> timeline_interval;
+  /// Adaptive-clock overrides (docs/adaptive.md).  The policy folds into the
+  /// warmup key, so cache entries never cross policies.
+  std::optional<adapt::DvfsPolicy> dvfs;
+  std::optional<u64> epoch;
   std::string tag;  ///< free-form client label, echoed in status replies
 };
 

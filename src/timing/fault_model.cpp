@@ -43,4 +43,41 @@ FaultDecision FaultModel::query(Pc pc, FaultClass cls, Cycle cycle) const {
   return d;
 }
 
+FaultDecision FaultModel::query_adaptive(Pc pc, FaultClass cls, Cycle cycle,
+                                         double period_scale, u64 state_sig) const {
+  FaultDecision d;
+  d.path_factor = paths_.path_factor(pc);
+  d.stage = paths_.faulty_stage(pc, cls);
+  double scaled = d.path_factor * delay_scale_;
+  if (state_model_ != nullptr) scaled *= state_model_->factor(pc, state_sig, cls);
+  d.core_faulty = scaled > period_scale;
+  d.faulty = scaled * env_.modulation(cycle) > period_scale;
+  return d;
+}
+
+InOrderFaultDecision FaultModel::query_inorder_adaptive(Pc pc, Cycle cycle,
+                                                        double inorder_scale,
+                                                        double period_scale) const {
+  InOrderFaultDecision d;
+  if (inorder_scale <= 0.0) return d;
+  const double pf = paths_.path_factor(hash_mix(pc ^ 0x1a0cdeULL));
+  if (pf * delay_scale_ * env_.modulation(cycle) <= period_scale) return d;
+  const u64 h = hash_combine(hash_combine(paths_.config().seed, 0x10de7ULL), pc);
+  if (hash_to_unit(h) >= inorder_scale) return d;
+  d.faulty = true;
+  const double u = hash_to_unit(hash_mix(h ^ 0x5151ULL));
+  if (u < 0.35) {
+    d.stage = InOrderStage::kRename;
+  } else if (u < 0.70) {
+    d.stage = InOrderStage::kDispatch;
+  } else if (u < 0.90) {
+    d.stage = InOrderStage::kRetire;
+  } else if (u < 0.95) {
+    d.stage = InOrderStage::kFetch;
+  } else {
+    d.stage = InOrderStage::kDecode;
+  }
+  return d;
+}
+
 }  // namespace vasim::timing

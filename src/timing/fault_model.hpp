@@ -17,6 +17,7 @@
 #include "src/timing/path_model.hpp"
 #include "src/timing/sensors.hpp"
 #include "src/timing/stage.hpp"
+#include "src/timing/state_delay.hpp"
 #include "src/timing/voltage.hpp"
 
 namespace vasim::timing {
@@ -51,6 +52,27 @@ class FaultModel {
   [[nodiscard]] InOrderFaultDecision query_inorder(Pc pc, Cycle cycle,
                                                    double inorder_scale = 0.05) const;
 
+  /// Adaptive-clock query: the violation condition generalizes to
+  ///   path_factor * delay_scale * state_factor * modulation > period_scale
+  /// where `period_scale` is the current clock period as a fraction of the
+  /// nominal period (src/adapt/ DVFS controllers move it) and the optional
+  /// state-dependent model (set_state_model) contributes the per-instance
+  /// operand-toggle factor.  With period_scale == 1.0 and no state model the
+  /// decision is bit-identical to query(); static runs never call this path.
+  [[nodiscard]] FaultDecision query_adaptive(Pc pc, FaultClass cls, Cycle cycle,
+                                             double period_scale, u64 state_sig) const;
+
+  /// Adaptive-clock in-order query; unlike query_inorder this does not
+  /// short-circuit on enabled(), because an overclocked period can violate
+  /// even at the nominal supply.
+  [[nodiscard]] InOrderFaultDecision query_inorder_adaptive(Pc pc, Cycle cycle,
+                                                            double inorder_scale,
+                                                            double period_scale) const;
+
+  /// Attaches (or detaches, with nullptr) the state-dependent delay model
+  /// used by the adaptive queries.  Not owned.
+  void set_state_model(const StateDelayModel* m) { state_model_ = m; }
+
   /// True when the configured supply can produce faults at all.
   [[nodiscard]] bool enabled() const { return delay_scale_ > 1.0 / 0.97; }
 
@@ -66,6 +88,7 @@ class FaultModel {
   Environment env_;
   double vdd_;
   double delay_scale_;
+  const StateDelayModel* state_model_ = nullptr;
 };
 
 }  // namespace vasim::timing

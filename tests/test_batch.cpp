@@ -429,7 +429,7 @@ TEST(ShardMerge, MismatchedFragmentSchemaFailsWithNamedError) {
   } catch (const core::FragmentSchemaError& e) {
     EXPECT_EQ(e.path(), "frag_a.json");
     EXPECT_EQ(e.found(), 1u);
-    EXPECT_EQ(e.expected(), 2u);
+    EXPECT_EQ(e.expected(), 3u);
     EXPECT_NE(std::string(e.what()).find("frag_a.json"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("schema_version 1"), std::string::npos);
   }

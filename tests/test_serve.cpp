@@ -502,6 +502,57 @@ TEST(ServeProtocol, SubmitPollCancelRoundTrip) {
   EXPECT_EQ(tail.find("results")->array.size(), 0u);
 }
 
+TEST(ServeProtocol, DvfsFieldsValidateByName) {
+  serve::Server server(tiny_serve(1, 2, 0));
+  bool shutdown = false;
+  // Unknown policy and zero epoch are named rejections, not silent accepts.
+  const std::string bad_policy = serve::handle_frame(
+      server, R"({"op":"submit","cells":[{"bench":"bzip2"}],"dvfs":"turbo"})", &shutdown);
+  const serve::JsonValue v = serve::parse_json(bad_policy);
+  EXPECT_EQ(v.find("error")->str, "bad_field");
+  EXPECT_NE(v.find("message")->str.find("turbo"), std::string::npos);
+  EXPECT_EQ(frame_error(server,
+                        R"({"op":"submit","cells":[{"bench":"bzip2"}],"dvfs":5})"),
+            "bad_field");
+  EXPECT_EQ(frame_error(
+                server,
+                R"({"op":"submit","cells":[{"bench":"bzip2"}],"dvfs":"reactive","epoch":0})"),
+            "bad_field");
+}
+
+TEST(ServeServer, DvfsJobsMatchStandaloneChecksums) {
+  // An adaptive submit through the daemon produces the same per-cell
+  // checksums as a standalone sweep with the same DvfsConfig -- the serve
+  // path steps the controller at identical points.
+  core::RunnerConfig rc = tiny_rc();
+  rc.dvfs.policy = adapt::DvfsPolicy::kReactive;
+  rc.dvfs.epoch = 400;
+  std::vector<core::SweepJob> jobs;
+  jobs.push_back({workload::spec2006_profile("bzip2"), core::scheme_by_name("abs"), 0.97,
+                  std::nullopt});
+  const std::vector<core::RunResult> expected = core::SweepRunner(rc, 1).run_results(jobs);
+  ASSERT_TRUE(expected[0].dvfs.has_value());
+
+  serve::Server server(tiny_serve(2, 8, 4));
+  serve::JobSpec spec;
+  spec.cells.push_back({"bzip2", "abs", 0.97});
+  spec.dvfs = adapt::DvfsPolicy::kReactive;
+  spec.epoch = 400;
+  const u64 id = server.submit(spec);
+  ASSERT_TRUE(server.wait(id, 120'000));
+  const std::vector<serve::CellResult> results = server.results(id, 0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].checksum, core::result_checksum(expected[0]));
+
+  // Same cell, different policy: a distinct run (the policy re-keys the
+  // warmup, so the cache can never alias these).
+  serve::JobSpec other = spec;
+  other.dvfs = adapt::DvfsPolicy::kPredictive;
+  const u64 id2 = server.submit(other);
+  ASSERT_TRUE(server.wait(id2, 120'000));
+  EXPECT_NE(server.results(id2, 0)[0].checksum, results[0].checksum);
+}
+
 TEST(ServeProtocol, QueueFullReplyCarriesRetryAfter) {
   serve::ServeConfig sc = tiny_serve(1, 0, 0);  // queue of zero: reject all
   serve::Server server(sc);

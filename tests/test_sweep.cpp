@@ -125,7 +125,7 @@ TEST(SweepJson, EmitsValidStructure) {
   core::write_sweep_json(os, "unit", report);
   const std::string json = os.str();
   EXPECT_NE(json.find("\"bench\": \"unit\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"warmup_groups\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"workers\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"razor\""), std::string::npos);

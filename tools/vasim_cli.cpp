@@ -6,6 +6,8 @@
 //   vasim run --bench <name> --scheme <name> [--vdd V] [--instr N]
 //             [--warmup N] [--predictor tep|mre|tvp] [--kanata FILE]
 //             [--trace FILE] [--timeline FILE] [--timeline-interval K]
+//             [--dvfs static|reactive|predictive] [--epoch N]
+//             [--period-min P] [--period-max P]
 //             [--stats] [--csv] [--cpi] [--progress] [--profile]
 //       Run one simulation and print a summary (or CSV row / full stats).
 //       --cpi adds the per-cause commit-slot (CPI stack) table; --trace
@@ -17,7 +19,8 @@
 //       stages (docs/observability.md).
 //   vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]
 //               [--batch B] [--shard i/N] [--json FILE] [--trace FILE]
-//               [--timeline-interval K] [--cpi] [--progress] [--profile]
+//               [--timeline-interval K] [--dvfs POLICY] [--epoch N]
+//               [--cpi] [--progress] [--profile]
 //       Run every scheme at both faulty supplies for one benchmark (or the
 //       whole suite), fanned out over a thread pool (VASIM_JOBS or --jobs;
 //       results are deterministic at any worker count), optionally dumping
@@ -68,6 +71,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/adapt/dvfs.hpp"
+#include "src/common/env.hpp"
 #include "src/common/table.hpp"
 #include "src/cpu/config.hpp"
 #include "src/core/runner.hpp"
@@ -134,13 +139,16 @@ int usage() {
             << "            [--kernel issue-window|delay-queue] [--iq N] [--rob N] [--phys N]\n"
             << "            [--kanata FILE] [--trace FILE] [--timeline FILE]\n"
             << "            [--timeline-interval K] [--stats] [--csv] [--cpi]\n"
+            << "            [--dvfs static|reactive|predictive] [--epoch N]\n"
+            << "            [--period-min P] [--period-max P]\n"
             << "            [--progress] [--profile]\n"
             << "  vasim run --from-snapshot FILE [--instr N] [--timeline FILE]\n"
             << "            [--stats] [--csv] [--cpi] [--progress] [--profile]\n"
             << "  vasim sweep --bench <name>|all [--instr N] [--warmup N] [--jobs N]\n"
             << "              [--kernel issue-window|delay-queue] [--iq N] [--rob N] [--phys N]\n"
             << "              [--batch B] [--shard i/N] [--json FILE] [--trace FILE]\n"
-            << "              [--timeline-interval K] [--cpi] [--progress]\n"
+            << "              [--timeline-interval K] [--dvfs POLICY] [--epoch N]\n"
+            << "              [--period-min P] [--period-max P] [--cpi] [--progress]\n"
             << "              [--reuse-warmup] [--profile]\n"
             << "  vasim sweep-merge FRAGMENT... --out FILE\n"
             << "  vasim snap save --bench <name> --scheme <name> --out FILE [--vdd V]\n"
@@ -148,7 +156,7 @@ int usage() {
             << "  vasim snap info FILE\n"
             << "  vasim serve --listen unix:PATH|tcp:PORT [--workers N] [--queue N]\n"
             << "              [--cache N] [--max-cells N] [--instr N] [--warmup N]\n"
-            << "              [--timeline-interval K] [--profile]\n"
+            << "              [--timeline-interval K] [--dvfs POLICY] [--epoch N] [--profile]\n"
             << "  vasim loadgen --connect ENDPOINT [--clients N] [--jobs N] [--cells N]\n"
             << "                [--interval MS] [--cancel-frac F] [--seed S] [--instr N]\n"
             << "                [--warmup N] [--benches a,b] [--schemes x,y] [--vdds v,w]\n"
@@ -190,11 +198,45 @@ core::RunnerConfig runner_config(const Args& args) {
   if (args.has("rob")) rc.core.rob_entries = std::atoi(args.get("rob", "").c_str());
   if (args.has("phys")) rc.core.phys_regs = std::atoi(args.get("phys", "").c_str());
   cpu::validate_core_config(rc.core);  // fail fast with the named reason
+  if (args.has("dvfs")) rc.dvfs.policy = adapt::dvfs_policy_from_string(args.get("dvfs", ""));
+  if (args.has("epoch")) {
+    rc.dvfs.epoch = std::strtoull(args.get("epoch", "0").c_str(), nullptr, 10);
+  }
+  if (args.has("period-min")) {
+    rc.dvfs.period_min_permille =
+        static_cast<u32>(std::strtoul(args.get("period-min", "0").c_str(), nullptr, 10));
+  }
+  if (args.has("period-max")) {
+    rc.dvfs.period_max_permille =
+        static_cast<u32>(std::strtoul(args.get("period-max", "0").c_str(), nullptr, 10));
+  }
+  adapt::validate_dvfs_config(rc.dvfs);  // same fail-fast style as the core knobs
   return rc;
 }
 
 /// Default sampling grain when --timeline names a file but no interval.
 constexpr u64 kDefaultTimelineInterval = 10'000;
+
+/// Copies a just-written result JSON into the tracked bench/results/
+/// directory (VASIM_RESULTS_DIR, injected by CMake) -- the same hook
+/// bench_micro uses, so `vasim loadgen` updates the repo's serve-perf
+/// trajectory without a manual cp.  Disabled with VASIM_RESULTS=0; quietly
+/// skipped when the directory is absent.
+void copy_to_results(const std::string& path) {
+#ifdef VASIM_RESULTS_DIR
+  if (env_u64("VASIM_RESULTS", 1) == 0) return;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  // Strip any directory prefix: results are tracked flat by file name.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string fname = slash == std::string::npos ? path : path.substr(slash + 1);
+  std::ofstream out(std::string(VASIM_RESULTS_DIR) + "/" + fname, std::ios::binary);
+  if (!out) return;
+  out << in.rdbuf();
+#else
+  (void)path;
+#endif
+}
 
 /// Writes a finalized timeline as JSON, or CSV when the path ends in .csv.
 int write_timeline_file(const obs::Timeline& tl, const std::string& path) {
@@ -272,6 +314,14 @@ void print_result(const core::RunResult& r, const core::RunResult* baseline, boo
     std::cout << "  vs fault-free: perf overhead " << TextTable::fmt(o.perf_pct, 2)
               << "%, ED overhead " << TextTable::fmt(o.ed_pct, 2) << "%\n";
   }
+  if (r.dvfs) {
+    const core::DvfsSummary& d = *r.dvfs;
+    std::cout << "  dvfs " << d.policy << ": " << d.epochs << " epochs, period "
+              << d.period_final << "‰ (range " << d.period_lo << "-" << d.period_hi
+              << "‰, avg " << TextTable::fmt(d.avg_period_permille, 1)
+              << "‰), throughput " << TextTable::fmt(d.throughput, 4)
+              << " instr/nominal-cycle\n";
+  }
 }
 
 void print_cpi_table(const std::string& title, const obs::CpiStack& cpi, int commit_width,
@@ -309,6 +359,7 @@ int cmd_run_from_snapshot(const Args& args) {
     rc.predictor = m.predictor;
     rc.check_semantics = m.check_semantics;
     rc.commit_trail_stride = m.commit_trail_stride;
+    rc.dvfs = m.dvfs;
     rc.timeline_interval =
         std::strtoull(args.get("timeline-interval", "0").c_str(), nullptr, 10);
     if (args.has("timeline") && rc.timeline_interval == 0) {
@@ -370,6 +421,12 @@ int cmd_run(const Args& args) {
   rc_baseline.profiler_hub = nullptr;
 
   if (args.has("kanata") || args.has("trace")) {
+    if (rc.dvfs.adaptive()) {
+      throw std::invalid_argument(
+          "dvfs: adaptive policies are not supported with --kanata/--trace "
+          "(the trace path bypasses the experiment runner); drop the trace "
+          "flags or use --dvfs static");
+    }
     // Trace dumps need a hand-built pipeline to attach observers; both
     // writers can ride the same run through the ObserverMux.
     workload::TraceGenerator gen(prof);
@@ -765,6 +822,12 @@ int cmd_snap_info(const std::string& path) {
                                         ? "captured (commit " + std::to_string(m.base_committed) + ")"
                                         : "pre-warmup (re-derived on resume)"});
     mt.add_row({"semantics checker", m.check_semantics ? "attached" : "off"});
+    mt.add_row({"dvfs", m.dvfs.adaptive()
+                            ? std::string(adapt::to_string(m.dvfs.policy)) + " (epoch " +
+                                  std::to_string(m.dvfs.epoch) + ", period " +
+                                  std::to_string(m.dvfs.period_min_permille) + "-" +
+                                  std::to_string(m.dvfs.period_max_permille) + " permille)"
+                            : "static"});
     char key[32];
     std::snprintf(key, sizeof key, "%016llx", static_cast<unsigned long long>(m.warmup_key));
     mt.add_row({"warmup key", key});
@@ -910,6 +973,7 @@ int cmd_loadgen(const Args& args) {
         std::cerr << "cannot write " << lc.out_json << "\n";
         return 2;
       }
+      copy_to_results(lc.out_json);
       std::cout << "loadgen report written to " << lc.out_json << "\n";
     }
     if (args.has("shutdown")) {
